@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner List Micro Printf Sentry_experiments Sentry_util Term

@@ -1,0 +1,66 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (§8), then runs the Bechamel microbenchmark
+    suite over the implementation's primitives.
+
+    {v
+    dune exec bench/main.exe                 # everything
+    dune exec bench/main.exe -- fig9 fig10   # selected experiments
+    dune exec bench/main.exe -- micro        # microbenchmarks only
+    dune exec bench/main.exe -- --list       # what exists
+    v} *)
+
+let list_experiments () =
+  print_endline "Available experiments:";
+  List.iter
+    (fun (e : Sentry_experiments.Experiments.entry) ->
+      Printf.printf "  %-11s %s\n" e.Sentry_experiments.Experiments.id
+        e.Sentry_experiments.Experiments.description)
+    Sentry_experiments.Experiments.all;
+  print_endline "  micro       bechamel microbenchmarks"
+
+let run_all () =
+  print_endline "Sentry: reproduction of every table and figure (ASPLOS'15)";
+  print_endline "==========================================================\n";
+  List.iter Sentry_experiments.Experiments.run_and_print Sentry_experiments.Experiments.all;
+  Micro.run ()
+
+let run_selected ~csv ids =
+  List.iter
+    (fun id ->
+      if id = "micro" then Micro.run ()
+      else
+        match Sentry_experiments.Experiments.find id with
+        | Some e ->
+            if csv then
+              List.iter
+                (fun t -> print_string (Sentry_util.Table.to_csv t))
+                (e.Sentry_experiments.Experiments.run ())
+            else Sentry_experiments.Experiments.run_and_print e
+        | None ->
+            Printf.eprintf "unknown experiment %S (try --list)\n" id;
+            exit 1)
+    ids
+
+open Cmdliner
+
+let ids =
+  let doc = "Experiment ids to run (default: all + micro). Use --list to enumerate." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_flag =
+  let doc = "List available experiments." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let csv_flag =
+  let doc = "Emit CSV instead of aligned tables (selected experiments only)." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let main list_it csv ids =
+  if list_it then list_experiments ()
+  else match ids with [] -> run_all () | ids -> run_selected ~csv ids
+
+let cmd =
+  let doc = "regenerate the Sentry paper's tables and figures" in
+  Cmd.v (Cmd.info "sentry-bench" ~doc) Term.(const main $ list_flag $ csv_flag $ ids)
+
+let () = exit (Cmd.eval cmd)

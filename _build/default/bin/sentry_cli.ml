@@ -1,0 +1,137 @@
+(** sentry-cli: drive the simulator from the command line.
+
+    {v
+    sentry-cli list                         # available experiments
+    sentry-cli exp table3 fig10             # run experiments
+    sentry-cli demo                         # lock/unlock walk-through
+    sentry-cli attack --variant reflash     # mount a cold-boot attack
+    v} *)
+
+open Cmdliner
+open Sentry_util
+open Sentry_soc
+open Sentry_kernel
+open Sentry_core
+
+(* ------------------------------ list ----------------------------- *)
+
+let list_cmd =
+  let doc = "list available experiments" in
+  let run () =
+    List.iter
+      (fun (e : Sentry_experiments.Experiments.entry) ->
+        Printf.printf "  %-11s %s\n" e.Sentry_experiments.Experiments.id
+          e.Sentry_experiments.Experiments.description)
+      Sentry_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------ exp ------------------------------ *)
+
+let exp_cmd =
+  let doc = "run experiments by id (see list)" in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    List.iter
+      (fun id ->
+        match Sentry_experiments.Experiments.find id with
+        | Some e -> Sentry_experiments.Experiments.run_and_print e
+        | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ ids)
+
+(* ------------------------------ demo ----------------------------- *)
+
+let demo () =
+  let system = System.boot `Tegra3 ~seed:42 in
+  let machine = System.machine system in
+  let sentry = Sentry.install system (Config.default `Tegra3) in
+  Printf.printf "Booted %s: %s DRAM, %s iRAM, %d-way %s L2\n"
+    (Machine.config machine).Machine.name
+    (Units.to_string Units.pp_bytes (Machine.config machine).Machine.dram_size)
+    (Units.to_string Units.pp_bytes (Machine.config machine).Machine.iram_size)
+    (Pl310.ways (Machine.l2 machine))
+    (Units.to_string Units.pp_bytes (Pl310.size (Machine.l2 machine)));
+  let app = System.spawn system ~name:"mail" ~bytes:(512 * Units.kib) in
+  let region = List.hd (Address_space.regions app.Process.aspace) in
+  let secret = Bytes.of_string "ATTACK AT DAWN!!" in
+  System.fill_region system app region secret;
+  (* let time pass: dirty lines reach DRAM *)
+  Pl310.flush_masked (Machine.l2 machine);
+  Sentry.mark_sensitive sentry app;
+  Sentry.enable_background sentry app;
+  let dram = Dram.raw (Machine.dram machine) in
+  Printf.printf "mail app running; secret in DRAM: %b\n" (Bytes_util.contains dram secret);
+  let stats = Sentry.lock sentry in
+  Printf.printf "LOCKED: %d pages encrypted in %s; secret in DRAM: %b\n"
+    stats.Encrypt_on_lock.pages_encrypted
+    (Units.to_string Units.pp_time stats.Encrypt_on_lock.elapsed_ns)
+    (Bytes_util.contains dram secret);
+  let data = Vm.read system.System.vm app ~vaddr:region.Address_space.vstart ~len:16 in
+  Printf.printf "background read while locked: %S; secret in DRAM: %b\n"
+    (Bytes.to_string data)
+    (Bytes_util.contains dram secret);
+  (match Sentry.unlock sentry ~pin:"0000" with
+  | Error Lock_state.Bad_pin -> print_endline "wrong PIN rejected"
+  | _ -> print_endline "unexpected");
+  (match Sentry.unlock sentry ~pin:"1234" with
+  | Ok s ->
+      Printf.printf "UNLOCKED (eager DMA pages: %d); lazy decryption from here on\n"
+        s.Decrypt_on_unlock.dma_pages_eager
+  | Error _ -> print_endline "unlock failed");
+  let data = Vm.read system.System.vm app ~vaddr:region.Address_space.vstart ~len:16 in
+  Printf.printf "read after unlock: %S\n" (Bytes.to_string data)
+
+let demo_cmd =
+  let doc = "walk through a lock / background / unlock cycle" in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ const ())
+
+(* ----------------------------- attack ---------------------------- *)
+
+let attack variant protect =
+  let system = System.boot `Tegra3 ~seed:7 in
+  let machine = System.machine system in
+  let secret = Bytes.of_string "CREDIT-CARD-4242424242424242" in
+  let app = System.spawn system ~name:"wallet" ~bytes:(64 * Units.kib) in
+  let region = List.hd (Address_space.regions app.Process.aspace) in
+  System.fill_region system app region secret;
+  (* let time pass: dirty lines reach DRAM *)
+  Pl310.flush_masked (Machine.l2 machine);
+  if protect then begin
+    let sentry = Sentry.install system (Config.default `Tegra3) in
+    Sentry.mark_sensitive sentry app;
+    ignore (Sentry.lock sentry);
+    print_endline "Sentry installed; device locked."
+  end
+  else print_endline "No protection (device merely PIN-locked).";
+  let found =
+    match variant with
+    | "warm" -> Sentry_attacks.Cold_boot.succeeds machine Sentry_attacks.Cold_boot.Os_reboot ~secret
+    | "reflash" ->
+        Sentry_attacks.Cold_boot.succeeds machine Sentry_attacks.Cold_boot.Device_reflash ~secret
+    | "reset" ->
+        Sentry_attacks.Cold_boot.succeeds machine Sentry_attacks.Cold_boot.Two_second_reset ~secret
+    | "dma" -> Sentry_attacks.Dma_attack.succeeds machine ~secret
+    | v ->
+        Printf.eprintf "unknown attack variant %S (warm|reflash|reset|dma)\n" v;
+        exit 1
+  in
+  Printf.printf "Attack '%s' mounted: secret %s\n" variant
+    (if found then "RECOVERED (device compromised)" else "not found (defence held)")
+
+let attack_cmd =
+  let doc = "mount a memory attack against the simulated device" in
+  let variant =
+    Arg.(value & opt string "reflash" & info [ "variant" ] ~docv:"VARIANT" ~doc:"warm|reflash|reset|dma")
+  in
+  let protect =
+    Arg.(value & flag & info [ "sentry" ] ~doc:"protect the device with Sentry before attacking")
+  in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ variant $ protect)
+
+let () =
+  let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "sentry-cli" ~doc) [ list_cmd; exp_cmd; demo_cmd; attack_cmd ]))

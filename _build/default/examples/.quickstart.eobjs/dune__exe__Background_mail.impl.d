@@ -1,0 +1,1 @@
+examples/background_mail.ml: Address_space Background Bytes Bytes_util Config Dram List Machine Option Page Printf Process Sentry Sentry_core Sentry_kernel Sentry_soc Sentry_util System Vm

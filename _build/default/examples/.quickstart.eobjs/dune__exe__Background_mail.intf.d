@@ -1,0 +1,1 @@
+examples/background_mail.mli:

@@ -1,0 +1,1 @@
+examples/daily_cycle.ml: Address_space Bytes Bytes_util Calib Config Dram Energy List Machine Printf Process Sentry Sentry_core Sentry_kernel Sentry_soc Sentry_util String Suspend System Units Vm

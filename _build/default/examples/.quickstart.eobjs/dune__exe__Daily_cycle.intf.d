@@ -1,0 +1,1 @@
+examples/daily_cycle.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Address_space Bytes Config Encrypt_on_lock List Machine Pl310 Printf Process Sentry Sentry_attacks Sentry_core Sentry_kernel Sentry_soc Sentry_util System Units Vm

@@ -1,0 +1,59 @@
+(** Background e-mail sync while the device is locked (the paper's
+    alpine scenario, §2/§5).
+
+    A mail client keeps fetching messages while the screen is locked.
+    Sentry pages its working set through locked L2 cache: DRAM only
+    ever holds ciphertext, yet the client reads, parses and stores
+    messages normally.
+
+    Run with: [dune exec examples/background_mail.exe] *)
+
+open Sentry_util
+open Sentry_soc
+open Sentry_kernel
+open Sentry_core
+
+let mailbox_pages = 96 (* 384 KB mailbox: exceeds the 256 KB budget *)
+
+let () =
+  let system = System.boot `Tegra3 ~seed:99 in
+  let machine = System.machine system in
+  let sentry = Sentry.install system (Config.default `Tegra3) in
+  let mail = System.spawn system ~name:"mail" ~bytes:(mailbox_pages * Page.size) in
+  let region = List.hd (Address_space.regions mail.Process.aspace) in
+  System.fill_region system mail region (Bytes.of_string "emptybox");
+  Sentry.mark_sensitive sentry mail;
+  Sentry.enable_background sentry mail;
+  ignore (Sentry.lock sentry);
+  Printf.printf "device locked; mail app stays schedulable (background mode)\n";
+
+  let vm = system.System.vm in
+  let dram = Dram.raw (Machine.dram machine) in
+  let page_addr i = region.Address_space.vstart + (i * Page.size) in
+
+  (* While locked, 40 messages arrive; each is written into a mailbox
+     slot, and a summary line is read back (e.g. for a notification). *)
+  let leaks = ref 0 in
+  for msg = 0 to 39 do
+    let slot = msg mod mailbox_pages in
+    let body =
+      Bytes.of_string (Printf.sprintf "From: alice@example.com  Subj: secret plan %02d " msg)
+    in
+    Vm.write vm mail ~vaddr:(page_addr slot) body;
+    let summary = Vm.read vm mail ~vaddr:(page_addr slot) ~len:20 in
+    assert (Bytes.equal summary (Bytes.sub body 0 20));
+    (* invariant check after every message: no mail plaintext in DRAM *)
+    if Bytes_util.contains dram (Bytes.of_string "alice@example.com") then incr leaks
+  done;
+  let bg = Option.get (Sentry.background_engine sentry) in
+  let page_ins, page_outs = Background.stats bg in
+  Printf.printf "synced 40 messages while locked: %d page-ins, %d page-outs, %d resident\n"
+    page_ins page_outs (Background.resident_pages bg);
+  Printf.printf "plaintext sightings in DRAM during sync: %d (must be 0)\n" !leaks;
+  assert (!leaks = 0);
+
+  (* Unlock and read a message back through the normal lazy path. *)
+  (match Sentry.unlock sentry ~pin:"1234" with Ok _ -> () | Error _ -> failwith "unlock");
+  let first = Vm.read vm mail ~vaddr:(page_addr 39) ~len:20 in
+  Printf.printf "after unlock, latest message header: %S\n" (Bytes.to_string first);
+  print_endline "background_mail OK"

@@ -1,0 +1,1 @@
+lib/attacks/bus_monitor.ml: Array Bus Bytes Char List Machine Option Sentry_crypto Sentry_soc Sentry_util

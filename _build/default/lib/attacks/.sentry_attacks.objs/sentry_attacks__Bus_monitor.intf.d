@@ -1,0 +1,1 @@
+lib/attacks/bus_monitor.mli: Bus Bytes Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/attacks/cold_boot.ml: Dram Iram Key_finder Machine Memdump Memmap Sentry_soc

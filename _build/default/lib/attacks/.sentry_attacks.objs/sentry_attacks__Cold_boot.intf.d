@@ -1,0 +1,1 @@
+lib/attacks/cold_boot.mli: Bytes Machine Memdump Sentry_soc

@@ -1,0 +1,1 @@
+lib/attacks/dma_attack.ml: Buffer Bytes Dma Machine Memdump Memmap Sentry_soc

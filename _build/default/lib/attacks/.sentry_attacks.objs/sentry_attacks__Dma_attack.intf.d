@@ -1,0 +1,1 @@
+lib/attacks/dma_attack.mli: Bytes Dma Machine Memdump Sentry_soc

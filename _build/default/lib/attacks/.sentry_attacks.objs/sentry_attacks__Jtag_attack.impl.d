@@ -1,0 +1,1 @@
+lib/attacks/jtag_attack.ml: Bytes Dram Fuse Iram List Machine Memdump Memmap Pinned_mem Sentry_soc

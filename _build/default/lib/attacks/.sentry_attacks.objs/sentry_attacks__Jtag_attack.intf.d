@@ -1,0 +1,1 @@
+lib/attacks/jtag_attack.mli: Bytes Machine Memdump Sentry_soc

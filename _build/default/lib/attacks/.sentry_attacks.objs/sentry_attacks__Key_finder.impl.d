@@ -1,0 +1,1 @@
+lib/attacks/key_finder.ml: Bytes List Memdump Sentry_crypto

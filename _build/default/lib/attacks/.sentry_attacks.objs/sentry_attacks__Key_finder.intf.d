@@ -1,0 +1,1 @@
+lib/attacks/key_finder.mli: Bytes Memdump

@@ -1,0 +1,1 @@
+lib/attacks/memdump.ml: Bytes Bytes_util Fmt Option Sentry_util Units

@@ -1,0 +1,1 @@
+lib/attacks/memdump.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/attacks/verdict.ml: Bus_monitor Bytes Cold_boot Dma_attack Hashtbl Iram_alloc List Locked_cache Machine Pl310 Sentry_core Sentry_kernel Sentry_soc System Trustzone

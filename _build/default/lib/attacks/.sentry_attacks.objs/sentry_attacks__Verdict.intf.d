@@ -1,0 +1,1 @@
+lib/attacks/verdict.mli: Bytes

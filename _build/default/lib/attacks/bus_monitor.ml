@@ -1,0 +1,145 @@
+(** Bus-monitoring attacks (§3.1): a DDR analyzer probe on the
+    memory bus.
+
+    Two capabilities are modeled:
+    + {b payload capture} — any secret that crosses the bus in the
+      clear is read directly off the wire;
+    + {b access-pattern side channel} — even though AES's lookup
+      tables hold no secrets, the {e addresses} of table reads during
+      a block operation are key-dependent.  With a known plaintext,
+      the 16 first-round T-table lookups satisfy
+      [index_j = pt[p(j)] xor key[p(j)]], so the full first-round key
+      (= the AES-128 key) drops out of one observed block.  With a
+      cached cipher the probe only sees line-granular addresses
+      (32-byte lines, 8 entries per line), still stripping 5 of 8
+      bits from every key byte. *)
+
+open Sentry_soc
+
+type t = {
+  machine : Machine.t;
+  mutable txns : Bus.transaction list; (* newest first *)
+  mutable detach : (unit -> unit) option;
+}
+
+(** [attach machine] clamps the probe on the bus. *)
+let attach machine =
+  let t = { machine; txns = []; detach = None } in
+  let detach = Bus.attach_monitor (Machine.bus machine) (fun txn -> t.txns <- txn :: t.txns) in
+  t.detach <- Some detach;
+  t
+
+let detach t =
+  Option.iter (fun f -> f ()) t.detach;
+  t.detach <- None
+
+let clear t = t.txns <- []
+
+(** Captured transactions, oldest first. *)
+let captured t = List.rev t.txns
+
+let transaction_count t = List.length t.txns
+
+(** Payload capture: did [secret] cross the bus in the clear?
+    Checks the concatenation per transaction (secrets can span two
+    line bursts, so adjacent same-direction transactions at contiguous
+    addresses are stitched). *)
+let saw_secret t ~secret =
+  let txns = captured t in
+  let rec scan = function
+    | [] -> false
+    | (txn : Bus.transaction) :: rest ->
+        if Sentry_util.Bytes_util.contains txn.Bus.data secret then true
+        else
+          (* stitch with the next contiguous transaction *)
+          let stitched =
+            match rest with
+            | (next : Bus.transaction) :: _
+              when next.Bus.addr = txn.Bus.addr + Bytes.length txn.Bus.data
+                   && next.Bus.op = txn.Bus.op ->
+                Sentry_util.Bytes_util.contains (Bytes.cat txn.Bus.data next.Bus.data) secret
+            | _ -> false
+          in
+          stitched || scan rest
+  in
+  scan txns
+
+(** Reads falling inside the 1 KB Te table at [table_base], oldest
+    first, as table indices (entry = 4 bytes). *)
+let te_read_indices t ~table_base =
+  List.filter_map
+    (fun (txn : Bus.transaction) ->
+      if txn.Bus.op = Bus.Read && txn.Bus.addr >= table_base && txn.Bus.addr < table_base + 1024
+      then Some ((txn.Bus.addr - table_base) / 4)
+      else None)
+    (captured t)
+
+(** Full first-round key recovery from an {e uncached} cipher: the
+    first 16 Te-table reads of a known-plaintext block give the key
+    outright. *)
+let recover_key_first_round t ~table_base ~plaintext =
+  let indices = te_read_indices t ~table_base in
+  if List.length indices < 16 then None
+  else begin
+    let first16 = Array.of_list (List.filteri (fun i _ -> i < 16) indices) in
+    let key = Bytes.create 16 in
+    Array.iteri
+      (fun j idx ->
+        let pos = Sentry_crypto.Aes_block.round1_lookup_order.(j) in
+        Bytes.set key pos (Char.chr (Char.code (Bytes.get plaintext pos) lxor idx)))
+      first16;
+    Some key
+  end
+
+(** Line-granular variant for a {e cached} cipher: the probe only sees
+    32-byte line fills — the top 5 bits of table indices, in
+    first-miss order rather than lookup order (later lookups hit lines
+    earlier ones fetched).  The sound statement is a set one: every
+    table index the cipher used lies inside some observed line, so
+    each key byte is confined to [{ pt[pos] xor idx | idx in observed
+    lines }].  Returns the per-position candidate sets, or [None] if
+    no table fills were seen (e.g. AES_On_SoC). *)
+let recover_key_candidates_cached t ~table_base ~plaintext =
+  let line_starts =
+    List.filter_map
+      (fun (txn : Bus.transaction) ->
+        if
+          txn.Bus.op = Bus.Read
+          && txn.Bus.addr + Bytes.length txn.Bus.data > table_base
+          && txn.Bus.addr < table_base + 1024
+          && Bytes.length txn.Bus.data = 32
+        then Some ((txn.Bus.addr - table_base) / 4) (* first entry in the line *)
+        else None)
+      (captured t)
+  in
+  (* Round 1 performs the first 16 lookups; a line fill after the 16th
+     fill cannot belong to round 1, so keeping only the first 16 fills
+     bounds round 1's lines (possibly including a few round-2 lines,
+     which only widens the candidate sets — soundness is kept). *)
+  let rec first_n n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: first_n (n - 1) rest
+  in
+  let line_starts = List.sort_uniq compare (first_n 16 line_starts) in
+  if line_starts = [] then None
+  else begin
+    let feasible_indices =
+      List.concat_map
+        (fun base -> List.filter (fun i -> i >= 0 && i < 256) (List.init 8 (fun k -> base + k)))
+        line_starts
+    in
+    let candidates =
+      Array.init 16 (fun pos ->
+          let pt = Char.code (Bytes.get plaintext pos) in
+          List.sort_uniq compare (List.map (fun idx -> pt lxor idx) feasible_indices))
+    in
+    Some candidates
+  end
+
+(** Intersect per-position candidate sets from independent
+    known-plaintext samples (cold cache each time).  A handful of
+    samples pins every key byte — the practical multi-trace version of
+    the cached-cipher attack. *)
+let intersect_candidates a b =
+  Array.init 16 (fun i -> List.filter (fun v -> List.mem v b.(i)) a.(i))

@@ -1,0 +1,39 @@
+(** Bus-monitoring attacks (§3.1): payload capture off the wire, plus
+    the AES access-pattern side channel — full first-round key recovery
+    against an uncached cipher, line-granular candidate sets (and
+    multi-sample intersection) against a cached one. *)
+
+open Sentry_soc
+
+type t
+
+(** Clamp the probe on the bus. *)
+val attach : Machine.t -> t
+
+val detach : t -> unit
+val clear : t -> unit
+
+(** Captured transactions, oldest first. *)
+val captured : t -> Bus.transaction list
+
+val transaction_count : t -> int
+
+(** Did [secret] cross the bus in the clear (within a transaction or
+    spanning two contiguous ones)? *)
+val saw_secret : t -> secret:Bytes.t -> bool
+
+(** Observed Te-table read indices (entry = 4 bytes), oldest first. *)
+val te_read_indices : t -> table_base:int -> int list
+
+(** Full first-round key recovery from an uncached known-plaintext
+    block: the first 16 table reads give the key outright. *)
+val recover_key_first_round : t -> table_base:int -> plaintext:Bytes.t -> Bytes.t option
+
+(** Cached-cipher variant: per-position candidate sets from 32-byte
+    line fills (sound superset; [None] when no fills were seen —
+    e.g. AES_On_SoC). *)
+val recover_key_candidates_cached :
+  t -> table_base:int -> plaintext:Bytes.t -> int list array option
+
+(** Intersect candidate sets from independent cold-cache samples. *)
+val intersect_candidates : int list array -> int list array -> int list array

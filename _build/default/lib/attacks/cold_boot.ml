@@ -1,0 +1,49 @@
+(** Cold-boot attacks (§3.1), in the three variants of the Table 2
+    experiment.
+
+    The attacker forces a reset, boots code of their choosing (a
+    malicious OS, the flasher, or a dumper device) and images whatever
+    the memories still hold.  What survives is governed by the
+    machine's remanence model; what the attacker then does with the
+    image is [Key_finder] / pattern search. *)
+
+open Sentry_soc
+
+type variant = Os_reboot | Device_reflash | Two_second_reset
+
+let variant_name = function
+  | Os_reboot -> "OS reboot (no power loss)"
+  | Device_reflash -> "device reflash (power loss)"
+  | Two_second_reset -> "2 second reset (power loss)"
+
+let reboot_of_variant = function
+  | Os_reboot -> Machine.Warm
+  | Device_reflash -> Machine.Reflash
+  | Two_second_reset -> Machine.Hard_reset 2.0
+
+(** [mount machine variant] — force the reset, then image DRAM and
+    iRAM.  Destructive: the machine really reboots. *)
+let mount machine variant =
+  Machine.reboot machine (reboot_of_variant variant);
+  let dram = Machine.dram machine in
+  let iram = Machine.iram machine in
+  let dram_dump =
+    Memdump.of_bytes ~label:"DRAM" ~base:(Dram.region dram).Memmap.base (Dram.snapshot dram)
+  in
+  let iram_dump =
+    Memdump.of_bytes ~label:"iRAM" ~base:(Iram.region iram).Memmap.base (Iram.snapshot iram)
+  in
+  (dram_dump, iram_dump)
+
+(** Full attack: image memory and scan for AES key schedules. *)
+let recover_keys machine variant =
+  let dram_dump, iram_dump = mount machine variant in
+  Key_finder.keys dram_dump @ Key_finder.keys iram_dump
+
+(** [succeeds machine variant ~secret] — can the attacker find
+    [secret] anywhere after the reset?  Matching tolerates ~15%
+    decayed bytes, as real cold-boot tooling error-corrects. *)
+let succeeds machine variant ~secret =
+  let dram_dump, iram_dump = mount machine variant in
+  Memdump.contains_fuzzy dram_dump secret ~min_match:0.85
+  || Memdump.contains_fuzzy iram_dump secret ~min_match:0.85

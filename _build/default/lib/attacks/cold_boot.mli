@@ -1,0 +1,19 @@
+(** Cold-boot attacks (§3.1) in the three Table 2 reset variants:
+    force a reset, image what the memories still hold, scan. *)
+
+open Sentry_soc
+
+type variant = Os_reboot | Device_reflash | Two_second_reset
+
+val variant_name : variant -> string
+val reboot_of_variant : variant -> Machine.reboot
+
+(** Force the reset and image DRAM and iRAM.  Destructive. *)
+val mount : Machine.t -> variant -> Memdump.t * Memdump.t
+
+(** Image memory and scan both dumps for AES key schedules. *)
+val recover_keys : Machine.t -> variant -> Bytes.t list
+
+(** Can the attacker find [secret] after the reset?  Matching
+    tolerates ~15% decayed bytes (error-correcting tooling). *)
+val succeeds : Machine.t -> variant -> secret:Bytes.t -> bool

@@ -1,0 +1,44 @@
+(** DMA attacks (§3.1): program a DMA-capable peripheral to dump
+    memory from a PIN-locked, powered-on device.
+
+    Transfers bypass the L2 cache (coherence is software-managed on
+    these SoCs), so locked-way contents are invisible; iRAM is
+    reachable unless TrustZone denies the window. *)
+
+open Sentry_soc
+
+(** [dump machine ~target] — page-sized DMA reads over the whole
+    region.  Regions TrustZone denies come back as an error; a real
+    attacker simply gets no data (or a bus abort). *)
+let dump machine ~(target : [ `Dram | `Iram ]) =
+  let dma = Machine.dma machine in
+  let region =
+    match target with
+    | `Dram -> Machine.dram_region machine
+    | `Iram -> Machine.iram_region machine
+  in
+  let chunk = 4096 in
+  let buf = Buffer.create region.Memmap.size in
+  let denied = ref 0 in
+  let off = ref 0 in
+  while !off < region.Memmap.size do
+    let len = min chunk (region.Memmap.size - !off) in
+    (match Dma.read dma ~addr:(region.Memmap.base + !off) ~len with
+    | Ok b -> Buffer.add_bytes buf b
+    | Error _ ->
+        incr denied;
+        Buffer.add_bytes buf (Bytes.make len '\000'));
+    off := !off + len
+  done;
+  let label = match target with `Dram -> "DRAM-via-DMA" | `Iram -> "iRAM-via-DMA" in
+  (Memdump.of_bytes ~label ~base:region.Memmap.base (Buffer.to_bytes buf), !denied)
+
+(** [succeeds machine ~secret] — dump both targets, grep for the
+    secret. *)
+let succeeds machine ~secret =
+  let dram_dump, _ = dump machine ~target:`Dram in
+  let iram_dump, _ = dump machine ~target:`Iram in
+  Memdump.contains dram_dump secret || Memdump.contains iram_dump secret
+
+(** Code-injection flavour: attempt a DMA {e write}. *)
+let inject machine ~addr data = Dma.write (Machine.dma machine) ~addr data

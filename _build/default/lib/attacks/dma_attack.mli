@@ -1,0 +1,15 @@
+(** DMA attacks (§3.1): dump a PIN-locked, powered-on device's memory
+    through a DMA-capable peripheral.  Transfers bypass the L2 (locked
+    ways are invisible); iRAM is reachable unless TrustZone denies. *)
+
+open Sentry_soc
+
+(** Page-sized DMA reads over the whole region; returns the image and
+    how many windows TrustZone denied (denied pages read as zero). *)
+val dump : Machine.t -> target:[ `Dram | `Iram ] -> Memdump.t * int
+
+(** Dump both targets and grep for the secret. *)
+val succeeds : Machine.t -> secret:Bytes.t -> bool
+
+(** Code-injection flavour: attempt a DMA write. *)
+val inject : Machine.t -> addr:int -> Bytes.t -> (unit, Dma.error) result

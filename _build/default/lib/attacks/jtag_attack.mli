@@ -1,0 +1,10 @@
+(** JTAG debug-port attacks (§3.2): read every memory — on-SoC storage
+    included — unless the JTAG-disable fuse was burned at provisioning
+    time. *)
+
+open Sentry_soc
+
+type result = Dumped of Memdump.t list | Jtag_disabled
+
+val dump : Machine.t -> result
+val succeeds : Machine.t -> secret:Bytes.t -> bool

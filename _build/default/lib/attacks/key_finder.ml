@@ -1,0 +1,33 @@
+(** Halderman-style AES key-schedule scanner ("Lest We Remember").
+
+    An expanded AES-128 key schedule is 176 bytes with a rigid
+    algebraic structure: each word is determined by two earlier ones.
+    Scanning a memory image for regions satisfying the recurrence
+    finds every in-memory schedule — and the first 16 bytes of a
+    schedule are the key itself.  This is how cold-boot attacks turn
+    a RAM image into disk-encryption keys. *)
+
+type hit = { offset : int; key : Bytes.t }
+
+(** [scan ?alignment dump] finds all AES-128 key schedules.
+    [alignment] defaults to 4 (schedules are word aligned in
+    practice); pass 1 for an exhaustive scan. *)
+let scan ?(alignment = 4) (dump : Memdump.t) =
+  let data = dump.Memdump.data in
+  let n = Bytes.length data in
+  let hits = ref [] in
+  let off = ref 0 in
+  while !off + 176 <= n do
+    if Sentry_crypto.Aes_key.is_valid_128_schedule data !off then
+      hits :=
+        { offset = dump.Memdump.base + !off; key = Sentry_crypto.Aes_key.key_of_128_schedule data !off }
+        :: !hits;
+    off := !off + alignment
+  done;
+  List.rev !hits
+
+(** [keys dump] — just the recovered keys. *)
+let keys dump = List.map (fun h -> h.key) (scan dump)
+
+(** Does the dump contain a schedule for exactly [key]? *)
+let finds_key dump ~key = List.exists (fun h -> Bytes.equal h.key key) (scan dump)

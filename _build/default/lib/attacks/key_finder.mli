@@ -1,0 +1,12 @@
+(** Halderman-style AES-128 key-schedule scanner: finds every region of
+    a memory image satisfying the key-expansion recurrence; the first
+    16 bytes of each hit are a key. *)
+
+type hit = { offset : int; key : Bytes.t }
+
+(** [scan ?alignment dump] — [alignment] defaults to 4 (schedules are
+    word-aligned in practice); pass 1 for exhaustive. *)
+val scan : ?alignment:int -> Memdump.t -> hit list
+
+val keys : Memdump.t -> Bytes.t list
+val finds_key : Memdump.t -> key:Bytes.t -> bool

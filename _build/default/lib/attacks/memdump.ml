@@ -1,0 +1,44 @@
+(** Memory images acquired by an attacker, and searches over them. *)
+
+open Sentry_util
+
+type t = { label : string; base : int; data : Bytes.t }
+
+let of_bytes ~label ~base data = { label; base; data }
+
+let size t = Bytes.length t.data
+
+(** [contains t needle] — the attacker's grep. *)
+let contains t needle = Bytes_util.contains t.data needle
+
+let find t needle =
+  Option.map (fun off -> t.base + off) (Bytes_util.find t.data needle)
+
+(** [contains_fuzzy t needle ~min_match] finds [needle] tolerating
+    bit-decayed bytes: some alignment where at least [min_match]
+    (fraction) of the bytes agree.  Real cold-boot tooling
+    error-corrects recovered data the same way. *)
+let contains_fuzzy t needle ~min_match =
+  let nn = Bytes.length needle and n = Bytes.length t.data in
+  let needed = int_of_float (ceil (min_match *. float_of_int nn)) in
+  let rec scan i =
+    if i + nn > n then false
+    else begin
+      let matches = ref 0 in
+      for j = 0 to nn - 1 do
+        if Bytes.unsafe_get t.data (i + j) = Bytes.unsafe_get needle j then incr matches
+      done;
+      if !matches >= needed then true else scan (i + 1)
+    end
+  in
+  nn > 0 && scan 0
+
+(** Fraction of pattern-aligned slots still holding [pattern] — the
+    Table 2 remanence metric. *)
+let remanence_ratio t ~pattern =
+  let slots = Bytes.length t.data / Bytes.length pattern in
+  if slots = 0 then 0.0
+  else float_of_int (Bytes_util.count_pattern t.data pattern) /. float_of_int slots
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %a at 0x%08x" t.label Units.pp_bytes (size t) t.base

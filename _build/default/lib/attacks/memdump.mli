@@ -1,0 +1,19 @@
+(** Memory images acquired by an attacker, with exact and
+    decay-tolerant searches and the Table 2 remanence metric. *)
+
+type t = { label : string; base : int; data : Bytes.t }
+
+val of_bytes : label:string -> base:int -> Bytes.t -> t
+val size : t -> int
+
+val contains : t -> Bytes.t -> bool
+val find : t -> Bytes.t -> int option
+
+(** Fuzzy search tolerating decayed bytes: some alignment where at
+    least [min_match] (fraction) of the bytes agree. *)
+val contains_fuzzy : t -> Bytes.t -> min_match:float -> bool
+
+(** Fraction of pattern-aligned slots still intact. *)
+val remanence_ratio : t -> pattern:Bytes.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+(** The Table 3 security matrix: place a secret in each storage
+    alternative, mount each in-scope attack, report Safe/Unsafe.
+
+    Each cell is evaluated on a fresh machine so attacks cannot
+    contaminate each other.  "DRAM (unprotected)" is included as the
+    control row — every attack should succeed against it. *)
+
+open Sentry_soc
+open Sentry_core
+
+type storage = Plain_dram | Iram_storage | Locked_l2_storage
+
+let storage_name = function
+  | Plain_dram -> "DRAM (control)"
+  | Iram_storage -> "iRAM"
+  | Locked_l2_storage -> "Locked L2 Cache"
+
+type attack = Cold_boot_attack | Bus_monitoring_attack | Dma_memory_attack
+
+let attack_name = function
+  | Cold_boot_attack -> "Cold Boot"
+  | Bus_monitoring_attack -> "Bus Monitoring"
+  | Dma_memory_attack -> "DMA Attack"
+
+let secret = Bytes.of_string "TOP-SECRET-KEY-MATERIAL-0xDEADBEEF"
+
+(* Build a machine with [secret] placed per [storage]; returns the
+   machine and the secret's address. *)
+let place_secret ~seed storage =
+  let system = System.boot `Tegra3 ~seed in
+  let machine = System.machine system in
+  let addr =
+    match storage with
+    | Plain_dram ->
+        let frame = Sentry_kernel.Frame_alloc.alloc system.System.frames in
+        Machine.write_uncached machine frame secret;
+        frame
+    | Iram_storage ->
+        let alloc = Iram_alloc.create machine in
+        let addr =
+          match Iram_alloc.alloc alloc ~bytes:(Bytes.length secret) with
+          | Some a -> a
+          | None -> failwith "iram alloc"
+        in
+        Machine.write machine addr secret;
+        (* Sentry protects iRAM from DMA via TrustZone (§4.4). *)
+        Trustzone.with_secure_world (Machine.trustzone machine) (fun () ->
+            Trustzone.deny_dma (Machine.trustzone machine) (Machine.iram_region machine));
+        addr
+    | Locked_l2_storage ->
+        let lc = Locked_cache.create machine ~arena_base:system.System.arena_base ~max_ways:2 in
+        let page = Locked_cache.alloc_page lc in
+        Machine.write machine page secret;
+        page
+  in
+  (system, machine, addr)
+
+(** Evaluate one cell: [true] = the storage is safe (attack failed). *)
+let safe ~storage ~attack =
+  let seed = Hashtbl.hash (storage_name storage, attack_name attack) in
+  match attack with
+  | Cold_boot_attack ->
+      (* Strongest practical variant: reflash (short power loss keeps
+         most of DRAM alive, firmware wipes on-SoC state). *)
+      let _, machine, _ = place_secret ~seed storage in
+      not (Cold_boot.succeeds machine Cold_boot.Device_reflash ~secret)
+  | Dma_memory_attack ->
+      let _, machine, _ = place_secret ~seed storage in
+      not (Dma_attack.succeeds machine ~secret)
+  | Bus_monitoring_attack ->
+      (* The probe watches while the CPU actively uses the secret
+         (reads it and writes it back — the victim computing with it).
+         On-SoC storage generates no bus traffic; DRAM does as soon as
+         lines miss or write back. *)
+      let _, machine, addr = place_secret ~seed storage in
+      let monitor = Bus_monitor.attach machine in
+      (match storage with
+      | Plain_dram ->
+          (* victim reads the secret through the cache (miss -> bus) *)
+          ignore (Machine.read machine addr (Bytes.length secret))
+      | Iram_storage | Locked_l2_storage ->
+          ignore (Machine.read machine addr (Bytes.length secret));
+          Machine.write machine addr secret);
+      (* give write-backs a chance: the OS eventually flushes
+         (masked, so locked ways survive) *)
+      Pl310.flush_masked (Machine.l2 machine);
+      let seen = Bus_monitor.saw_secret monitor ~secret in
+      Bus_monitor.detach monitor;
+      not seen
+
+let storages = [ Plain_dram; Iram_storage; Locked_l2_storage ]
+let attacks = [ Cold_boot_attack; Bus_monitoring_attack; Dma_memory_attack ]
+
+(** The full matrix: [(attack, storage, safe)] triples. *)
+let matrix () =
+  List.concat_map
+    (fun attack -> List.map (fun storage -> (attack, storage, safe ~storage ~attack)) storages)
+    attacks

@@ -1,0 +1,22 @@
+(** The Table 3 security matrix: a secret placed in each storage
+    alternative, each in-scope attack actually mounted against it. *)
+
+type storage = Plain_dram | Iram_storage | Locked_l2_storage
+
+val storage_name : storage -> string
+
+type attack = Cold_boot_attack | Bus_monitoring_attack | Dma_memory_attack
+
+val attack_name : attack -> string
+
+(** The planted secret (shared so callers can report on it). *)
+val secret : Bytes.t
+
+(** Evaluate one cell on a fresh machine: [true] = the storage held. *)
+val safe : storage:storage -> attack:attack -> bool
+
+val storages : storage list
+val attacks : attack list
+
+(** The full matrix as (attack, storage, safe) triples. *)
+val matrix : unit -> (attack * storage * bool) list

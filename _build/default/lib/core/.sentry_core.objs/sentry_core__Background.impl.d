@@ -1,0 +1,1 @@
+lib/core/background.ml: Address_space List Locked_cache Machine Page Page_crypt Page_table Pl310 Process Sentry_kernel Sentry_soc Vm

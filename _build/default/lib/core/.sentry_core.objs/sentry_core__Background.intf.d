@@ -1,0 +1,1 @@
+lib/core/background.mli: Locked_cache Machine Page_crypt Sentry_kernel Sentry_soc Vm

@@ -1,0 +1,1 @@
+lib/core/decrypt_on_unlock.mli: Address_space Page_crypt Process Sentry_kernel System Vm

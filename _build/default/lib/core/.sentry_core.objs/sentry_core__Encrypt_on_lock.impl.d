@@ -1,0 +1,1 @@
+lib/core/encrypt_on_lock.ml: Address_space Clock Energy List Machine Page Page_crypt Page_table Pl310 Process Sched Sentry_kernel Sentry_soc Share_policy System Zerod

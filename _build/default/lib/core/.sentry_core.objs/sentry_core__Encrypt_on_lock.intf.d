@@ -1,0 +1,1 @@
+lib/core/encrypt_on_lock.mli: Page_crypt Sentry_kernel System

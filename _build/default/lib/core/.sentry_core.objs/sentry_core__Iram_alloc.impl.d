@@ -1,0 +1,1 @@
+lib/core/iram_alloc.ml: List Machine Memmap Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/iram_alloc.mli: Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/key_manager.ml: Bytes Key_derive Machine Onsoc Option Sentry_crypto Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/key_manager.mli: Bytes Machine Onsoc Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/locked_cache.ml: Bytes Fun Hashtbl List Machine Memmap Pl310 Sentry_soc Sentry_util Trustzone

@@ -1,0 +1,1 @@
+lib/core/locked_cache.mli: Hashtbl Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/onsoc.ml: Config Iram_alloc Locked_cache Machine Memmap Pinned_mem Sentry_soc Trustzone

@@ -1,0 +1,1 @@
+lib/core/onsoc.mli: Config Iram_alloc Locked_cache Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/page_crypt.ml: Aes_on_soc Bytes Essiv Machine Page Sentry_crypto Sentry_kernel Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/page_crypt.mli: Bytes Machine Sentry_crypto Sentry_soc

@@ -1,0 +1,1 @@
+lib/core/sentry.ml: Background Config Decrypt_on_unlock Encrypt_on_lock Key_manager List Lock_state Locked_cache Onsoc Option Page_crypt Process Sentry_crypto Sentry_kernel Sentry_soc System Vm

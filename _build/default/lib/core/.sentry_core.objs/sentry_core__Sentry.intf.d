@@ -1,0 +1,1 @@
+lib/core/sentry.mli: Background Config Decrypt_on_unlock Encrypt_on_lock Key_manager Lock_state Onsoc Page_crypt Sentry_crypto Sentry_kernel System

@@ -1,0 +1,1 @@
+lib/core/share_policy.ml: Address_space List Process Sentry_kernel String

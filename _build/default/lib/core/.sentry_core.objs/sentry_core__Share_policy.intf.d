@@ -1,0 +1,1 @@
+lib/core/share_policy.mli: Address_space Process Sentry_kernel

@@ -1,0 +1,1 @@
+lib/core/suspend.ml: Clock Encrypt_on_lock List Machine Sentry Sentry_soc Sentry_util System Units

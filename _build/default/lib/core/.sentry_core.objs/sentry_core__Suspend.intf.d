@@ -1,0 +1,1 @@
+lib/core/suspend.mli: Decrypt_on_unlock Encrypt_on_lock Lock_state Sentry

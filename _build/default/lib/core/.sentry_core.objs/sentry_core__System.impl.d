@@ -1,0 +1,1 @@
+lib/core/system.ml: Bytes Config List Machine Memmap Pl310 Sentry_crypto Sentry_kernel Sentry_soc Sentry_util

@@ -1,0 +1,1 @@
+lib/core/system.mli: Bytes Config Machine Sentry_crypto Sentry_kernel Sentry_soc

@@ -1,0 +1,125 @@
+(** Encrypted-DRAM paging for background computation while locked
+    (§5, Fig 1).
+
+    The working set of a background-enabled sensitive process lives in
+    locked-L2-backed pages; everything else stays encrypted in DRAM.
+    On a young-bit fault:
+
+    + copy the encrypted page from its DRAM frame into a locked-cache
+      page (allocating one, evicting the LRU resident page if the
+      budget is spent);
+    + decrypt it in place — the plaintext exists only in locked lines;
+    + repoint the PTE at the locked page and set its young bit.
+
+    Eviction runs the sequence in reverse: encrypt in place, copy the
+    ciphertext back to the original DRAM frame, repoint the PTE and
+    clear young so the next touch faults again. *)
+
+open Sentry_soc
+open Sentry_kernel
+
+type resident = { proc : Process.t; vpn : int; locked_page : int }
+
+type t = {
+  machine : Machine.t;
+  pc : Page_crypt.t;
+  locked : Locked_cache.t;
+  budget_pages : int;
+  mutable lru : resident list; (* head = most recent *)
+  mutable page_ins : int;
+  mutable page_outs : int;
+}
+
+let create machine ~pc ~locked ~budget_bytes =
+  {
+    machine;
+    pc;
+    locked;
+    budget_pages = budget_bytes / Page.size;
+    lru = [];
+    page_ins = 0;
+    page_outs = 0;
+  }
+
+let resident_pages t = List.length t.lru
+
+let find_pte proc vpn =
+  match Page_table.find (Address_space.table proc.Process.aspace) ~vpn with
+  | Some pte -> pte
+  | None -> invalid_arg "Background: resident page lost its PTE"
+
+(** Page-out one resident page (Fig 1 reversed). *)
+let evict t r =
+  let pte = find_pte r.proc r.vpn in
+  let backing =
+    match pte.Page_table.backing with
+    | Some b -> b
+    | None -> invalid_arg "Background.evict: page has no DRAM backing"
+  in
+  (* encrypt in place inside the locked way *)
+  let plain = Machine.read t.machine r.locked_page Page.size in
+  let ct = Page_crypt.encrypt_bytes t.pc ~pid:r.proc.Process.pid ~vpn:r.vpn plain in
+  Machine.write t.machine r.locked_page ct;
+  (* copy ciphertext back to DRAM (uncached: it must actually land),
+     then invalidate any stale lines over the frame — the page-in copy
+     read the old ciphertext through the cache, and software manages
+     coherence on this SoC (§4.4) *)
+  Machine.write_uncached t.machine backing ct;
+  Pl310.invalidate_range (Machine.l2 t.machine) backing Page.size;
+  pte.Page_table.frame <- backing;
+  pte.Page_table.backing <- None;
+  pte.Page_table.encrypted <- true;
+  pte.Page_table.young <- false;
+  Locked_cache.free_page t.locked r.locked_page;
+  t.page_outs <- t.page_outs + 1
+
+let evict_lru t =
+  match List.rev t.lru with
+  | [] -> ()
+  | oldest :: _ ->
+      t.lru <- List.filter (fun r -> r != oldest) t.lru;
+      evict t oldest
+
+(** Page-in (Fig 1): called from the fault handler. *)
+let page_in t proc ~vpn pte =
+  if resident_pages t >= t.budget_pages then evict_lru t;
+  let locked_page = Locked_cache.alloc_page t.locked in
+  let dram_frame = pte.Page_table.frame in
+  (* step 1: copy encrypted page into the locked way *)
+  let ct = Machine.read t.machine dram_frame Page.size in
+  Machine.write t.machine locked_page ct;
+  (* step 2: decrypt in place (plaintext only in locked lines) *)
+  let plain = Page_crypt.decrypt_bytes t.pc ~pid:proc.Process.pid ~vpn ct in
+  Machine.write t.machine locked_page plain;
+  (* step 3: repoint the PTE and set young *)
+  pte.Page_table.frame <- locked_page;
+  pte.Page_table.backing <- Some dram_frame;
+  pte.Page_table.encrypted <- false;
+  pte.Page_table.young <- true;
+  t.lru <- { proc; vpn; locked_page } :: t.lru;
+  t.page_ins <- t.page_ins + 1
+
+let touch_lru t proc vpn =
+  match List.partition (fun r -> r.proc == proc && r.vpn = vpn) t.lru with
+  | [ r ], rest -> t.lru <- r :: rest
+  | _ -> ()
+
+(** The fault handler active while the device is locked with
+    background processes running. *)
+let fault_handler t : Vm.fault_handler =
+ fun proc ~vaddr pte ->
+  let vpn = Page.vpn_of vaddr in
+  if pte.Page_table.encrypted && pte.Page_table.backing = None then page_in t proc ~vpn pte
+  else begin
+    (* plain young-bit aging of an already-resident page *)
+    touch_lru t proc vpn;
+    pte.Page_table.young <- true
+  end
+
+(** Flush the whole working set back to encrypted DRAM (run before
+    unlock hands over to the lazy decryptor, and on shutdown). *)
+let evict_all t =
+  List.iter (evict t) t.lru;
+  t.lru <- []
+
+let stats t = (t.page_ins, t.page_outs)

@@ -1,0 +1,28 @@
+(** Encrypted-DRAM paging for background computation while locked
+    (§5, Fig 1): fault → copy ciphertext into a locked-cache page →
+    decrypt in place → repoint the PTE; LRU eviction runs the
+    sequence in reverse. *)
+
+open Sentry_soc
+open Sentry_kernel
+
+type t
+
+(** [create machine ~pc ~locked ~budget_bytes] — [budget_bytes] caps
+    the resident plaintext pool (pages = budget / 4 KB). *)
+val create :
+  Machine.t -> pc:Page_crypt.t -> locked:Locked_cache.t -> budget_bytes:int -> t
+
+(** Pages currently decrypted in locked cache. *)
+val resident_pages : t -> int
+
+(** The fault handler active while the device is locked with
+    background processes running. *)
+val fault_handler : t -> Vm.fault_handler
+
+(** Write the whole working set back to encrypted DRAM (run at unlock
+    hand-over and on shutdown). *)
+val evict_all : t -> unit
+
+(** (page-ins, page-outs) since creation. *)
+val stats : t -> int * int

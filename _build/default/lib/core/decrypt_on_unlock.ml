@@ -1,0 +1,89 @@
+(** The device-unlock path (§7, On-demand Decryption).
+
+    Most pages decrypt lazily: unlock leaves them encrypted with the
+    young bit clear, and the page-fault handler decrypts on first
+    touch.  DMA regions (GPU buffers, I/O rings) are decrypted eagerly
+    — device accesses use physical addresses and never fault. *)
+
+open Sentry_soc
+open Sentry_kernel
+
+type stats = {
+  dma_pages_eager : int;
+  dma_bytes_eager : int;
+  elapsed_ns : float;
+  energy_j : float;
+}
+
+(** The lazy young-bit fault handler active while unlocked. *)
+let fault_handler pc : Vm.fault_handler =
+ fun proc ~vaddr pte ->
+  let vpn = Page.vpn_of vaddr in
+  if pte.Page_table.encrypted then begin
+    Page_crypt.decrypt_frame pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame;
+    pte.Page_table.encrypted <- false
+  end;
+  pte.Page_table.young <- true
+
+let decrypt_region pc proc (region : Address_space.region) =
+  let pid = proc.Process.pid in
+  let pages = ref 0 in
+  List.iter
+    (fun (vpn, pte) ->
+      if pte.Page_table.present && pte.Page_table.encrypted then begin
+        Page_crypt.decrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
+        pte.Page_table.encrypted <- false;
+        pte.Page_table.young <- true;
+        incr pages
+      end)
+    (Address_space.region_ptes proc.Process.aspace region);
+  !pages
+
+(** [run pc system ~sensitive] — the eager part of unlock: decrypt DMA
+    regions, re-admit processes, install the lazy handler. *)
+let run pc (system : System.t) ~sensitive =
+  let machine = system.System.machine in
+  let clock = Machine.clock machine in
+  let start = Clock.now clock in
+  let energy0 = Energy.category (Machine.energy machine) "aes" in
+  let dma_pages = ref 0 in
+  List.iter
+    (fun proc ->
+      List.iter
+        (fun region ->
+          match region.Address_space.kind with
+          | Address_space.Dma ->
+              dma_pages := !dma_pages + decrypt_region pc proc region;
+              (* devices read these frames physically, bypassing the
+                 cache: clean the decrypted lines out to DRAM (standard
+                 pre-DMA coherence maintenance) *)
+              List.iter
+                (fun (_, pte) ->
+                  Pl310.clean_invalidate_range (Machine.l2 machine) pte.Page_table.frame
+                    Page.size)
+                (Address_space.region_ptes proc.Process.aspace region)
+          | Address_space.Normal | Address_space.Shared _ -> ())
+        (Address_space.regions proc.Process.aspace);
+      Sched.make_schedulable system.System.sched proc)
+    sensitive;
+  Vm.set_fault_handler system.System.vm (fault_handler pc);
+  {
+    dma_pages_eager = !dma_pages;
+    dma_bytes_eager = !dma_pages * Page.size;
+    elapsed_ns = Clock.elapsed clock ~since:start;
+    energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
+  }
+
+(** Eager-everything alternative (the ablation Fig 2 is compared
+    against): decrypt every page of every sensitive process now. *)
+let run_eager pc (system : System.t) ~sensitive =
+  let pages = ref 0 in
+  List.iter
+    (fun proc ->
+      List.iter
+        (fun region -> pages := !pages + decrypt_region pc proc region)
+        (Address_space.regions proc.Process.aspace);
+      Sched.make_schedulable system.System.sched proc)
+    sensitive;
+  Vm.set_fault_handler system.System.vm (fault_handler pc);
+  !pages

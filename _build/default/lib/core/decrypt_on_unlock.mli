@@ -1,0 +1,29 @@
+(** The device-unlock path (§7): eager decryption of DMA regions
+    (devices never fault), lazy young-bit-fault decryption for
+    everything else. *)
+
+open Sentry_kernel
+
+type stats = {
+  dma_pages_eager : int;
+  dma_bytes_eager : int;
+  elapsed_ns : float;
+  energy_j : float;
+}
+
+(** The lazy fault handler installed while the device is unlocked:
+    decrypts an encrypted page on first touch and sets its young
+    bit. *)
+val fault_handler : Page_crypt.t -> Vm.fault_handler
+
+(** Decrypt every still-encrypted page of one region now; returns the
+    page count. *)
+val decrypt_region : Page_crypt.t -> Process.t -> Address_space.region -> int
+
+(** The standard (lazy) unlock: eager DMA decrypt + handler install +
+    re-admission to the scheduler. *)
+val run : Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
+
+(** The eager-everything ablation: decrypt every page of every
+    sensitive process at unlock time; returns total pages. *)
+val run_eager : Page_crypt.t -> System.t -> sensitive:Process.t list -> int

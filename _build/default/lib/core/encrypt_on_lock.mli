@@ -1,0 +1,23 @@
+(** The device-lock path (§2, §7): freed-page barrier, page-table
+    walk + in-place page encryption, shared-page policy, young-bit
+    clearing, un-schedulable parking, masked L2 flush. *)
+
+type stats = {
+  pages_encrypted : int;
+  bytes_encrypted : int;
+  pages_skipped_shared : int;  (** pages left alone by the share policy *)
+  freed_pages_zeroed : int;  (** frames the zeroing barrier scrubbed *)
+  elapsed_ns : float;
+  energy_j : float;  (** AES energy attributable to this lock pass *)
+}
+
+(** [run pc system ~sensitive ~background] executes the full lock
+    sequence.  Processes for which [background] returns [true] stay
+    schedulable (the encrypted-DRAM pager will serve them); the rest
+    are parked on the un-schedulable queue. *)
+val run :
+  Page_crypt.t ->
+  System.t ->
+  sensitive:Sentry_kernel.Process.t list ->
+  background:(Sentry_kernel.Process.t -> bool) ->
+  stats

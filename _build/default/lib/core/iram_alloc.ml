@@ -1,0 +1,75 @@
+(** Allocator over the usable iRAM.
+
+    Manages the 192 KB above the firmware-reserved first 64 KB of the
+    256 KB iRAM (§4.5: "the first 64KB of iRAM appear to be used by
+    our tablet's firmware; overwriting this region crashes the
+    tablet").  First-fit free-list allocator with coalescing — small
+    and predictable, like a real on-chip SRAM heap. *)
+
+open Sentry_soc
+
+type block = { addr : int; size : int }
+
+type t = {
+  base : int; (* first usable address *)
+  limit : int;
+  mutable free_list : block list; (* sorted by address *)
+  mutable allocated : (int * int) list; (* addr, size *)
+}
+
+(* The same free-list allocator also manages the §10 pinned memory;
+   [create_range] is the general constructor. *)
+let create_range ~base ~limit =
+  { base; limit; free_list = [ { addr = base; size = limit - base } ]; allocated = [] }
+
+let create machine =
+  let region = Machine.iram_region machine in
+  create_range
+    ~base:(region.Memmap.base + Memmap.iram_firmware_reserved)
+    ~limit:(Memmap.limit region)
+
+let usable_bytes t = t.limit - t.base
+
+let free_bytes t = List.fold_left (fun acc b -> acc + b.size) 0 t.free_list
+
+let allocated_bytes t = List.fold_left (fun acc (_, s) -> acc + s) 0 t.allocated
+
+let align8 n = (n + 7) land lnot 7
+
+(** [alloc t ~bytes] — first fit; [None] when iRAM is exhausted. *)
+let alloc t ~bytes =
+  let bytes = align8 (max 8 bytes) in
+  let rec take acc = function
+    | [] -> None
+    | b :: rest when b.size >= bytes ->
+        let remainder =
+          if b.size = bytes then [] else [ { addr = b.addr + bytes; size = b.size - bytes } ]
+        in
+        t.free_list <- List.rev_append acc (remainder @ rest);
+        t.allocated <- (b.addr, bytes) :: t.allocated;
+        Some b.addr
+    | b :: rest -> take (b :: acc) rest
+  in
+  take [] t.free_list
+
+let coalesce blocks =
+  let sorted = List.sort (fun a b -> compare a.addr b.addr) blocks in
+  let rec merge = function
+    | a :: b :: rest when a.addr + a.size = b.addr ->
+        merge ({ addr = a.addr; size = a.size + b.size } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+(** [free t addr] returns a block to the free list (coalescing). *)
+let free t addr =
+  match List.assoc_opt addr t.allocated with
+  | None -> invalid_arg "Iram_alloc.free: not an allocated block"
+  | Some size ->
+      t.allocated <- List.filter (fun (a, _) -> a <> addr) t.allocated;
+      t.free_list <- coalesce ({ addr; size } :: t.free_list)
+
+(** Every address handed out is above the firmware area — the
+    invariant the tests pin down. *)
+let in_range t addr = addr >= t.base && addr < t.limit

@@ -1,0 +1,29 @@
+(** First-fit allocator over the usable iRAM — the 192 KB above the
+    firmware-reserved first 64 KB (§4.5). *)
+
+open Sentry_soc
+
+type t
+
+val create : Machine.t -> t
+
+(** General constructor over an arbitrary on-SoC range (used for the
+    §10 pinned memory). *)
+val create_range : base:int -> limit:int -> t
+
+(** Bytes under management (iRAM size minus the firmware area). *)
+val usable_bytes : t -> int
+
+val free_bytes : t -> int
+val allocated_bytes : t -> int
+
+(** [alloc t ~bytes] — 8-byte-aligned first fit; [None] when iRAM is
+    exhausted.  Never returns an address inside the firmware area. *)
+val alloc : t -> bytes:int -> int option
+
+(** Return a block (coalescing adjacent free space).
+    @raise Invalid_argument if [addr] is not an allocated block. *)
+val free : t -> int -> unit
+
+(** Is [addr] inside the allocator's range? *)
+val in_range : t -> int -> bool

@@ -1,0 +1,72 @@
+(** Screen-lock state machine with PIN and deep-lock.
+
+    Mirrors the device behaviour the paper builds on (§1): PIN-unlock
+    after idle, and a deep-lock state after a few wrong PINs to stop
+    brute force. *)
+
+type state = Unlocked | Locking | Locked | Unlocking | Deep_locked
+
+type t = {
+  pin : string;
+  max_attempts : int;
+  mutable state : state;
+  mutable failed_attempts : int;
+  mutable lock_count : int;
+  mutable unlock_count : int;
+}
+
+let create ~pin ~max_attempts =
+  { pin; max_attempts; state = Unlocked; failed_attempts = 0; lock_count = 0; unlock_count = 0 }
+
+let state t = t.state
+
+let state_name = function
+  | Unlocked -> "unlocked"
+  | Locking -> "locking"
+  | Locked -> "locked"
+  | Unlocking -> "unlocking"
+  | Deep_locked -> "deep-locked"
+
+exception Invalid_transition of string
+
+let begin_lock t =
+  match t.state with
+  | Unlocked ->
+      t.state <- Locking
+  | s -> raise (Invalid_transition ("begin_lock from " ^ state_name s))
+
+let finish_lock t =
+  match t.state with
+  | Locking ->
+      t.state <- Locked;
+      t.lock_count <- t.lock_count + 1
+  | s -> raise (Invalid_transition ("finish_lock from " ^ state_name s))
+
+type unlock_error = Bad_pin | Deep_lock_engaged
+
+(** [begin_unlock t ~pin] checks the PIN; wrong attempts accumulate
+    toward deep-lock. *)
+let begin_unlock t ~pin =
+  match t.state with
+  | Deep_locked -> Error Deep_lock_engaged
+  | Locked ->
+      if String.equal pin t.pin then begin
+        t.failed_attempts <- 0;
+        t.state <- Unlocking;
+        Ok ()
+      end
+      else begin
+        t.failed_attempts <- t.failed_attempts + 1;
+        if t.failed_attempts >= t.max_attempts then t.state <- Deep_locked;
+        Error Bad_pin
+      end
+  | s -> raise (Invalid_transition ("begin_unlock from " ^ state_name s))
+
+let finish_unlock t =
+  match t.state with
+  | Unlocking ->
+      t.state <- Unlocked;
+      t.unlock_count <- t.unlock_count + 1
+  | s -> raise (Invalid_transition ("finish_unlock from " ^ state_name s))
+
+let counts t = (t.lock_count, t.unlock_count, t.failed_attempts)

@@ -1,0 +1,31 @@
+(** Screen-lock state machine with PIN check and deep-lock (§1). *)
+
+type state = Unlocked | Locking | Locked | Unlocking | Deep_locked
+
+type t
+
+val create : pin:string -> max_attempts:int -> t
+val state : t -> state
+val state_name : state -> string
+
+exception Invalid_transition of string
+
+(** Unlocked → Locking.  @raise Invalid_transition otherwise. *)
+val begin_lock : t -> unit
+
+(** Locking → Locked. *)
+val finish_lock : t -> unit
+
+type unlock_error =
+  | Bad_pin
+  | Deep_lock_engaged  (** too many wrong PINs; device refuses all PINs *)
+
+(** Locked → Unlocking on a correct PIN; wrong attempts accumulate
+    toward deep-lock and reset on success. *)
+val begin_unlock : t -> pin:string -> (unit, unlock_error) result
+
+(** Unlocking → Unlocked. *)
+val finish_unlock : t -> unit
+
+(** (locks completed, unlocks completed, consecutive failed PINs). *)
+val counts : t -> int * int * int

@@ -1,0 +1,26 @@
+(** Unified on-SoC storage: iRAM or locked L2, behind one allocator
+    interface (§4's two alternatives). *)
+
+open Sentry_soc
+
+type t =
+  | Iram_storage of Iram_alloc.t
+  | Locked_storage of Locked_cache.t
+  | Pinned_storage of Iram_alloc.t
+      (** the §10 pin-on-SoC memory ([`Future] platform) *)
+
+val of_config : Machine.t -> Config.t -> arena_base:int -> t
+
+val describe : t -> string
+
+(** [alloc t ~bytes] — an on-SoC buffer address.  Locked-L2 storage is
+    page granular (≤ 4096 bytes per allocation); iRAM is byte
+    granular. *)
+val alloc : t -> bytes:int -> int
+
+val free : t -> int -> unit
+
+(** TrustZone hardening: deny all DMA windows over the storage.
+    Required for iRAM (ordinary memory to a DMA engine, §4.4);
+    defence-in-depth for the locked-L2 arena. *)
+val protect_from_dma : t -> Machine.t -> unit

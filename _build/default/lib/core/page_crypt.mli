@@ -1,0 +1,26 @@
+(** Per-page encryption under the volatile root key, with ESSIV-style
+    per-(pid, vpn) IVs.  All transforms go through [Aes_on_soc]. *)
+
+open Sentry_soc
+
+type t
+
+val create : Machine.t -> aes:Sentry_crypto.Aes_on_soc.t -> volatile_key:Bytes.t -> t
+
+(** Deterministic IV for page [vpn] of process [pid]. *)
+val iv : t -> pid:int -> vpn:int -> Bytes.t
+
+val encrypt_bytes : t -> pid:int -> vpn:int -> Bytes.t -> Bytes.t
+val decrypt_bytes : t -> pid:int -> vpn:int -> Bytes.t -> Bytes.t
+
+(** Encrypt a physical frame in place through the cached path. *)
+val encrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
+
+(** Decrypt a physical frame in place. *)
+val decrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
+
+(** (bytes encrypted, bytes decrypted) since the last reset — the
+    counters behind the Figs 2-4 "MBytes" series. *)
+val counters : t -> int * int
+
+val reset_counters : t -> unit

@@ -1,0 +1,167 @@
+(** The Sentry facade: install on a booted system, mark applications
+    sensitive, and drive the lock/unlock cycle.
+
+    Usage sketch (see [examples/quickstart.ml]):
+    {[
+      let system = System.boot `Tegra3 in
+      let sentry = Sentry.install system (Config.default `Tegra3) in
+      let app = System.spawn system ~name:"mail" ~bytes:(8 * mib) in
+      Sentry.mark_sensitive sentry app;
+      Sentry.enable_background sentry app;   (* tegra only *)
+      let _ = Sentry.lock sentry in          (* memory now ciphertext *)
+      ...                                    (* app still runs, on-SoC *)
+      match Sentry.unlock sentry ~pin:"1234" with
+      | Ok _ -> ...                          (* lazy decrypt from here *)
+      | Error _ -> ...
+    ]} *)
+
+open Sentry_kernel
+
+type t = {
+  system : System.t;
+  config : Config.t;
+  onsoc : Onsoc.t;
+  keys : Key_manager.t;
+  aes : Sentry_crypto.Aes_on_soc.t;
+  pc : Page_crypt.t;
+  lock_state : Lock_state.t;
+  background : Background.t option;
+  mutable sensitive : Process.t list;
+  mutable background_enabled : Process.t list;
+  mutable last_lock : Encrypt_on_lock.stats option;
+  mutable last_unlock : Decrypt_on_unlock.stats option;
+}
+
+let storage_of_config (config : Config.t) =
+  match config.Config.storage with
+  | Config.Use_iram -> Sentry_crypto.Aes_on_soc.In_iram
+  | Config.Use_locked_l2 -> Sentry_crypto.Aes_on_soc.In_locked_l2
+  | Config.Use_pinned -> Sentry_crypto.Aes_on_soc.In_pinned
+
+(** [install system config] sets up on-SoC storage, root keys, the
+    AES_On_SoC instance (registered with the Crypto API above the
+    generic cipher) and, where the platform allows, the background
+    paging engine. *)
+let install (system : System.t) (config : Config.t) =
+  let config =
+    match Config.validate config with Ok c -> c | Error msg -> invalid_arg ("Sentry.install: " ^ msg)
+  in
+  let machine = system.System.machine in
+  let onsoc = Onsoc.of_config machine config ~arena_base:system.System.arena_base in
+  Onsoc.protect_from_dma onsoc machine;
+  let keys = Key_manager.create machine onsoc in
+  let volatile_key = Key_manager.volatile_key keys in
+  let ctx_bytes = Sentry_crypto.Aes_state.total_size Sentry_crypto.Aes_key.Aes_128 in
+  let ctx_base = Onsoc.alloc onsoc ~bytes:ctx_bytes in
+  let aes =
+    Sentry_crypto.Aes_on_soc.create machine ~storage:(storage_of_config config) ~base:ctx_base
+      ~key:volatile_key
+  in
+  Sentry_crypto.Aes_on_soc.register aes system.System.crypto_api;
+  Sentry_crypto.Aes_on_soc.register_xts aes system.System.crypto_api;
+  let pc = Page_crypt.create machine ~aes ~volatile_key in
+  let background =
+    match onsoc with
+    | Onsoc.Locked_storage locked when config.Config.background_budget_bytes > 0 ->
+        (* The configured budget is Sentry's *total* locked-cache
+           footprint (what Figs 6-8 call "256KB"/"512KB"), so the
+           paging pool is the budget minus what keys and the AES
+           context already pinned. *)
+        let static_bytes = Locked_cache.used_pages locked * 4096 in
+        Some
+          (Background.create machine ~pc ~locked
+             ~budget_bytes:(max 4096 (config.Config.background_budget_bytes - static_bytes)))
+    | Onsoc.Pinned_storage _
+      when config.Config.background_budget_bytes > 0
+           && (Sentry_soc.Machine.config machine).Sentry_soc.Machine.cache_locking_available ->
+        (* S10 platform: keys and the AES context live in pinned
+           memory, but the background working set still pages through
+           locked cache ways -- the whole budget is available. *)
+        let locked =
+          Locked_cache.create machine ~arena_base:system.System.arena_base
+            ~max_ways:config.Config.max_locked_ways
+        in
+        Some
+          (Background.create machine ~pc ~locked
+             ~budget_bytes:config.Config.background_budget_bytes)
+    | Onsoc.Locked_storage _ | Onsoc.Iram_storage _ | Onsoc.Pinned_storage _ -> None
+  in
+  {
+    system;
+    config;
+    onsoc;
+    keys;
+    aes;
+    pc;
+    lock_state = Lock_state.create ~pin:config.Config.pin ~max_attempts:config.Config.max_pin_attempts;
+    background;
+    sensitive = [];
+    background_enabled = [];
+    last_lock = None;
+    last_unlock = None;
+  }
+
+let state t = Lock_state.state t.lock_state
+let is_locked t = state t = Lock_state.Locked || state t = Lock_state.Deep_locked
+
+(** Mark an application for protection (the systems-settings menu
+    extension of §7). *)
+let mark_sensitive t proc =
+  Process.mark_sensitive proc;
+  if not (List.memq proc t.sensitive) then t.sensitive <- proc :: t.sensitive
+
+(** Allow a sensitive app to keep running while locked (requires
+    locked-L2 background paging — Tegra 3 only in the paper). *)
+let enable_background t proc =
+  if t.background = None then
+    invalid_arg "Sentry.enable_background: platform has no locked-cache paging";
+  if not (List.memq proc t.sensitive) then invalid_arg "Sentry.enable_background: mark it sensitive first";
+  if not (List.memq proc t.background_enabled) then
+    t.background_enabled <- proc :: t.background_enabled
+
+(** [lock t] — encrypt-on-lock.  Returns the lock-path statistics. *)
+let lock t =
+  Lock_state.begin_lock t.lock_state;
+  let stats =
+    Encrypt_on_lock.run t.pc t.system ~sensitive:t.sensitive
+      ~background:(fun p -> List.memq p t.background_enabled)
+  in
+  (match t.background with
+  | Some bg when t.background_enabled <> [] ->
+      Vm.set_fault_handler t.system.System.vm (Background.fault_handler bg)
+  | Some _ | None -> Vm.reset_fault_handler t.system.System.vm);
+  Lock_state.finish_lock t.lock_state;
+  t.last_lock <- Some stats;
+  stats
+
+(** [unlock t ~pin] — PIN check, eager DMA-region decryption, lazy
+    handler installation. *)
+let unlock t ~pin =
+  match Lock_state.begin_unlock t.lock_state ~pin with
+  | Error e -> Error e
+  | Ok () ->
+      Option.iter Background.evict_all t.background;
+      let stats = Decrypt_on_unlock.run t.pc t.system ~sensitive:t.sensitive in
+      Lock_state.finish_unlock t.lock_state;
+      t.last_unlock <- Some stats;
+      Ok stats
+
+(** Eager-unlock ablation: decrypt everything at unlock time. *)
+let unlock_eager t ~pin =
+  match Lock_state.begin_unlock t.lock_state ~pin with
+  | Error e -> Error e
+  | Ok () ->
+      Option.iter Background.evict_all t.background;
+      let pages = Decrypt_on_unlock.run_eager t.pc t.system ~sensitive:t.sensitive in
+      Lock_state.finish_unlock t.lock_state;
+      Ok pages
+
+let system t = t.system
+let page_crypt t = t.pc
+let background_engine t = t.background
+let key_manager t = t.keys
+let onsoc t = t.onsoc
+let aes t = t.aes
+let config t = t.config
+let lock_state t = t.lock_state
+let sensitive_processes t = t.sensitive

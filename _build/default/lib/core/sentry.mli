@@ -1,0 +1,61 @@
+(** The Sentry facade: install on a booted system, mark applications
+    sensitive, and drive the lock/unlock cycle.
+
+    {[
+      let system = System.boot `Tegra3 in
+      let sentry = Sentry.install system (Config.default `Tegra3) in
+      let app = System.spawn system ~name:"mail" ~bytes in
+      Sentry.mark_sensitive sentry app;
+      Sentry.enable_background sentry app;   (* tegra only *)
+      let _ = Sentry.lock sentry in          (* memory now ciphertext *)
+      (* ... app still runs, confined to locked L2 ... *)
+      match Sentry.unlock sentry ~pin:"1234" with
+      | Ok _ -> (* lazy decryption from here *) ()
+      | Error _ -> ()
+    ]} *)
+
+type t
+
+(** [install system config] sets up on-SoC storage (DMA-protected via
+    TrustZone), the root keys, the AES_On_SoC instance (registered
+    with the Crypto API above the generic cipher) and, where the
+    platform allows, the background paging engine.
+    @raise Invalid_argument on an inconsistent config. *)
+val install : System.t -> Config.t -> t
+
+val state : t -> Lock_state.state
+val is_locked : t -> bool
+
+(** Mark an application for protection (the settings-menu extension
+    of §7). *)
+val mark_sensitive : t -> Sentry_kernel.Process.t -> unit
+
+(** Allow a sensitive app to keep running while locked, paged through
+    locked L2 cache (Tegra 3 only).
+    @raise Invalid_argument without locked-cache paging, or if the
+    process is not marked sensitive. *)
+val enable_background : t -> Sentry_kernel.Process.t -> unit
+
+(** Encrypt-on-lock: freed-page barrier, per-page encryption, parking,
+    masked flush. *)
+val lock : t -> Encrypt_on_lock.stats
+
+(** PIN check, background working-set writeback, eager DMA-region
+    decryption, lazy-handler installation. *)
+val unlock : t -> pin:string -> (Decrypt_on_unlock.stats, Lock_state.unlock_error) result
+
+(** Eager-unlock ablation: decrypt every page now; returns the page
+    count. *)
+val unlock_eager : t -> pin:string -> (int, Lock_state.unlock_error) result
+
+(** {2 Component access} *)
+
+val system : t -> System.t
+val page_crypt : t -> Page_crypt.t
+val background_engine : t -> Background.t option
+val key_manager : t -> Key_manager.t
+val onsoc : t -> Onsoc.t
+val aes : t -> Sentry_crypto.Aes_on_soc.t
+val config : t -> Config.t
+val lock_state : t -> Lock_state.t
+val sensitive_processes : t -> Sentry_kernel.Process.t list

@@ -1,0 +1,29 @@
+(** Shared-page policy (§7, On-demand Decryption).
+
+    A page shared with a non-sensitive application is assumed
+    non-secret and skipped; a page shared only among sensitive
+    applications is encrypted. *)
+
+open Sentry_kernel
+
+(** Every process (from [all_procs]) that maps a region of sharing
+    group [group]. *)
+let sharers ~all_procs ~group =
+  List.filter
+    (fun p ->
+      List.exists
+        (fun r ->
+          match r.Address_space.kind with
+          | Address_space.Shared g -> String.equal g group
+          | Address_space.Normal | Address_space.Dma -> false)
+        (Address_space.regions p.Process.aspace))
+    all_procs
+
+(** Should a region of [proc] be encrypted at lock? *)
+let should_encrypt ~all_procs (region : Address_space.region) =
+  match region.Address_space.kind with
+  | Address_space.Normal | Address_space.Dma -> true
+  | Address_space.Shared group ->
+      List.for_all
+        (fun p -> p.Process.sensitive)
+        (sharers ~all_procs ~group)

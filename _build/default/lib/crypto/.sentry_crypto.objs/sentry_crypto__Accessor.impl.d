@@ -1,0 +1,1 @@
+lib/crypto/accessor.ml: Bytes Char Machine Printf Sentry_soc

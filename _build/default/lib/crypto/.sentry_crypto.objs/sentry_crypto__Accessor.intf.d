@@ -1,0 +1,1 @@
+lib/crypto/accessor.mli: Bytes Machine Sentry_soc

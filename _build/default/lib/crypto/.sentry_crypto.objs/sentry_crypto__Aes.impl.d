@@ -1,0 +1,1 @@
+lib/crypto/aes.ml: Aes_key Aes_tables Array Bytes Char

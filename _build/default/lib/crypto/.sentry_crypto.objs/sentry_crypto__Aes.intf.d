@@ -1,0 +1,1 @@
+lib/crypto/aes.mli: Aes_key Bytes

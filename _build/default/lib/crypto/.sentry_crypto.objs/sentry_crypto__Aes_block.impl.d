@@ -1,0 +1,1 @@
+lib/crypto/aes_block.ml: Accessor Aes_key Aes_state Aes_tables Array Bytes Char List Mode

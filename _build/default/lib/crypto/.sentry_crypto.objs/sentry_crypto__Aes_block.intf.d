@@ -1,0 +1,1 @@
+lib/crypto/aes_block.mli: Accessor Aes_key Bytes Mode

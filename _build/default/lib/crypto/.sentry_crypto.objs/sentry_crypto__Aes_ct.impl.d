@@ -1,0 +1,1 @@
+lib/crypto/aes_ct.ml: Aes_key Array Bytes Char Gf256 Mode

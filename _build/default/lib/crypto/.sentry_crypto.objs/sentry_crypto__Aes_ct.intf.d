@@ -1,0 +1,1 @@
+lib/crypto/aes_ct.mli: Aes_key Bytes Mode

@@ -1,0 +1,1 @@
+lib/crypto/aes_key.ml: Aes_tables Array Bytes Char Printf

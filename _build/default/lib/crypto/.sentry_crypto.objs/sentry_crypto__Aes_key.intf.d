@@ -1,0 +1,1 @@
+lib/crypto/aes_key.mli: Bytes

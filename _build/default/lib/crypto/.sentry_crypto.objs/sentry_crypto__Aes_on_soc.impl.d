@@ -1,0 +1,1 @@
+lib/crypto/aes_on_soc.ml: Accessor Aes Aes_block Bytes Cpu Crypto_api Machine Mode Perf Sentry_soc Xts

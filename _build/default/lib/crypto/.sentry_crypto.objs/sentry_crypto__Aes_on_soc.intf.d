@@ -1,0 +1,1 @@
+lib/crypto/aes_on_soc.mli: Bytes Crypto_api Machine Sentry_soc

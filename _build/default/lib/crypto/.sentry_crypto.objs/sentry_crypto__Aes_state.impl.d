@@ -1,0 +1,1 @@
+lib/crypto/aes_state.ml: Aes_key Fmt List

@@ -1,0 +1,1 @@
+lib/crypto/aes_state.mli: Aes_key Format

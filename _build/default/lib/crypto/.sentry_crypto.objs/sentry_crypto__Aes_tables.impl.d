@@ -1,0 +1,1 @@
+lib/crypto/aes_tables.ml: Array Bytes Char Gf256

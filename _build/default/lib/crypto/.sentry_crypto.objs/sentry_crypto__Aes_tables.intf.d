@@ -1,0 +1,1 @@
+lib/crypto/aes_tables.mli: Bytes

@@ -1,0 +1,1 @@
+lib/crypto/crypto_api.mli: Bytes

@@ -1,0 +1,1 @@
+lib/crypto/essiv.ml: Aes Bytes Char Sha256

@@ -1,0 +1,1 @@
+lib/crypto/generic_aes.ml: Accessor Aes Aes_block Bytes Cpu Crypto_api Machine Mode Perf Sentry_soc Xts

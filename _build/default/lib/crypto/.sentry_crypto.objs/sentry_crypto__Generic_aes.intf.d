@@ -1,0 +1,1 @@
+lib/crypto/generic_aes.mli: Bytes Crypto_api Machine Perf Sentry_soc

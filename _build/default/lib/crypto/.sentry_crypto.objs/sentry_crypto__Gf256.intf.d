@@ -1,0 +1,1 @@
+lib/crypto/gf256.mli:

@@ -1,0 +1,1 @@
+lib/crypto/hw_accel.ml: Aes Bytes Calib Clock Crypto_api Energy Machine Mode Perf Sentry_soc Sentry_util

@@ -1,0 +1,1 @@
+lib/crypto/hw_accel.mli: Bytes Crypto_api Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/crypto/key_derive.ml: Bytes Char Machine Sentry_soc Sentry_util Sha256 Trustzone

@@ -1,0 +1,1 @@
+lib/crypto/key_derive.mli: Bytes Machine Sentry_soc

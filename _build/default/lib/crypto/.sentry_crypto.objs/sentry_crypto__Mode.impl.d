@@ -1,0 +1,1 @@
+lib/crypto/mode.ml: Aes Bytes Char Sentry_util

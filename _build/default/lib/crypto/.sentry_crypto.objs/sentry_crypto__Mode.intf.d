@@ -1,0 +1,1 @@
+lib/crypto/mode.mli: Aes Bytes

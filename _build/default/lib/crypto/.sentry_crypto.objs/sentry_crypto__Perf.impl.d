@@ -1,0 +1,1 @@
+lib/crypto/perf.ml: Calib Clock Energy Machine Sentry_soc Sentry_util

@@ -1,0 +1,1 @@
+lib/crypto/perf.mli: Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/crypto/xts.ml: Aes Bytes Char Sentry_util

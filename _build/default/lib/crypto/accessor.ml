@@ -1,0 +1,46 @@
+(** Memory accessors: where a cipher's working state physically lives.
+
+    The instrumented cipher ([Aes_block]) performs every state access
+    through one of these, so the same algorithm can run:
+    - [native]: over a plain OCaml buffer (fast path, no simulation);
+    - [machine]: over simulated memory through the cache hierarchy
+      (iRAM or DRAM, depending on the base address);
+    - [machine_uncached]: over simulated DRAM with uncached accesses —
+      every access crosses the external bus, the worst case for bus
+      monitoring. *)
+
+open Sentry_soc
+
+type t = {
+  load : int -> int -> bytes; (* offset, length *)
+  store : int -> bytes -> unit;
+  base : int option; (* physical base address when memory-backed *)
+  description : string;
+}
+
+let native buf =
+  {
+    load = (fun off len -> Bytes.sub buf off len);
+    store = (fun off b -> Bytes.blit b 0 buf off (Bytes.length b));
+    base = None;
+    description = "native";
+  }
+
+let machine m ~base =
+  {
+    load = (fun off len -> Machine.read m (base + off) len);
+    store = (fun off b -> Machine.write m (base + off) b);
+    base = Some base;
+    description = Printf.sprintf "machine@0x%08x" base;
+  }
+
+let machine_uncached m ~base =
+  {
+    load = (fun off len -> Machine.read_uncached m (base + off) len);
+    store = (fun off b -> Machine.write_uncached m (base + off) b);
+    base = Some base;
+    description = Printf.sprintf "machine-uncached@0x%08x" base;
+  }
+
+let load8 t off = Char.code (Bytes.get (t.load off 1) 0)
+let store8 t off v = t.store off (Bytes.make 1 (Char.chr v))

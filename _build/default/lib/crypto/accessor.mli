@@ -1,0 +1,20 @@
+(** Memory accessors: where a cipher's working state physically
+    lives — a plain buffer ([native]), or simulated memory through
+    the cache hierarchy ([machine]) or over the bus on every access
+    ([machine_uncached]). *)
+
+open Sentry_soc
+
+type t = {
+  load : int -> int -> Bytes.t;  (** [load off len] *)
+  store : int -> Bytes.t -> unit;
+  base : int option;  (** physical base when memory-backed *)
+  description : string;
+}
+
+val native : Bytes.t -> t
+val machine : Machine.t -> base:int -> t
+val machine_uncached : Machine.t -> base:int -> t
+
+val load8 : t -> int -> int
+val store8 : t -> int -> int -> unit

@@ -1,0 +1,117 @@
+(** Fast native AES (the "generic OpenSSL AES" of the paper).
+
+    Word-oriented implementation over the single packed round tables
+    of [Aes_tables].  This is the bulk-data path used for the actual
+    byte transformations in the simulator; the security-relevant
+    instrumented twin lives in [Aes_block] and is cross-checked
+    against this one.
+
+    State convention (FIPS-197): input byte [i] is state row
+    [i mod 4], column [i / 4]; a column is one 32-bit word, row 0 in
+    the most significant byte. *)
+
+type key = Aes_key.t
+
+let expand = Aes_key.expand
+
+let mask = 0xffffffff
+let ror8 w = ((w lsr 8) lor ((w land 0xff) lsl 24)) land mask
+let ror16 w = ror8 (ror8 w)
+let ror24 w = ror8 (ror16 w)
+
+let get_word b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let set_word b off w =
+  Bytes.set b off (Char.chr ((w lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((w lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((w lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (w land 0xff))
+
+(** [encrypt_block k src src_off dst dst_off] transforms one 16-byte
+    block.  [src] and [dst] may alias. *)
+let encrypt_block (k : key) src src_off dst dst_off =
+  let te = Aes_tables.te_words and sbox = Aes_tables.sbox in
+  let rk = k.Aes_key.words in
+  let s = Array.make 4 0 and t = Array.make 4 0 in
+  for c = 0 to 3 do
+    s.(c) <- get_word src (src_off + (4 * c)) lxor rk.(c)
+  done;
+  for round = 1 to k.Aes_key.nr - 1 do
+    for c = 0 to 3 do
+      t.(c) <-
+        te.((s.(c) lsr 24) land 0xff)
+        lxor ror8 te.((s.((c + 1) land 3) lsr 16) land 0xff)
+        lxor ror16 te.((s.((c + 2) land 3) lsr 8) land 0xff)
+        lxor ror24 te.(s.((c + 3) land 3) land 0xff)
+        lxor rk.((4 * round) + c)
+    done;
+    Array.blit t 0 s 0 4
+  done;
+  (* Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns. *)
+  let nr = k.Aes_key.nr in
+  for c = 0 to 3 do
+    let w =
+      (sbox.((s.(c) lsr 24) land 0xff) lsl 24)
+      lor (sbox.((s.((c + 1) land 3) lsr 16) land 0xff) lsl 16)
+      lor (sbox.((s.((c + 2) land 3) lsr 8) land 0xff) lsl 8)
+      lor sbox.(s.((c + 3) land 3) land 0xff)
+    in
+    t.(c) <- w lxor rk.((4 * nr) + c)
+  done;
+  for c = 0 to 3 do
+    set_word dst (dst_off + (4 * c)) t.(c)
+  done
+
+(** Inverse cipher in the direct order: InvShiftRows, InvSubBytes,
+    AddRoundKey, InvMixColumns.  Uses the same (encryption) schedule
+    applied backwards — no separate decryption schedule is stored. *)
+let decrypt_block (k : key) src src_off dst dst_off =
+  let td = Aes_tables.td_words and isbox = Aes_tables.inv_sbox in
+  let rk = k.Aes_key.words in
+  let nr = k.Aes_key.nr in
+  let s = Array.make 4 0 and t = Array.make 4 0 in
+  for c = 0 to 3 do
+    s.(c) <- get_word src (src_off + (4 * c)) lxor rk.((4 * nr) + c)
+  done;
+  let inv_shift_sub () =
+    for c = 0 to 3 do
+      t.(c) <-
+        (isbox.((s.(c) lsr 24) land 0xff) lsl 24)
+        lor (isbox.((s.((c + 3) land 3) lsr 16) land 0xff) lsl 16)
+        lor (isbox.((s.((c + 2) land 3) lsr 8) land 0xff) lsl 8)
+        lor isbox.(s.((c + 1) land 3) land 0xff)
+    done;
+    Array.blit t 0 s 0 4
+  in
+  for round = nr - 1 downto 1 do
+    inv_shift_sub ();
+    for c = 0 to 3 do
+      let w = s.(c) lxor rk.((4 * round) + c) in
+      s.(c) <-
+        td.((w lsr 24) land 0xff)
+        lxor ror8 td.((w lsr 16) land 0xff)
+        lxor ror16 td.((w lsr 8) land 0xff)
+        lxor ror24 td.(w land 0xff)
+    done
+  done;
+  inv_shift_sub ();
+  for c = 0 to 3 do
+    set_word dst (dst_off + (4 * c)) (s.(c) lxor rk.(c))
+  done
+
+let block_size = 16
+
+(** Convenience one-shot block API (fresh output buffer). *)
+let encrypt_block_copy k src =
+  let dst = Bytes.create 16 in
+  encrypt_block k src 0 dst 0;
+  dst
+
+let decrypt_block_copy k src =
+  let dst = Bytes.create 16 in
+  decrypt_block k src 0 dst 0;
+  dst

@@ -1,0 +1,23 @@
+(** Fast native AES (the "generic OpenSSL AES" of the paper): the
+    bulk-data path used for actual byte transformations.  The
+    security-relevant instrumented twin is [Aes_block]; both are
+    pinned to FIPS-197 vectors. *)
+
+type key = Aes_key.t
+
+val expand : Bytes.t -> key
+
+val block_size : int
+
+(** [encrypt_block k src src_off dst dst_off] transforms one 16-byte
+    block; [src] and [dst] may alias. *)
+val encrypt_block : key -> Bytes.t -> int -> Bytes.t -> int -> unit
+
+(** Inverse cipher (direct order, forward schedule applied backwards —
+    no separate decryption schedule is stored). *)
+val decrypt_block : key -> Bytes.t -> int -> Bytes.t -> int -> unit
+
+(** One-shot block APIs (fresh output buffer). *)
+val encrypt_block_copy : key -> Bytes.t -> Bytes.t
+
+val decrypt_block_copy : key -> Bytes.t -> Bytes.t

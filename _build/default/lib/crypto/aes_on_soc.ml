@@ -1,0 +1,161 @@
+(** AES_On_SoC (§6.2): an AES whose entire sensitive state — secret
+    and access-protected alike — lives on the SoC, and whose use of
+    CPU registers is protected against context-switch spills.
+
+    Construction requires a base address in on-SoC storage (iRAM or a
+    DRAM alias backed by a locked L2 way, provided by
+    [Sentry_core.Onsoc]); the context never touches off-SoC memory.
+
+    The computation bracket reproduces the paper's two macros:
+    [onsoc_disable_irq()] before touching sensitive state in
+    registers, and [onsoc_enable_irq()] — zero every register, then
+    re-enable — after.  The procedure-call discipline (≤ 4 arguments,
+    so nothing sensitive is passed on a DRAM stack) is checked by a
+    test over this module's own interface. *)
+
+open Sentry_soc
+
+type storage = In_iram | In_locked_l2 | In_pinned
+
+type t = {
+  machine : Machine.t;
+  storage : storage;
+  base : int;
+  mutable block : Aes_block.t;
+  mutable fast_key : Aes.key; (* host-side twin for the bulk path *)
+  variant : Perf.variant;
+}
+
+let storage_name = function
+  | In_iram -> "iRAM"
+  | In_locked_l2 -> "locked L2"
+  | In_pinned -> "pinned on-SoC memory"
+
+(** [create machine ~storage ~base ~key] builds the cipher with its
+    context at physical [base] (must lie in iRAM, or in a DRAM range
+    whose lines are pinned in a locked way). *)
+let create machine ~storage ~base ~key =
+  let acc = Accessor.machine machine ~base in
+  let block = Aes_block.init acc ~key in
+  let variant =
+    match storage with
+    | In_iram | In_pinned -> Perf.Onsoc_iram (* SRAM-class timing *)
+    | In_locked_l2 -> Perf.Onsoc_locked_l2
+  in
+  { machine; storage; base; block; fast_key = Aes.expand key; variant }
+
+let context_bytes t = Aes_block.context_size t.block.Aes_block.size
+
+(** Run [f] with sensitive state live in CPU registers, under the IRQ
+    bracket.  A context switch cannot fire inside, and the registers
+    are zeroed before interrupts come back on. *)
+let with_protected_registers t ~sensitive f =
+  let cpu = Machine.cpu t.machine in
+  Cpu.with_irqs_off cpu (fun () ->
+      Cpu.load_regs cpu sensitive;
+      f ())
+
+let key_schedule_head t = t.block.Aes_block.acc.Accessor.load 0 64
+
+(* Block operations run in batches sized so interrupts stay off for
+   roughly the paper's measured 160 us window. *)
+let irq_batch_blocks = 64
+
+let transform t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
+  let n = Bytes.length data in
+  if n mod 16 <> 0 then invalid_arg "Aes_on_soc.transform: not block aligned";
+  Aes_block.set_iv t.block iv;
+  let cipher = Aes_block.cipher t.block in
+  let out =
+    (* Process in IRQ-bracketed batches; each batch reloads sensitive
+       registers and zeroes them on exit. *)
+    let result = Bytes.create n in
+    let nblocks = n / 16 in
+    let pos = ref 0 in
+    let chain = ref (Bytes.copy iv) in
+    while !pos < nblocks do
+      let batch = min irq_batch_blocks (nblocks - !pos) in
+      let slice = Bytes.sub data (!pos * 16) (batch * 16) in
+      let transformed =
+        with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+            match dir with
+            | `Encrypt -> Mode.cbc_encrypt cipher ~iv:!chain slice
+            | `Decrypt -> Mode.cbc_decrypt cipher ~iv:!chain slice)
+      in
+      Bytes.blit transformed 0 result (!pos * 16) (batch * 16);
+      (chain :=
+         match dir with
+         | `Encrypt -> Bytes.sub transformed ((batch - 1) * 16) 16
+         | `Decrypt -> Bytes.sub slice ((batch - 1) * 16) 16);
+      pos := !pos + batch
+    done;
+    result
+  in
+  out
+
+let encrypt t ~iv data = transform t ~dir:`Encrypt ~iv data
+let decrypt t ~iv data = transform t ~dir:`Decrypt ~iv data
+
+(** Fast-path bulk operations for the paging engine: transform with
+    the native cipher (bit-identical result to the instrumented one)
+    and charge the modeled on-SoC cost.  Register/IRQ discipline is
+    still exercised. *)
+let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
+  let c = Mode.of_key t.fast_key in
+  with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+      (* the modeled transform time elapses inside the bracket: this is
+         exactly the window interrupts stay masked (§6.2) *)
+      Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
+      match dir with
+      | `Encrypt -> Mode.cbc_encrypt c ~iv data
+      | `Decrypt -> Mode.cbc_decrypt c ~iv data)
+
+(** Re-key: rewrites the on-SoC context and the bulk twin together. *)
+let set_key t key =
+  t.block <- Aes_block.init t.block.Aes_block.acc ~key;
+  t.fast_key <- Aes.expand key
+
+(** Register with a [Crypto_api] {e above} the generic cipher and any
+    accelerator driver, so legacy Crypto-API users (dm-crypt) pick up
+    AES_On_SoC transparently (§7). *)
+let register t api =
+  Crypto_api.register api
+    {
+      Crypto_api.name = "aes-on-soc";
+      algorithm = "cbc(aes)";
+      priority = 500;
+      set_key = set_key t;
+      encrypt = (fun ~iv data -> bulk t ~dir:`Encrypt ~iv data);
+      decrypt = (fun ~iv data -> bulk t ~dir:`Decrypt ~iv data);
+    }
+
+(** XTS flavour: the 32-byte key's data half lives in the on-SoC
+    context (so nothing new reaches DRAM) and transforms run under the
+    same IRQ bracket and modeled cost. *)
+let register_xts t api =
+  let xts_key = ref None in
+  Crypto_api.register api
+    {
+      Crypto_api.name = "aes-on-soc-xts";
+      algorithm = "xts(aes)";
+      priority = 500;
+      set_key =
+        (fun key ->
+          set_key t (Bytes.sub key 0 16);
+          xts_key := Some (Xts.expand key));
+      encrypt =
+        (fun ~iv data ->
+          let k = match !xts_key with Some k -> k | None -> failwith "xts: no key" in
+          with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+              Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
+              Xts.encrypt k ~tweak:iv data));
+      decrypt =
+        (fun ~iv data ->
+          let k = match !xts_key with Some k -> k | None -> failwith "xts: no key" in
+          with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+              Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
+              Xts.decrypt k ~tweak:iv data));
+    }
+
+(** Erase the on-SoC context (device shutdown / re-key). *)
+let wipe t = Aes_block.wipe t.block

@@ -1,0 +1,37 @@
+(** A Linux-Crypto-API-like cipher registry.
+
+    Implementations register under a name with a priority; lookups by
+    algorithm name return the highest-priority implementation.  Sentry
+    registers AES_On_SoC with a higher priority than the generic AES,
+    so legacy users of the API — dm-crypt in particular — pick it up
+    transparently (§7, Selective Encryption). *)
+
+type impl = {
+  name : string; (* driver name, e.g. "aes-generic" *)
+  algorithm : string; (* algorithm it implements, e.g. "cbc(aes)" *)
+  priority : int;
+  set_key : bytes -> unit;
+  encrypt : iv:bytes -> bytes -> bytes;
+  decrypt : iv:bytes -> bytes -> bytes;
+}
+
+type t = { mutable impls : impl list }
+
+let create () = { impls = [] }
+
+let register t impl = t.impls <- impl :: t.impls
+
+let unregister t ~name = t.impls <- List.filter (fun i -> i.name <> name) t.impls
+
+(** [find t ~algorithm] — highest-priority registered implementation.
+    @raise Not_found if nothing implements [algorithm]. *)
+let find t ~algorithm =
+  let candidates = List.filter (fun i -> i.algorithm = algorithm) t.impls in
+  match List.sort (fun a b -> compare b.priority a.priority) candidates with
+  | [] -> raise Not_found
+  | best :: _ -> best
+
+let find_by_name t ~name = List.find (fun i -> i.name = name) t.impls
+
+let list t =
+  List.sort (fun a b -> compare (b.priority, b.name) (a.priority, a.name)) t.impls

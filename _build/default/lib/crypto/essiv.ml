@@ -1,0 +1,20 @@
+(** ESSIV ("encrypted salt-sector IV") generation for block-device
+    encryption, as used by dm-crypt's default [aes-cbc-essiv:sha256]
+    mode.
+
+    IV(sector) = AES_{s}(sector_number_le) where s = SHA-256(key).
+    Prevents watermarking attacks that predictable sector IVs allow. *)
+
+type t = { salt_key : Aes.key }
+
+(** [create ~key] hashes the volume key into the IV-generating key. *)
+let create ~key = { salt_key = Aes.expand (Sha256.digest key) }
+
+(** [iv t ~sector] is the 16-byte IV for the given sector number
+    (little-endian encoded, zero padded). *)
+let iv t ~sector =
+  let block = Bytes.make 16 '\000' in
+  for i = 0 to 7 do
+    Bytes.set block i (Char.chr ((sector lsr (8 * i)) land 0xff))
+  done;
+  Aes.encrypt_block_copy t.salt_key block

@@ -1,0 +1,10 @@
+(** ESSIV ("encrypted salt-sector IV") generation, as in dm-crypt's
+    [aes-cbc-essiv:sha256]: IV(sector) = AES_(SHA-256(key))(sector). *)
+
+type t
+
+val create : key:Bytes.t -> t
+
+(** The 16-byte IV for a sector (or any other stable identifier, such
+    as Sentry's (pid, vpn) page tag). *)
+val iv : t -> sector:int -> Bytes.t

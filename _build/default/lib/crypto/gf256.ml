@@ -1,0 +1,46 @@
+(** Arithmetic in GF(2^8) with the AES reduction polynomial
+    x^8 + x^4 + x^3 + x + 1 (0x11b).
+
+    The S-box and the round tables in [Aes_tables] are derived from
+    these primitives rather than pasted in, so a single algebra bug
+    cannot hide: the FIPS-197 test vectors exercise the whole chain. *)
+
+let reduce_poly = 0x11b
+
+(** Multiply by x (i.e. by 2) in the field. *)
+let xtime a =
+  let a2 = a lsl 1 in
+  if a2 land 0x100 <> 0 then (a2 lxor reduce_poly) land 0xff else a2
+
+(** Field multiplication (Russian-peasant). *)
+let mul a b =
+  let rec go acc a b =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go acc (xtime a) (b lsr 1)
+  in
+  go 0 a b
+
+(** [pow a n] by square-and-multiply. *)
+let pow a n =
+  let rec go acc a n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 <> 0 then mul acc a else acc in
+      go acc (mul a a) (n lsr 1)
+  in
+  go 1 a n
+
+(** Multiplicative inverse; [inv 0 = 0] by AES convention.
+    a^254 = a^-1 since the multiplicative group has order 255. *)
+let inv a = if a = 0 then 0 else pow a 254
+
+(** The AES S-box affine transformation applied to [b]:
+    b' = b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^ rotl4(b) ^ 0x63. *)
+let affine b =
+  let rotl x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  b lxor rotl b 1 lxor rotl b 2 lxor rotl b 3 lxor rotl b 4 lxor 0x63
+
+(** S-box entry: affine transform of the field inverse. *)
+let sbox_entry a = affine (inv a)

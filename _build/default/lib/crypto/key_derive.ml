@@ -1,0 +1,36 @@
+(** Root key management (§7, Bootstrapping).
+
+    Sentry uses two AES root keys:
+    - a {e volatile} key protecting sensitive applications' memory
+      pages, generated fresh on every boot and stored only on-SoC;
+    - a {e persistent} key protecting on-disk state (dm-crypt),
+      derived from the boot password and a secret in the device's
+      secure hardware fuse, read from the TrustZone secure world. *)
+
+open Sentry_soc
+
+let key_len = 16
+
+(** [volatile_key machine] — fresh random per-boot key. *)
+let volatile_key machine = Sentry_util.Prng.bytes (Machine.prng machine) key_len
+
+(** Iterated hash stretch: 4096 rounds of SHA-256 over
+    password ‖ fuse-secret ‖ round-counter. *)
+let stretch ~password ~fuse_secret =
+  let state = ref (Bytes.cat (Bytes.of_string password) fuse_secret) in
+  for round = 0 to 4095 do
+    let counter = Bytes.make 4 '\000' in
+    Bytes.set counter 0 (Char.chr (round land 0xff));
+    Bytes.set counter 1 (Char.chr ((round lsr 8) land 0xff));
+    state := Sha256.digest (Bytes.cat !state counter)
+  done;
+  Bytes.sub !state 0 key_len
+
+(** [persistent_key machine ~password] reads the fuse from the secure
+    world and derives the disk root key.
+    @raise Trustzone.Permission_denied outside the secure world path. *)
+let persistent_key machine ~password =
+  let tz = Machine.trustzone machine in
+  Trustzone.with_secure_world tz (fun () ->
+      let fuse_secret = Trustzone.read_fuse tz in
+      stretch ~password ~fuse_secret)

@@ -1,0 +1,126 @@
+(** Block cipher modes of operation, generic over a 16-byte block
+    transform so the native and instrumented ciphers share them.
+
+    Sentry uses CBC — the Android/Linux default (§6.1). *)
+
+type block_fn = bytes -> int -> bytes -> int -> unit
+(** [f src src_off dst dst_off] transforms one 16-byte block. *)
+
+type cipher = { encrypt : block_fn; decrypt : block_fn }
+
+let of_key k = { encrypt = Aes.encrypt_block k; decrypt = Aes.decrypt_block k }
+
+let block = 16
+
+let check_blocks name data =
+  if Bytes.length data mod block <> 0 then
+    invalid_arg (name ^ ": data not a multiple of the block size")
+
+(* ------------------------------ ECB ------------------------------ *)
+
+let ecb_encrypt c data =
+  check_blocks "Mode.ecb_encrypt" data;
+  let out = Bytes.create (Bytes.length data) in
+  let nblocks = Bytes.length data / block in
+  for i = 0 to nblocks - 1 do
+    c.encrypt data (block * i) out (block * i)
+  done;
+  out
+
+let ecb_decrypt c data =
+  check_blocks "Mode.ecb_decrypt" data;
+  let out = Bytes.create (Bytes.length data) in
+  let nblocks = Bytes.length data / block in
+  for i = 0 to nblocks - 1 do
+    c.decrypt data (block * i) out (block * i)
+  done;
+  out
+
+(* ------------------------------ CBC ------------------------------ *)
+
+let cbc_encrypt c ~iv data =
+  check_blocks "Mode.cbc_encrypt" data;
+  if Bytes.length iv <> block then invalid_arg "Mode.cbc_encrypt: bad IV";
+  let out = Bytes.create (Bytes.length data) in
+  let nblocks = Bytes.length data / block in
+  let chain = Bytes.copy iv in
+  let tmp = Bytes.create block in
+  for i = 0 to nblocks - 1 do
+    Bytes.blit data (block * i) tmp 0 block;
+    Sentry_util.Bytes_util.xor_into ~src:chain ~dst:tmp;
+    c.encrypt tmp 0 out (block * i);
+    Bytes.blit out (block * i) chain 0 block
+  done;
+  out
+
+let cbc_decrypt c ~iv data =
+  check_blocks "Mode.cbc_decrypt" data;
+  if Bytes.length iv <> block then invalid_arg "Mode.cbc_decrypt: bad IV";
+  let out = Bytes.create (Bytes.length data) in
+  let nblocks = Bytes.length data / block in
+  let chain = Bytes.copy iv in
+  let saved = Bytes.create block in
+  for i = 0 to nblocks - 1 do
+    Bytes.blit data (block * i) saved 0 block;
+    c.decrypt data (block * i) out (block * i);
+    let slice = Bytes.create block in
+    Bytes.blit out (block * i) slice 0 block;
+    Sentry_util.Bytes_util.xor_into ~src:chain ~dst:slice;
+    Bytes.blit slice 0 out (block * i) block;
+    Bytes.blit saved 0 chain 0 block
+  done;
+  out
+
+(* ------------------------------ CTR ------------------------------ *)
+
+let incr_counter ctr =
+  let rec go i =
+    if i >= 0 then begin
+      let v = (Char.code (Bytes.get ctr i) + 1) land 0xff in
+      Bytes.set ctr i (Char.chr v);
+      if v = 0 then go (i - 1)
+    end
+  in
+  go (block - 1)
+
+(** CTR encrypt = decrypt; works on any length. *)
+let ctr_transform c ~nonce data =
+  if Bytes.length nonce <> block then invalid_arg "Mode.ctr_transform: bad nonce";
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  let ctr = Bytes.copy nonce in
+  let keystream = Bytes.create block in
+  let off = ref 0 in
+  while !off < n do
+    c.encrypt ctr 0 keystream 0;
+    let chunk = min block (n - !off) in
+    for i = 0 to chunk - 1 do
+      Bytes.set out (!off + i)
+        (Char.chr
+           (Char.code (Bytes.get data (!off + i))
+           lxor Char.code (Bytes.get keystream i)))
+    done;
+    incr_counter ctr;
+    off := !off + block
+  done;
+  out
+
+(* ----------------------------- PKCS#7 ---------------------------- *)
+
+let pad_pkcs7 data =
+  let n = Bytes.length data in
+  let padlen = block - (n mod block) in
+  let out = Bytes.create (n + padlen) in
+  Bytes.blit data 0 out 0 n;
+  Bytes.fill out n padlen (Char.chr padlen);
+  out
+
+let unpad_pkcs7 data =
+  let n = Bytes.length data in
+  if n = 0 || n mod block <> 0 then invalid_arg "Mode.unpad_pkcs7: bad length";
+  let padlen = Char.code (Bytes.get data (n - 1)) in
+  if padlen = 0 || padlen > block then invalid_arg "Mode.unpad_pkcs7: bad padding";
+  for i = n - padlen to n - 1 do
+    if Char.code (Bytes.get data i) <> padlen then invalid_arg "Mode.unpad_pkcs7: bad padding"
+  done;
+  Bytes.sub data 0 (n - padlen)

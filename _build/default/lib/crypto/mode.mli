@@ -1,0 +1,28 @@
+(** Block cipher modes of operation, generic over a 16-byte block
+    transform.  Sentry uses CBC (the Android/Linux default, §6.1). *)
+
+type block_fn = Bytes.t -> int -> Bytes.t -> int -> unit
+(** [f src src_off dst dst_off] transforms one 16-byte block. *)
+
+type cipher = { encrypt : block_fn; decrypt : block_fn }
+
+val of_key : Aes.key -> cipher
+
+val block : int
+
+val ecb_encrypt : cipher -> Bytes.t -> Bytes.t
+val ecb_decrypt : cipher -> Bytes.t -> Bytes.t
+
+(** @raise Invalid_argument unless data is block-aligned and the IV is
+    16 bytes (same for [cbc_decrypt]). *)
+val cbc_encrypt : cipher -> iv:Bytes.t -> Bytes.t -> Bytes.t
+
+val cbc_decrypt : cipher -> iv:Bytes.t -> Bytes.t -> Bytes.t
+
+(** CTR keystream xor — its own inverse; any data length. *)
+val ctr_transform : cipher -> nonce:Bytes.t -> Bytes.t -> Bytes.t
+
+val pad_pkcs7 : Bytes.t -> Bytes.t
+
+(** @raise Invalid_argument on malformed padding. *)
+val unpad_pkcs7 : Bytes.t -> Bytes.t

@@ -1,0 +1,67 @@
+(** Modeled AES performance and energy per variant (Figs 11 and 12).
+
+    The simulator transforms bytes with the fast native cipher and
+    charges simulated time/energy according to the variant that would
+    have run on hardware.  Constants live in [Sentry_soc.Calib]. *)
+
+open Sentry_soc
+
+type variant =
+  | Openssl_user (* generic user-level OpenSSL AES *)
+  | Crypto_api_kernel (* generic AES via the kernel Crypto API *)
+  | Hw_accelerated of [ `Awake | `Downscaled ]
+  | Onsoc_locked_l2 (* AES_On_SoC, state in a locked L2 way *)
+  | Onsoc_iram (* AES_On_SoC, state in iRAM *)
+
+type platform = [ `Tegra3 | `Nexus4 ]
+
+let platform_of_machine m =
+  match (Machine.config m).Machine.name with
+  | "tegra3" -> `Tegra3
+  | "nexus4" -> `Nexus4
+  | "future" -> `Tegra3 (* same CPU class; pinned memory changes security, not speed *)
+  | other -> invalid_arg ("Perf.platform_of_machine: " ^ other)
+
+let variant_name = function
+  | Openssl_user -> "Generic AES (OpenSSL)"
+  | Crypto_api_kernel -> "Generic AES (kernel CryptoAPI)"
+  | Hw_accelerated `Awake -> "Crypto Hardware (awake)"
+  | Hw_accelerated `Downscaled -> "Crypto Hardware (down-scaled)"
+  | Onsoc_locked_l2 -> "AES_On_SoC (Locked L2)"
+  | Onsoc_iram -> "AES_On_SoC (iRAM)"
+
+(** Modeled throughput on 4 KB pages, MB/s. *)
+let throughput_mb_s ~(platform : platform) variant =
+  match (platform, variant) with
+  | `Nexus4, Openssl_user -> Calib.aes_nexus_user_mb_s
+  | `Nexus4, Crypto_api_kernel -> Calib.aes_nexus_kernel_mb_s
+  | `Nexus4, Hw_accelerated `Awake -> Calib.aes_nexus_hw_awake_mb_s
+  | `Nexus4, Hw_accelerated `Downscaled -> Calib.aes_nexus_hw_downscaled_mb_s
+  | `Nexus4, Onsoc_locked_l2 ->
+      (* no cache locking on the Nexus 4 (locked firmware) *)
+      invalid_arg "Perf: locked-L2 AES unavailable on nexus4"
+  | `Nexus4, Onsoc_iram ->
+      Calib.aes_nexus_kernel_mb_s /. (1.0 +. Calib.aes_onsoc_iram_overhead)
+  | `Tegra3, (Openssl_user | Crypto_api_kernel) -> Calib.aes_tegra_generic_mb_s
+  | `Tegra3, Onsoc_locked_l2 ->
+      Calib.aes_tegra_generic_mb_s /. (1.0 +. Calib.aes_onsoc_locked_l2_overhead)
+  | `Tegra3, Onsoc_iram ->
+      Calib.aes_tegra_generic_mb_s /. (1.0 +. Calib.aes_onsoc_iram_overhead)
+  | `Tegra3, Hw_accelerated _ -> invalid_arg "Perf: no crypto accelerator on tegra3"
+
+(** Modeled full-system energy, J per byte. *)
+let j_per_byte = function
+  | Openssl_user -> Calib.aes_cpu_j_per_byte
+  | Crypto_api_kernel | Onsoc_locked_l2 | Onsoc_iram -> Calib.aes_kernel_j_per_byte
+  | Hw_accelerated `Downscaled -> Calib.aes_hw_j_per_byte
+  | Hw_accelerated `Awake -> Calib.aes_hw_j_per_byte /. 4.0
+
+(** [charge m variant ~bytes] advances the simulated clock and energy
+    meter as if [bytes] had been transformed by [variant]. *)
+let charge m variant ~bytes =
+  let platform = platform_of_machine m in
+  let mb_s = throughput_mb_s ~platform variant in
+  let seconds = Sentry_util.Units.bytes_to_mb bytes /. mb_s in
+  Clock.advance (Machine.clock m) (seconds *. Sentry_util.Units.s);
+  Energy.charge (Machine.energy m) ~category:"aes"
+    (float_of_int bytes *. j_per_byte variant)

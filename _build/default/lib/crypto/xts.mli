@@ -1,0 +1,21 @@
+(** XTS-AES (IEEE 1619-2007): modern dm-crypt's sector mode.  Whole
+    16-byte blocks only (sectors always are); pinned to IEEE 1619
+    vectors. *)
+
+type key
+
+(** Split a 32- or 64-byte key into data/tweak halves.
+    @raise Invalid_argument otherwise. *)
+val expand : Bytes.t -> key
+
+(** The plain64 tweak block for a data-unit number. *)
+val tweak_of_sector : int -> Bytes.t
+
+(** @raise Invalid_argument unless data is a multiple of 16 bytes and
+    the tweak is 16 bytes (same for [decrypt]). *)
+val encrypt : key -> tweak:Bytes.t -> Bytes.t -> Bytes.t
+
+val decrypt : key -> tweak:Bytes.t -> Bytes.t -> Bytes.t
+
+val encrypt_sector : key -> sector:int -> Bytes.t -> Bytes.t
+val decrypt_sector : key -> sector:int -> Bytes.t -> Bytes.t

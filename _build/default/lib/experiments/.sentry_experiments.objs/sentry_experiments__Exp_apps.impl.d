@@ -1,0 +1,1 @@
+lib/experiments/exp_apps.ml: App Apps Config Encrypt_on_lock Energy Hashtbl List Machine Page_crypt Sentry Sentry_core Sentry_soc Sentry_util Sentry_workloads System Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_apps.mli: Lazy Sentry_workloads

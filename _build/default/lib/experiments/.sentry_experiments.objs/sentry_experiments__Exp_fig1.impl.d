@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Address_space Bytes Bytes_util Config Dram List Machine Page Page_table Pl310 Printf Process Sentry Sentry_core Sentry_kernel Sentry_soc Sentry_util System Table Units Vm

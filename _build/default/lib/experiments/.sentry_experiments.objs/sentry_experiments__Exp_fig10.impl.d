@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Kernel_compile List Printf Sentry_util Sentry_workloads Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.mli: Sentry_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.ml: Aes_on_soc Bytes Config Generic_aes Hw_accel Machine Perf Printf Sentry Sentry_core Sentry_crypto Sentry_kernel Sentry_soc Sentry_util System Table Units

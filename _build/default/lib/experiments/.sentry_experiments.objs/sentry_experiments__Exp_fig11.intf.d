@@ -1,0 +1,1 @@
+lib/experiments/exp_fig11.mli: Sentry_util

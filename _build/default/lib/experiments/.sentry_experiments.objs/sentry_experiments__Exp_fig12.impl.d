@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Bytes Energy Generic_aes Hw_accel List Machine Perf Printf Sentry_core Sentry_crypto Sentry_kernel Sentry_soc Sentry_util System

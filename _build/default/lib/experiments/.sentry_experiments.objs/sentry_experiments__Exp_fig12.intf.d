@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.mli: Sentry_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.mli: Sentry_util

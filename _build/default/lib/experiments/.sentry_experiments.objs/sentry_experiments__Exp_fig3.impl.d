@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Exp_apps Lazy List Printf Sentry_util Sentry_workloads Table

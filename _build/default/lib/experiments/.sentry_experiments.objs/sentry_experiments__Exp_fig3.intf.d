@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.mli: Sentry_util

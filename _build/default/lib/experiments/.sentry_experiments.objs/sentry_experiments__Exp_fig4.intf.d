@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.mli: Sentry_util

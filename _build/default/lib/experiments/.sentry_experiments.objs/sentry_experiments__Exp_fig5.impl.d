@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Exp_apps Lazy List Printf Sentry_soc Sentry_util Sentry_workloads Table

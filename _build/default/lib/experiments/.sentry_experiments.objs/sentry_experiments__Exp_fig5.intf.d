@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.mli: Sentry_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6_8.ml: Background Background_app Bytes Config Hashtbl List Printf Sentry Sentry_core Sentry_kernel Sentry_util Sentry_workloads System Table Units

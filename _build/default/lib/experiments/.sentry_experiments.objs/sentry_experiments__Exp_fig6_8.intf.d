@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6_8.mli: Sentry_util

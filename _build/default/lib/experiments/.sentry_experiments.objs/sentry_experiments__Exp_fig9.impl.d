@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Config Filebench Hashtbl List Printf Sentry Sentry_core Sentry_util Sentry_workloads System Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.mli: Sentry_util

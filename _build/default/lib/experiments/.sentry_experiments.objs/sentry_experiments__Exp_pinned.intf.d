@@ -1,0 +1,1 @@
+lib/experiments/exp_pinned.mli: Sentry_util

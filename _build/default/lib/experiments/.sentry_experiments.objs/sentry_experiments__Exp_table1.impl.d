@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Bus_monitor Bytes Cold_boot Dma_attack Fuse Jtag_attack Machine Sentry_attacks Sentry_core Sentry_kernel Sentry_soc Sentry_util System Table

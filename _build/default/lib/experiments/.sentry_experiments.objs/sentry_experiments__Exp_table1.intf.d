@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.mli: Sentry_util

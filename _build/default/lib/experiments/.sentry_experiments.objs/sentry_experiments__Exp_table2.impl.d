@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Array Bytes Bytes_util Cold_boot Dram Hashtbl Iram List Machine Memdump Printf Sentry_attacks Sentry_soc Sentry_util Stats Table Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.mli: Sentry_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: List Sentry_attacks Sentry_util Table Verdict

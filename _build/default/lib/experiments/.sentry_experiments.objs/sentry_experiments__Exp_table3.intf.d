@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.mli: Sentry_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Aes_key Aes_state List Sentry_crypto Sentry_util Table Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.mli: Sentry_util

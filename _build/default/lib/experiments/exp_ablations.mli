@@ -1,0 +1,5 @@
+(** Ablation benches for the design choices DESIGN.md calls out:
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

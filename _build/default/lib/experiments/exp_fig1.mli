@@ -1,0 +1,5 @@
+(** Fig 1: decrypt-on-page-in, traced step by step on live hardware
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** Fig 10: Linux kernel compile duration as a function of locked
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,96 @@
+(** Fig 11: AES throughput on 4 KB pages across every variant —
+    Nexus 4 (generic user/kernel, hardware accelerator) and Tegra 3
+    (generic, AES_On_SoC in locked L2, AES_On_SoC in iRAM). *)
+
+open Sentry_util
+open Sentry_soc
+open Sentry_crypto
+open Sentry_core
+
+let pages = 64
+let page = 4096
+
+let measure machine f =
+  let t0 = Machine.now machine in
+  f ();
+  let elapsed = Machine.now machine -. t0 in
+  Units.throughput_mb_s ~bytes:(pages * page) ~time_ns:elapsed
+
+let iv = Bytes.make 16 '\000'
+
+let generic_mb_s platform variant =
+  let system = System.boot platform ~seed:0xf11 in
+  let machine = System.machine system in
+  let frame = Sentry_kernel.Frame_alloc.alloc system.System.frames in
+  let g = Generic_aes.create machine ~ctx_base:frame ~variant in
+  Generic_aes.set_key g (Bytes.make 16 'k');
+  let data = Bytes.make page 'x' in
+  measure machine (fun () ->
+      for _ = 1 to pages do
+        ignore (Generic_aes.bulk g ~dir:`Encrypt ~iv data)
+      done)
+
+let hw_mb_s ~awake =
+  let system = System.boot `Nexus4 ~seed:0xf11 in
+  let machine = System.machine system in
+  let hw = Hw_accel.create machine in
+  Hw_accel.set_awake hw awake;
+  Hw_accel.set_key hw (Bytes.make 16 'k');
+  let data = Bytes.make page 'x' in
+  measure machine (fun () ->
+      for _ = 1 to pages do
+        ignore (Hw_accel.encrypt hw ~iv data)
+      done)
+
+let onsoc_mb_s storage =
+  let system = System.boot `Tegra3 ~seed:0xf11 in
+  let machine = System.machine system in
+  let config =
+    match storage with
+    | Aes_on_soc.In_iram -> { (Config.default `Tegra3) with Config.storage = Config.Use_iram }
+    | Aes_on_soc.In_locked_l2 | Aes_on_soc.In_pinned -> Config.default `Tegra3
+  in
+  let sentry = Sentry.install system config in
+  let aes = Sentry.aes sentry in
+  let data = Bytes.make page 'x' in
+  measure machine (fun () ->
+      for _ = 1 to pages do
+        ignore (Aes_on_soc.bulk aes ~dir:`Encrypt ~iv data)
+      done)
+
+let run () =
+  let nexus =
+    [
+      [ "Generic AES (user)"; Printf.sprintf "%.1f MB/s" (generic_mb_s `Nexus4 Perf.Openssl_user) ];
+      [
+        "Generic AES (in kernel)";
+        Printf.sprintf "%.1f MB/s" (generic_mb_s `Nexus4 Perf.Crypto_api_kernel);
+      ];
+      [ "Crypto Hardware (locked, down-scaled)"; Printf.sprintf "%.1f MB/s" (hw_mb_s ~awake:false) ];
+      [ "Crypto Hardware (awake)"; Printf.sprintf "%.1f MB/s" (hw_mb_s ~awake:true) ];
+    ]
+  in
+  let tegra =
+    [
+      [ "Generic AES"; Printf.sprintf "%.1f MB/s" (generic_mb_s `Tegra3 Perf.Openssl_user) ];
+      [
+        "AES_On_SoC (Locked L2)";
+        Printf.sprintf "%.1f MB/s" (onsoc_mb_s Aes_on_soc.In_locked_l2);
+      ];
+      [ "AES_On_SoC (iRAM)"; Printf.sprintf "%.1f MB/s" (onsoc_mb_s Aes_on_soc.In_iram) ];
+    ]
+  in
+  [
+    Table.make ~title:"Fig 11 (left): AES performance on Nexus 4, 4 KB pages"
+      ~header:[ "Variant"; "Throughput" ]
+      ~notes:
+        [
+          "The accelerator loses to the CPU on 4 KB pages while the phone sleeps:";
+          "per-request setup dominates small transfers and the engine is down-clocked ~4x.";
+        ]
+      nexus;
+    Table.make ~title:"Fig 11 (right): AES performance on Tegra 3, 4 KB pages"
+      ~header:[ "Variant"; "Throughput" ]
+      ~notes:[ "AES_On_SoC adds <1% over generic AES on Tegra (the paper's key result)." ]
+      tegra;
+  ]

@@ -1,0 +1,5 @@
+(** Fig 11: AES throughput on 4 KB pages across every variant —
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

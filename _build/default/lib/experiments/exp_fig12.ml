@@ -1,0 +1,61 @@
+(** Fig 12: full-system energy per byte of AES on the Nexus 4 —
+    OpenSSL vs kernel Crypto API vs hardware accelerator. *)
+
+open Sentry_soc
+open Sentry_crypto
+open Sentry_core
+
+let pages = 64
+let page = 4096
+
+let metered machine ~categories f =
+  let energy = Machine.energy machine in
+  let before = List.fold_left (fun acc c -> acc +. Energy.category energy c) 0.0 categories in
+  f ();
+  let after = List.fold_left (fun acc c -> acc +. Energy.category energy c) 0.0 categories in
+  (after -. before) /. float_of_int (pages * page) *. 1e6 (* uJ per byte *)
+
+let iv = Bytes.make 16 '\000'
+
+let cpu_variant variant =
+  let system = System.boot `Nexus4 ~seed:0xf12 in
+  let machine = System.machine system in
+  let frame = Sentry_kernel.Frame_alloc.alloc system.System.frames in
+  let g = Generic_aes.create machine ~ctx_base:frame ~variant in
+  Generic_aes.set_key g (Bytes.make 16 'k');
+  let data = Bytes.make page 'x' in
+  metered machine ~categories:[ "aes" ] (fun () ->
+      for _ = 1 to pages do
+        ignore (Generic_aes.bulk g ~dir:`Encrypt ~iv data)
+      done)
+
+let hw () =
+  let system = System.boot `Nexus4 ~seed:0xf12 in
+  let machine = System.machine system in
+  let hw = Hw_accel.create machine in
+  Hw_accel.set_awake hw false;
+  Hw_accel.set_key hw (Bytes.make 16 'k');
+  let data = Bytes.make page 'x' in
+  metered machine ~categories:[ "aes-hw" ] (fun () ->
+      for _ = 1 to pages do
+        ignore (Hw_accel.encrypt hw ~iv data)
+      done)
+
+let run () =
+  let rows =
+    [
+      [ "OpenSSL"; Printf.sprintf "%.3f uJ/byte" (cpu_variant Perf.Openssl_user) ];
+      [ "CryptoAPI"; Printf.sprintf "%.3f uJ/byte" (cpu_variant Perf.Crypto_api_kernel) ];
+      [ "HW Accelerated"; Printf.sprintf "%.3f uJ/byte" (hw ()) ];
+    ]
+  in
+  [
+    Sentry_util.Table.make ~title:"Fig 12: AES energy per byte on Nexus 4 (4 KB pages)"
+      ~header:[ "Variant"; "Energy" ]
+      ~notes:
+        [
+          "Paper: HW-accelerated encryption is ~3-4x less energy-efficient than the CPU";
+          "at page granularity -- low throughput keeps the whole system awake longer.";
+        ]
+      rows;
+  ]

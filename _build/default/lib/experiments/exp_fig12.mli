@@ -1,0 +1,5 @@
+(** Fig 12: full-system energy per byte of AES on the Nexus 4 —
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

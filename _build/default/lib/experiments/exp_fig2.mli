@@ -1,0 +1,5 @@
+(** Fig 2: performance overhead upon device unlock (time and MB
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** Fig 3: runtime overhead while scripted sessions run after unlock
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** Fig 4: performance overhead upon device lock (encrypt-on-lock). 
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** Fig 5: energy overhead of encrypt-on-lock and decrypt-on-unlock,
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

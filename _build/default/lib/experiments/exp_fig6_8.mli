@@ -1,0 +1,5 @@
+(** Figs 6-8: background computation performance while locked
+    (alpine, vlock, xmms2). *)
+
+(** Three tables, one per figure. *)
+val run : unit -> Sentry_util.Table.t list

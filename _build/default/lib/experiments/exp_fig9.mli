@@ -1,0 +1,5 @@
+(** Fig 9: dm-crypt throughput under filebench — randread and randrw,
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** §7's motivation numbers for selective encryption:
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** §10's architecture suggestion, evaluated: a platform with a
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

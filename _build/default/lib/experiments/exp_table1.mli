@@ -1,0 +1,4 @@
+(** Table 1: the threat-model summary, with in-scope rows demonstrated
+    against an unprotected control. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,5 @@
+(** Table 2: iRAM and DRAM data-remanence rates on the tablet.
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

@@ -1,0 +1,31 @@
+(** Table 3: security analysis of the storage alternatives.
+
+    Every cell is an actual mounted attack against a secret placed in
+    that storage (plus the DRAM control row the paper's argument
+    implies). *)
+
+open Sentry_util
+open Sentry_attacks
+
+let cell ~attack ~storage =
+  if Verdict.safe ~storage ~attack then "Safe" else "UNSAFE"
+
+let run () =
+  let rows =
+    List.map
+      (fun attack ->
+        Verdict.attack_name attack
+        :: List.map (fun storage -> cell ~attack ~storage) Verdict.storages)
+      Verdict.attacks
+  in
+  [
+    Table.make ~title:"Table 3: storage alternatives vs. memory attacks (mounted)"
+      ~header:("Attack" :: List.map Verdict.storage_name Verdict.storages)
+      ~notes:
+        [
+          "iRAM is DMA-safe only because TrustZone denies the window (S4.4);";
+          "locked L2 is DMA-safe intrinsically: DMA bypasses the cache.";
+          "Paper: both on-SoC options Safe against all three attacks.";
+        ]
+      rows;
+  ]

@@ -1,0 +1,5 @@
+(** Table 3: security analysis of the storage alternatives.
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

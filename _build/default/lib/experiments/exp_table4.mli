@@ -1,0 +1,5 @@
+(** Table 4: the breakdown of AES state in bytes, computed from this
+
+    See the implementation for methodology notes. *)
+
+val run : unit -> Sentry_util.Table.t list

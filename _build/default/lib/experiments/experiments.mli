@@ -1,0 +1,12 @@
+(** Registry of every paper table/figure reproduction, used by the
+    bench harness and the CLI. *)
+
+type entry = {
+  id : string;  (** "table2", "fig9", "ablations", ... *)
+  description : string;
+  run : unit -> Sentry_util.Table.t list;
+}
+
+val all : entry list
+val find : string -> entry option
+val run_and_print : entry -> unit

@@ -1,0 +1,1 @@
+lib/kernel/address_space.ml: Frame_alloc List Machine Page Page_table Sentry_soc

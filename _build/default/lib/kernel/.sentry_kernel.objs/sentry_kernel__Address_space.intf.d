@@ -1,0 +1,1 @@
+lib/kernel/address_space.mli: Frame_alloc Machine Page_table Sentry_soc

@@ -1,0 +1,1 @@
+lib/kernel/block_dev.ml: Blockio Bytes Calib Clock Energy Machine Sentry_soc Sentry_util

@@ -1,0 +1,1 @@
+lib/kernel/block_dev.mli: Blockio Bytes Machine Sentry_soc

@@ -1,0 +1,1 @@
+lib/kernel/blockio.ml: Bytes Printf

@@ -1,0 +1,1 @@
+lib/kernel/blockio.mli: Bytes

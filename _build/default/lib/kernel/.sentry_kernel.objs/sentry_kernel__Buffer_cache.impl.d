@@ -1,0 +1,1 @@
+lib/kernel/buffer_cache.ml: Blockio Bytes Calib Clock Hashtbl Machine Page Sentry_soc

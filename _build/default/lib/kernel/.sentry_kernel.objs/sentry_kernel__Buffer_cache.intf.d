@@ -1,0 +1,1 @@
+lib/kernel/buffer_cache.mli: Blockio Machine Sentry_soc

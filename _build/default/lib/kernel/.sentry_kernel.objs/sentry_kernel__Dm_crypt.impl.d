@@ -1,0 +1,1 @@
+lib/kernel/dm_crypt.ml: Block_dev Blockio Bytes Crypto_api Essiv Sentry_crypto String Xts

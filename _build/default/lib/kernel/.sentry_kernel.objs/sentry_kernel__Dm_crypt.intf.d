@@ -1,0 +1,1 @@
+lib/kernel/dm_crypt.mli: Blockio Bytes Crypto_api Sentry_crypto

@@ -1,0 +1,1 @@
+lib/kernel/frame_alloc.ml: Bytes List Machine Memmap Page Sentry_soc

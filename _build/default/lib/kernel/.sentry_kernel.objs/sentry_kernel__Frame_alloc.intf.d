@@ -1,0 +1,1 @@
+lib/kernel/frame_alloc.mli: Machine Memmap Sentry_soc

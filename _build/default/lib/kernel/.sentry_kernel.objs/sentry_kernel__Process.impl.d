@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Address_space Fmt

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Address_space Format

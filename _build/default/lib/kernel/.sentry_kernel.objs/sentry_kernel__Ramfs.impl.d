@@ -1,0 +1,1 @@
+lib/kernel/ramfs.ml: Blockio Bytes Hashtbl Page Printf

@@ -1,0 +1,1 @@
+lib/kernel/ramfs.mli: Blockio Bytes

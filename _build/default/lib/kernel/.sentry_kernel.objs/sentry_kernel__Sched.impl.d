@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Calib Clock Cpu List Machine Process Sentry_soc

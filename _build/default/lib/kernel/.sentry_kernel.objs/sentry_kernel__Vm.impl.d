@@ -1,0 +1,1 @@
+lib/kernel/vm.ml: Address_space Bytes Calib Clock Machine Page Page_table Process Sentry_soc

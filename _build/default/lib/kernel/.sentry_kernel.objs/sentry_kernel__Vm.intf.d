@@ -1,0 +1,1 @@
+lib/kernel/vm.mli: Bytes Machine Page_table Process Sentry_soc

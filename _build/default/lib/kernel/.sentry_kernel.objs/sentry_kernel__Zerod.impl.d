@@ -1,0 +1,1 @@
+lib/kernel/zerod.ml: Bytes Calib Clock Energy Frame_alloc List Machine Page Sentry_soc Sentry_util

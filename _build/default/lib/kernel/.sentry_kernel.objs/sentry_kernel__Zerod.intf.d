@@ -1,0 +1,1 @@
+lib/kernel/zerod.mli: Frame_alloc Machine Sentry_soc

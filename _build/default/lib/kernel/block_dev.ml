@@ -1,0 +1,62 @@
+(** Raw block devices.
+
+    [Ramdisk] models the paper's dm-crypt isolation setup — "an
+    in-memory disk partition of 450 MB" (§8.2) — where the medium is
+    fast enough that encryption is the bottleneck.  [Emmc] models the
+    phone's actual flash for workloads where the medium matters. *)
+
+open Sentry_soc
+
+type kind = Ramdisk | Emmc
+
+let sector_size = 512
+
+type t = {
+  machine : Machine.t;
+  kind : kind;
+  data : Bytes.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let bandwidth_bytes_per_s kind ~write =
+  let mb = float_of_int Sentry_util.Units.mib in
+  match (kind, write) with
+  | Ramdisk, _ -> 800.0 *. mb
+  | Emmc, false -> 80.0 *. mb
+  | Emmc, true -> 40.0 *. mb
+
+let create machine ~kind ~size =
+  if size mod sector_size <> 0 then invalid_arg "Block_dev.create: size not sector aligned";
+  { machine; kind; data = Bytes.make size '\000'; reads = 0; writes = 0 }
+
+let size t = Bytes.length t.data
+let sectors t = size t / sector_size
+
+let charge t ~write len =
+  let seconds = float_of_int len /. bandwidth_bytes_per_s t.kind ~write in
+  Clock.advance (Machine.clock t.machine) (seconds *. Sentry_util.Units.s);
+  Energy.charge (Machine.energy t.machine) ~category:"blockdev"
+    (float_of_int len *. Calib.dram_byte_j)
+
+(** Raw medium contents — what a forensic flash dump sees.  dm-crypt's
+    security claim is that this is ciphertext. *)
+let raw t = t.data
+
+let target t =
+  {
+    Blockio.name = "blockdev";
+    size = size t;
+    read =
+      (fun ~off ~len ->
+        t.reads <- t.reads + 1;
+        charge t ~write:false len;
+        Bytes.sub t.data off len);
+    write =
+      (fun ~off b ->
+        t.writes <- t.writes + 1;
+        charge t ~write:true (Bytes.length b);
+        Bytes.blit b 0 t.data off (Bytes.length b));
+  }
+
+let stats t = (t.reads, t.writes)

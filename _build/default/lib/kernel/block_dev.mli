@@ -1,0 +1,23 @@
+(** Raw block devices: [Ramdisk] (the paper's in-memory dm-crypt
+    isolation setup, §8.2) and [Emmc] (slower flash). *)
+
+open Sentry_soc
+
+type kind = Ramdisk | Emmc
+
+val sector_size : int
+
+type t
+
+val create : Machine.t -> kind:kind -> size:int -> t
+val size : t -> int
+val sectors : t -> int
+
+(** Raw medium contents — the forensic flash-dump view; dm-crypt's
+    claim is that this is ciphertext. *)
+val raw : t -> Bytes.t
+
+val target : t -> Blockio.t
+
+(** (reads, writes) issued to the medium. *)
+val stats : t -> int * int

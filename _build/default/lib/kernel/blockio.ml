@@ -1,0 +1,25 @@
+(** Byte-addressed block-I/O target interface.
+
+    The storage stack composes targets:
+    [Block_dev] (raw device) ← [Dm_crypt] (transparent encryption) ←
+    [Buffer_cache] (page cache) ← [Ramfs] (files).  Each layer wraps
+    the one below, mirroring the Linux bio stack shape. *)
+
+type t = {
+  name : string;
+  size : int; (* bytes *)
+  read : off:int -> len:int -> bytes;
+  write : off:int -> bytes -> unit;
+}
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg (Printf.sprintf "%s: I/O out of range (off=%d len=%d size=%d)" t.name off len t.size)
+
+let read t ~off ~len =
+  check t off len;
+  t.read ~off ~len
+
+let write t ~off b =
+  check t off (Bytes.length b);
+  t.write ~off b

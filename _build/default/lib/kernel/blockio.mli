@@ -1,0 +1,14 @@
+(** Byte-addressed block-I/O target interface; the storage stack
+    composes these: device ← dm-crypt ← buffer cache ← ramfs. *)
+
+type t = {
+  name : string;
+  size : int;
+  read : off:int -> len:int -> Bytes.t;
+  write : off:int -> Bytes.t -> unit;
+}
+
+(** Bounds-checked I/O. @raise Invalid_argument out of range. *)
+val read : t -> off:int -> len:int -> Bytes.t
+
+val write : t -> off:int -> Bytes.t -> unit

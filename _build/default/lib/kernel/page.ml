@@ -1,0 +1,17 @@
+(** Page-size constants (ARM 4 KB small pages). *)
+
+let size = 4096
+let shift = 12
+
+let align_down addr = addr land lnot (size - 1)
+let align_up addr = align_down (addr + size - 1)
+let is_aligned addr = addr land (size - 1) = 0
+
+(** Virtual page number of a virtual address. *)
+let vpn_of vaddr = vaddr lsr shift
+
+let addr_of_vpn vpn = vpn lsl shift
+let offset_in_page addr = addr land (size - 1)
+
+(** Number of pages covering [bytes]. *)
+let count_of_bytes bytes = (bytes + size - 1) / size

@@ -1,0 +1,13 @@
+(** Page-size constants (ARM 4 KB small pages). *)
+
+val size : int
+val shift : int
+val align_down : int -> int
+val align_up : int -> int
+val is_aligned : int -> bool
+val vpn_of : int -> int
+val addr_of_vpn : int -> int
+val offset_in_page : int -> int
+
+(** Pages needed to cover a byte count. *)
+val count_of_bytes : int -> int

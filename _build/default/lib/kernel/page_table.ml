@@ -1,0 +1,41 @@
+(** Page-table entries and per-address-space tables.
+
+    The [young] bit is the ARM access flag: clearing it on a present
+    page forces a trap on the next access, which is exactly the hook
+    Sentry uses for decrypt-on-page-in (Fig 1) and lazy unlock
+    decryption.  The [encrypted] flag and the [backing] field are the
+    Sentry-specific PTE metadata the paper's kernel patch adds. *)
+
+type pte = {
+  mutable frame : int; (* physical address of the backing frame *)
+  mutable present : bool;
+  mutable young : bool; (* ARM access flag; cleared => trap on access *)
+  mutable writable : bool;
+  mutable encrypted : bool; (* frame currently holds ciphertext *)
+  mutable backing : int option;
+      (* original DRAM frame while the page is resident in a locked
+         L2-backed frame (background paging) *)
+}
+
+let make_pte ~frame =
+  { frame; present = true; young = true; writable = true; encrypted = false; backing = None }
+
+type t = { entries : (int, pte) Hashtbl.t (* vpn -> pte *) }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let find t ~vpn = Hashtbl.find_opt t.entries vpn
+
+let set t ~vpn pte = Hashtbl.replace t.entries vpn pte
+
+let remove t ~vpn = Hashtbl.remove t.entries vpn
+
+let iter t f = Hashtbl.iter f t.entries
+
+let fold t f init = Hashtbl.fold f t.entries init
+
+let page_count t = Hashtbl.length t.entries
+
+(** Clear every young bit — the mass "arm the traps" operation run at
+    device lock so the first post-unlock access to each page faults. *)
+let clear_young_bits t = iter t (fun _ pte -> pte.young <- false)

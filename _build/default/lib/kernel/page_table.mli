@@ -1,0 +1,29 @@
+(** Page-table entries with the ARM access ("young") bit — a cleared
+    young bit on a present page traps on the next access, the hook
+    behind decrypt-on-page-in (Fig 1) — plus Sentry's PTE metadata
+    ([encrypted], [backing]). *)
+
+type pte = {
+  mutable frame : int;  (** physical address of the backing frame *)
+  mutable present : bool;
+  mutable young : bool;  (** cleared => trap on next access *)
+  mutable writable : bool;
+  mutable encrypted : bool;  (** frame currently holds ciphertext *)
+  mutable backing : int option;
+      (** original DRAM frame while resident in a locked-cache page *)
+}
+
+val make_pte : frame:int -> pte
+
+type t
+
+val create : unit -> t
+val find : t -> vpn:int -> pte option
+val set : t -> vpn:int -> pte -> unit
+val remove : t -> vpn:int -> unit
+val iter : t -> (int -> pte -> unit) -> unit
+val fold : t -> (int -> pte -> 'a -> 'a) -> 'a -> 'a
+val page_count : t -> int
+
+(** Arm the traps: clear every young bit (run at device lock). *)
+val clear_young_bits : t -> unit

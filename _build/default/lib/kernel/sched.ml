@@ -1,0 +1,82 @@
+(** Round-robin scheduler with the register-spill hazard.
+
+    On a context switch the outgoing task's register file is saved to
+    its kernel stack — which lives in DRAM.  If a cipher was holding
+    key material in registers with interrupts enabled, the spill
+    plants that material in DRAM for any memory attack to harvest.
+    This is precisely the leak AES_On_SoC's IRQ bracket prevents
+    (§6.2): with interrupts disabled the switch simply cannot preempt
+    the computation. *)
+
+open Sentry_soc
+
+type t = {
+  machine : Machine.t;
+  mutable run_queue : Process.t list;
+  mutable locked_queue : Process.t list; (* un-schedulable (encrypted) *)
+  mutable current : Process.t option;
+  mutable switches : int;
+  mutable spills : int;
+}
+
+let create machine =
+  { machine; run_queue = []; locked_queue = []; current = None; switches = 0; spills = 0 }
+
+let admit t proc = t.run_queue <- t.run_queue @ [ proc ]
+
+let current t = t.current
+
+(** Park a process on the un-schedulable queue (Sentry lock path). *)
+let make_unschedulable t proc =
+  proc.Process.state <- Process.Locked_out;
+  t.run_queue <- List.filter (fun p -> p.Process.pid <> proc.Process.pid) t.run_queue;
+  (match t.current with
+  | Some p when p.Process.pid = proc.Process.pid -> t.current <- None
+  | _ -> ());
+  t.locked_queue <- proc :: t.locked_queue
+
+(** Return a process to the run queue (unlock path). *)
+let make_schedulable t proc =
+  proc.Process.state <- Process.Runnable;
+  t.locked_queue <- List.filter (fun p -> p.Process.pid <> proc.Process.pid) t.locked_queue;
+  if not (List.exists (fun p -> p.Process.pid = proc.Process.pid) t.run_queue) then
+    admit t proc
+
+(* Save the outgoing task's registers to its kernel stack in DRAM.
+   Interrupt-off sections cannot be preempted, so nothing is spilled
+   for them (the switch happens after IRQs come back on, when
+   AES_On_SoC has already zeroed the register file). *)
+let spill_registers t proc =
+  let cpu = Machine.cpu t.machine in
+  if Cpu.irqs_enabled cpu then begin
+    let regs = Cpu.regs_snapshot cpu in
+    Machine.write_uncached t.machine proc.Process.kstack regs;
+    t.spills <- t.spills + 1
+  end
+
+(** [context_switch t] rotates to the next runnable process. *)
+let context_switch t =
+  let cpu = Machine.cpu t.machine in
+  if not (Cpu.irqs_enabled cpu) then None (* preemption masked *)
+  else begin
+    t.switches <- t.switches + 1;
+    Clock.advance (Machine.clock t.machine) Calib.context_switch_ns;
+    (match t.current with
+    | Some p ->
+        spill_registers t p;
+        if p.Process.state = Process.Runnable then t.run_queue <- t.run_queue @ [ p ]
+    | None -> ());
+    match t.run_queue with
+    | next :: rest ->
+        t.run_queue <- rest;
+        t.current <- Some next;
+        Some next
+    | [] ->
+        t.current <- None;
+        None
+  end
+
+(** A timer tick: fires a context switch (if interrupts allow). *)
+let tick t = ignore (context_switch t)
+
+let stats t = (t.switches, t.spills)

@@ -1,0 +1,28 @@
+(** Round-robin scheduler with the register-spill hazard: a context
+    switch with IRQs enabled saves the register file to the outgoing
+    task's DRAM kernel stack — the leak AES_On_SoC's bracket prevents
+    (§6.2).  Interrupt-masked sections cannot be preempted. *)
+
+open Sentry_soc
+
+type t
+
+val create : Machine.t -> t
+val admit : t -> Process.t -> unit
+val current : t -> Process.t option
+
+(** Park a process on the un-schedulable queue (Sentry lock path). *)
+val make_unschedulable : t -> Process.t -> unit
+
+(** Return a process to the run queue (unlock path). *)
+val make_schedulable : t -> Process.t -> unit
+
+(** Rotate to the next runnable process (spilling registers); [None]
+    when preemption is masked or the queue is empty. *)
+val context_switch : t -> Process.t option
+
+(** A timer tick: fire a context switch if interrupts allow. *)
+val tick : t -> unit
+
+(** (context switches, register spills). *)
+val stats : t -> int * int

@@ -1,0 +1,79 @@
+(** Virtual memory: translation, access and young-bit fault delivery.
+
+    A cleared young bit or a non-present page traps to the installed
+    fault handler (Sentry's pager); the time spent inside the handler
+    is attributed to the faulting process's kernel time — the metric
+    Figs 6-8 report for background workloads. *)
+
+open Sentry_soc
+
+exception Segfault of { pid : int; vaddr : int }
+
+type fault_handler = Process.t -> vaddr:int -> Page_table.pte -> unit
+
+type t = { machine : Machine.t; mutable handler : fault_handler }
+
+(* Default handler: emulate the access flag like stock Linux — mark
+   the page young and continue. *)
+let default_handler _proc ~vaddr:_ pte = pte.Page_table.young <- true
+
+let create machine = { machine; handler = default_handler }
+
+let set_fault_handler t h = t.handler <- h
+let reset_fault_handler t = t.handler <- default_handler
+
+let pte_of t proc vaddr =
+  ignore t;
+  match Page_table.find (Address_space.table proc.Process.aspace) ~vpn:(Page.vpn_of vaddr) with
+  | Some pte -> pte
+  | None -> raise (Segfault { pid = proc.Process.pid; vaddr })
+
+(** Fire the fault path for [pte] if it would trap. *)
+let maybe_fault t proc ~vaddr pte =
+  if (not pte.Page_table.present) || not pte.Page_table.young then begin
+    proc.Process.faults <- proc.Process.faults + 1;
+    Clock.advance (Machine.clock t.machine) Calib.page_fault_ns;
+    let start = Clock.now (Machine.clock t.machine) in
+    t.handler proc ~vaddr pte;
+    let spent = Clock.elapsed (Machine.clock t.machine) ~since:start in
+    proc.Process.kernel_time_ns <-
+      proc.Process.kernel_time_ns +. spent +. Calib.page_fault_ns;
+    if (not pte.Page_table.present) || not pte.Page_table.young then
+      raise (Segfault { pid = proc.Process.pid; vaddr })
+  end
+
+(** Translate one address (faulting as needed) to a physical one. *)
+let translate t proc vaddr =
+  let pte = pte_of t proc vaddr in
+  maybe_fault t proc ~vaddr pte;
+  pte.Page_table.frame + Page.offset_in_page vaddr
+
+(* Split an access into per-page chunks. *)
+let iter_pages vaddr len f =
+  let pos = ref vaddr and remaining = ref len and done_ = ref 0 in
+  while !remaining > 0 do
+    let in_page = Page.size - Page.offset_in_page !pos in
+    let chunk = min !remaining in_page in
+    f !pos !done_ chunk;
+    pos := !pos + chunk;
+    done_ := !done_ + chunk;
+    remaining := !remaining - chunk
+  done
+
+(** [read t proc ~vaddr ~len] — a user-mode read through the MMU. *)
+let read t proc ~vaddr ~len =
+  let out = Bytes.create len in
+  iter_pages vaddr len (fun va off chunk ->
+      let pa = translate t proc va in
+      let b = Machine.read t.machine pa chunk in
+      Bytes.blit b 0 out off chunk);
+  out
+
+(** [write t proc ~vaddr b] — a user-mode write through the MMU. *)
+let write t proc ~vaddr b =
+  iter_pages vaddr (Bytes.length b) (fun va off chunk ->
+      let pa = translate t proc va in
+      Machine.write t.machine pa (Bytes.sub b off chunk))
+
+(** [touch t proc ~vaddr] — minimal access used by trace replay. *)
+let touch t proc ~vaddr = ignore (translate t proc vaddr)

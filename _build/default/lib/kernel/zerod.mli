@@ -1,0 +1,15 @@
+(** The freed-page zeroing kernel thread (§7, Securing Freed Pages):
+    Linux zeroes freed pages eventually, with no deadline; Sentry's
+    lock path waits for this thread.  Costs are the paper's measured
+    4.014 GB/s and 2.8 uJ/MB. *)
+
+open Sentry_soc
+
+type t
+
+val create : Machine.t -> frames:Frame_alloc.t -> t
+
+(** Zero every pending dirty frame; returns how many were scrubbed. *)
+val drain : t -> int
+
+val pages_zeroed : t -> int

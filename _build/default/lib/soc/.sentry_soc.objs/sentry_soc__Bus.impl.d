@@ -1,0 +1,1 @@
+lib/soc/bus.ml: Bytes Calib Clock Energy Fmt List Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/bus.mli: Bytes Clock Energy Format

@@ -1,0 +1,1 @@
+lib/soc/calib.ml: Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/cpu.ml: Bytes Bytes_util Clock Fun Sentry_util

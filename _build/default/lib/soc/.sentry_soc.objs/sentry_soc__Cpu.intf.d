@@ -1,0 +1,1 @@
+lib/soc/cpu.mli: Bytes Clock

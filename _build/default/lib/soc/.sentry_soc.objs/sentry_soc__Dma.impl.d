@@ -1,0 +1,1 @@
+lib/soc/dma.ml: Bytes Calib Clock Dram Energy Iram Memmap Trustzone

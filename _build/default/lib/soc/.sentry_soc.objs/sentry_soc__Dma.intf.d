@@ -1,0 +1,1 @@
+lib/soc/dma.mli: Bytes Clock Dram Energy Iram Trustzone

@@ -1,0 +1,1 @@
+lib/soc/dram.ml: Bus Bytes Calib Clock Memmap Printf Prng Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/dram.mli: Bus Bytes Clock Memmap Prng Sentry_util

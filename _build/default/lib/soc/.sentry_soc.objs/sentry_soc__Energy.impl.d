@@ -1,0 +1,1 @@
+lib/soc/energy.ml: Fmt Hashtbl List Sentry_util

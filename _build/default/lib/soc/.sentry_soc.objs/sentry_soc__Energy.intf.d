@@ -1,0 +1,1 @@
+lib/soc/energy.mli: Format

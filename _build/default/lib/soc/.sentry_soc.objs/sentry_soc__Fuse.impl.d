@@ -1,0 +1,1 @@
+lib/soc/fuse.ml: Bytes Prng Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/fuse.mli: Bytes Prng Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/iram.mli: Bytes Clock Energy Memmap

@@ -1,0 +1,1 @@
+lib/soc/machine.ml: Bus Bytes Calib Clock Cpu Dma Dram Energy Fuse Iram Memmap Option Pinned_mem Pl310 Prng Sentry_util Trustzone Units

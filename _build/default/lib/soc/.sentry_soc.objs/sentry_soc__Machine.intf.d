@@ -1,0 +1,1 @@
+lib/soc/machine.mli: Bus Bytes Clock Cpu Dma Dram Energy Fuse Iram Memmap Pinned_mem Pl310 Prng Sentry_util Trustzone

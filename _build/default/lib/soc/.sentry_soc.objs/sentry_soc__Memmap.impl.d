@@ -1,0 +1,1 @@
+lib/soc/memmap.ml: Fmt Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/memmap.mli: Format

@@ -1,0 +1,1 @@
+lib/soc/pinned_mem.ml: Bytes Bytes_util Calib Clock Energy Memmap Printf Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/pinned_mem.mli: Bytes Clock Energy Memmap

@@ -1,0 +1,1 @@
+lib/soc/pl310.ml: Array Bytes Calib Clock Dram Energy Option Sentry_util

@@ -1,0 +1,1 @@
+lib/soc/pl310.mli: Bytes Clock Dram Energy

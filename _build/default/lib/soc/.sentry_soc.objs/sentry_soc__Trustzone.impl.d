@@ -1,0 +1,1 @@
+lib/soc/trustzone.ml: Fun Fuse List Memmap

@@ -1,0 +1,1 @@
+lib/soc/trustzone.mli: Bytes Fuse Memmap

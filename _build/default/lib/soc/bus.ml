@@ -1,0 +1,64 @@
+(** The external memory bus between the SoC and DRAM.
+
+    Everything that leaves the SoC package crosses this bus: L2 miss
+    fills, write-backs, uncached CPU accesses and DMA transfers.  A bus
+    monitoring attack (§3.1) attaches a probe here and sees every
+    transaction — address, direction and data — which is exactly what a
+    FuturePlus-style DDR analyzer captures.
+
+    Accesses served from iRAM or from the L2 cache never appear here;
+    that asymmetry is the core of Sentry's security argument. *)
+
+type op = Read | Write
+
+type transaction = {
+  op : op;
+  addr : int;
+  data : bytes; (* snapshot of the bytes that crossed the bus *)
+  time_ns : float;
+  initiator : [ `Cpu | `L2 | `Dma ];
+}
+
+type t = {
+  clock : Clock.t;
+  energy : Energy.t;
+  mutable monitors : (transaction -> unit) list;
+  mutable transactions : int; (* total count, always maintained *)
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create ~clock ~energy =
+  { clock; energy; monitors = []; transactions = 0; bytes_read = 0; bytes_written = 0 }
+
+(** [attach_monitor t f] registers a probe called on every transaction.
+    Returns a detach function. *)
+let attach_monitor t f =
+  t.monitors <- f :: t.monitors;
+  fun () -> t.monitors <- List.filter (fun g -> g != f) t.monitors
+
+let monitored t = t.monitors <> []
+
+(** [record t ~initiator op addr data] logs one transaction and charges
+    bus energy.  Timing is charged by the initiating component (the L2
+    controller, the CPU or the DMA engine), not here, to avoid double
+    counting. *)
+let record t ~initiator op addr data =
+  t.transactions <- t.transactions + 1;
+  let n = Bytes.length data in
+  (match op with
+  | Read -> t.bytes_read <- t.bytes_read + n
+  | Write -> t.bytes_written <- t.bytes_written + n);
+  Energy.charge t.energy ~category:"bus" (float_of_int n *. Calib.dram_byte_j);
+  if t.monitors <> [] then begin
+    let txn = { op; addr; data = Bytes.copy data; time_ns = Clock.now t.clock; initiator } in
+    List.iter (fun f -> f txn) t.monitors
+  end
+
+let stats t = (t.transactions, t.bytes_read, t.bytes_written)
+
+let pp_op ppf = function Read -> Fmt.string ppf "R" | Write -> Fmt.string ppf "W"
+
+let pp_transaction ppf txn =
+  Fmt.pf ppf "%a 0x%08x %d bytes @%a" pp_op txn.op txn.addr (Bytes.length txn.data)
+    Sentry_util.Units.pp_time txn.time_ns

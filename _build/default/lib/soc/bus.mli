@@ -1,0 +1,33 @@
+(** The external memory bus: everything leaving the SoC package
+    crosses it (L2 miss fills, write-backs, uncached accesses, DMA) —
+    and a bus-monitoring probe (§3.1) sees all of it.  Accesses served
+    from iRAM or L2 hits never appear here. *)
+
+type op = Read | Write
+
+type transaction = {
+  op : op;
+  addr : int;
+  data : Bytes.t;  (** snapshot of the bytes that crossed the bus *)
+  time_ns : float;
+  initiator : [ `Cpu | `Dma | `L2 ];
+}
+
+type t
+
+val create : clock:Clock.t -> energy:Energy.t -> t
+
+(** Register a probe; returns a detach function. *)
+val attach_monitor : t -> (transaction -> unit) -> unit -> unit
+
+val monitored : t -> bool
+
+(** Log one transaction (called by the L2 controller, the CPU's
+    uncached path and the DMA engine). *)
+val record : t -> initiator:[ `Cpu | `Dma | `L2 ] -> op -> int -> Bytes.t -> unit
+
+(** (transaction count, bytes read, bytes written). *)
+val stats : t -> int * int * int
+
+val pp_op : Format.formatter -> op -> unit
+val pp_transaction : Format.formatter -> transaction -> unit

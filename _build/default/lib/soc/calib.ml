@@ -1,0 +1,150 @@
+(** Timing and energy calibration constants.
+
+    Absolute numbers are not the reproduction target (our substrate is a
+    simulator, not the authors' testbed); these constants are chosen so
+    the *magnitudes and ratios* of the paper's evaluation hold.  Each
+    constant carries a provenance note tying it to the paper (§ / Fig /
+    Table) or to a round number consistent with a 1.2-1.5 GHz Cortex-A9
+    class device. *)
+
+open Sentry_util.Units
+
+(* ------------------------------------------------------------------ *)
+(* Memory hierarchy timing (per access unless stated otherwise).      *)
+(* ------------------------------------------------------------------ *)
+
+(** L2 hit latency for one 32-byte line access. ~20 cycles @1.2 GHz. *)
+let l2_hit_line_ns = 17.0
+
+(** DRAM access for one 32-byte line (miss fill or write-back burst).
+    ~70 ns CAS-to-data on LPDDR2 plus controller overhead. *)
+let dram_line_ns = 75.0
+
+(** iRAM (on-SoC SRAM) access for a 32-byte chunk; slightly slower than
+    an L2 hit — it sits on a peripheral port, not the core's L2 path. *)
+let iram_line_ns = 25.0
+
+(** Uncached single-byte CPU access to DRAM. *)
+let dram_byte_uncached_ns = 60.0
+
+(** DMA transfer cost per byte (burst mode). *)
+let dma_byte_ns = 0.6
+
+(* ------------------------------------------------------------------ *)
+(* Energy: memory.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** DRAM energy per byte moved over the bus. *)
+let dram_byte_j = 0.35e-9
+
+(** On-SoC (L2/iRAM) energy per byte. *)
+let onsoc_byte_j = 0.05e-9
+
+(* ------------------------------------------------------------------ *)
+(* AES software throughput (Fig 11). The paper shows ~40 MB/s generic *)
+(* AES on the Nexus 4 and ~13 MB/s on the (slower, less optimised)    *)
+(* Tegra 3 board, with AES_On_SoC within 1% of generic on Tegra.      *)
+(* ------------------------------------------------------------------ *)
+
+(** Generic (OpenSSL-class) AES on Nexus 4, user level, MB/s. *)
+let aes_nexus_user_mb_s = 41.0
+
+(** Kernel Crypto-API AES on Nexus 4 (slight syscall/setup tax), MB/s. *)
+let aes_nexus_kernel_mb_s = 38.5
+
+(** Hardware crypto accelerator on Nexus 4 encrypting 4 KB pages while
+    the device sleeps: frequency down-scaled, ~4x below its awake
+    rate (Fig 11 discussion). *)
+let aes_nexus_hw_downscaled_mb_s = 10.5
+
+(** Same accelerator fully awake (the paper measured ~4x faster). *)
+let aes_nexus_hw_awake_mb_s = 42.0
+
+(** Generic AES on the Tegra 3 board, MB/s. *)
+let aes_tegra_generic_mb_s = 13.2
+
+(** AES_On_SoC relative overhead on Tegra (<1%, Fig 11). *)
+let aes_onsoc_locked_l2_overhead = 0.007
+
+let aes_onsoc_iram_overhead = 0.009
+
+(** Slowdown of the table-free (no access-protected state) AES
+    ablation vs the table-based cipher.  AESSE reports 100x for the
+    fully sequential form and 6x once tables are reintroduced (§9);
+    computing the S-box algebraically per byte lands in between. *)
+let aes_tablefree_slowdown = 10.0
+
+(* ------------------------------------------------------------------ *)
+(* AES energy (Fig 12, microjoule per byte, full-system).             *)
+(* ------------------------------------------------------------------ *)
+
+(** OpenSSL AES on the CPU. *)
+let aes_cpu_j_per_byte = 0.027e-6
+
+(** Kernel Crypto API AES. *)
+let aes_kernel_j_per_byte = 0.030e-6
+
+(** Hardware accelerator on 4 KB pages (low throughput makes the
+    full-system energy per byte much worse, Fig 12). *)
+let aes_hw_j_per_byte = 0.105e-6
+
+(* ------------------------------------------------------------------ *)
+(* OS facts quoted by the paper.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Freed-page zeroing rate (§7: 4.014 GB/s). *)
+let zeroing_bytes_per_s = 4.014 *. float_of_int gib
+
+(** Freed-page zeroing energy (§7: 2.8 uJ per MB). *)
+let zeroing_j_per_mb = 2.8e-6
+
+(** Page-fault cost beyond the crypto itself: trap, page-table walk,
+    PTE update, TLB maintenance, handler dispatch.  The paper's Fig 2
+    resume times imply ~160 us per 4 KB page end-to-end at ~38 MB/s
+    AES, leaving roughly this much per-fault overhead. *)
+let page_fault_ns = 55.0 *. us
+
+(** Context switch cost. *)
+let context_switch_ns = 4.0 *. us
+
+(** PL310 maintenance operation (way enable/disable, single op). *)
+let pl310_op_ns = 0.3 *. us
+
+(** Interrupts stay raised ~160 us on average around AES_On_SoC block
+    batches (§6.2). *)
+let onsoc_irq_window_ns = 160.0 *. us
+
+(* ------------------------------------------------------------------ *)
+(* Platform energy facts.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Nexus 4 battery: 2100 mAh @ 3.8 V = 8.0 Wh = 28,728 J. *)
+let nexus4_battery_j = 2.100 *. 3.8 *. 3600.0
+
+(** Full 2 GB memory encryption consumed "over 70 Joules" and took
+    "over a minute" (§7) — these emerge from the constants above; the
+    motivation experiment checks they do. *)
+let unlocks_per_day = 150
+
+(* ------------------------------------------------------------------ *)
+(* DRAM remanence model (Table 2).                                    *)
+(*                                                                    *)
+(* Per-byte logistic survival p(d) = 1 / (1 + exp ((d - d0) / k)).    *)
+(* The paper's metric counts intact 8-byte pattern slots, so the      *)
+(* per-byte curve is fitted to the eighth roots of its two            *)
+(* power-loss points:                                                 *)
+(*   slot(0.2 s) = 0.975  => byte(0.2) = 0.975^(1/8) = 0.99684        *)
+(*   slot(2.0 s) = 0.001  => byte(2.0) = 0.001^(1/8) = 0.42170        *)
+(* ------------------------------------------------------------------ *)
+
+let remanence_d0 = 1.9064
+let remanence_k = 0.29656
+
+let dram_survival ~power_off_s =
+  if power_off_s <= 0.0 then 1.0
+  else 1.0 /. (1.0 +. exp ((power_off_s -. remanence_d0) /. remanence_k))
+
+(** Fraction of DRAM a full OS reboot overwrites with its own boot
+    footprint (kernel image, boot-time allocations): Table 2 reports
+    96.4% preserved on a warm reboot. *)
+let warm_reboot_overwrite_fraction = 0.036

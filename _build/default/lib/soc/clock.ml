@@ -1,0 +1,21 @@
+(** Simulated wall clock.
+
+    Every component charges time here; experiments report elapsed
+    simulated nanoseconds, not host wall-clock. *)
+
+type t = { mutable now_ns : float }
+
+let create () = { now_ns = 0.0 }
+let now t = t.now_ns
+let advance t dt = t.now_ns <- t.now_ns +. dt
+let reset t = t.now_ns <- 0.0
+
+(** [elapsed t ~since] is the simulated time passed since [since]. *)
+let elapsed t ~since = t.now_ns -. since
+
+(** [timed t f] runs [f ()] and returns its result together with the
+    simulated time it consumed. *)
+let timed t f =
+  let start = t.now_ns in
+  let result = f () in
+  (result, t.now_ns -. start)

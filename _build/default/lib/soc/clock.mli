@@ -1,0 +1,13 @@
+(** Simulated wall clock (nanoseconds). *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val advance : t -> float -> unit
+val reset : t -> unit
+val elapsed : t -> since:float -> float
+
+(** Run a thunk and return its result with the simulated time it
+    consumed. *)
+val timed : t -> (unit -> 'a) -> 'a * float

@@ -1,0 +1,76 @@
+(** CPU core state relevant to Sentry: the general-purpose register
+    file and the IRQ enable flag.
+
+    Sensitive AES state is loaded into registers during computation.
+    If an interrupt fires mid-computation, the context switch spills
+    the register file to the kernel stack — in DRAM — leaking key
+    material (§6.2).  AES_On_SoC brackets its computation with
+    [onsoc_disable_irq]/[onsoc_enable_irq]; the latter zeroes the
+    registers before re-enabling interrupts. *)
+
+open Sentry_util
+
+type t = {
+  regs : Bytes.t; (* r0-r12 + sp + lr + pc: 16 x 32-bit *)
+  clock : Clock.t;
+  mutable irqs_enabled : bool;
+  mutable irq_disabled_at : float;
+  mutable max_irq_window_ns : float;
+}
+
+let num_regs = 16
+let reg_bytes = num_regs * 4
+
+let create ~clock =
+  {
+    regs = Bytes.make reg_bytes '\000';
+    clock;
+    irqs_enabled = true;
+    irq_disabled_at = 0.0;
+    max_irq_window_ns = 0.0;
+  }
+
+let irqs_enabled t = t.irqs_enabled
+
+(** Load sensitive working state into the register file (models the
+    compiler keeping AES round state in registers). *)
+let load_regs t b =
+  let n = min (Bytes.length b) reg_bytes in
+  Bytes.blit b 0 t.regs 0 n
+
+let regs_snapshot t = Bytes.copy t.regs
+
+let zero_regs t = Bytes_util.zero t.regs
+
+(** Plain IRQ disable (no zeroing) — what generic kernel code does. *)
+let disable_irqs t =
+  if t.irqs_enabled then begin
+    t.irqs_enabled <- false;
+    t.irq_disabled_at <- Clock.now t.clock
+  end
+
+let enable_irqs t =
+  if not t.irqs_enabled then begin
+    let window = Clock.elapsed t.clock ~since:t.irq_disabled_at in
+    if window > t.max_irq_window_ns then t.max_irq_window_ns <- window;
+    t.irqs_enabled <- true
+  end
+
+(** The paper's [onsoc_disable_irq()] macro. *)
+let onsoc_disable_irq t = disable_irqs t
+
+(** The paper's [onsoc_enable_irq()] macro: zero every general-purpose
+    register, then re-enable interrupts, so a subsequent context
+    switch has nothing sensitive to spill. *)
+let onsoc_enable_irq t =
+  zero_regs t;
+  enable_irqs t
+
+(** Longest observed interrupts-off window (the paper measures 160 us
+    on average on Tegra 3). *)
+let max_irq_window_ns t = t.max_irq_window_ns
+
+(** [with_irqs_off t f] — the AES_On_SoC computation bracket. *)
+let with_irqs_off t f =
+  onsoc_disable_irq t;
+  Fun.protect ~finally:(fun () -> onsoc_enable_irq t) f

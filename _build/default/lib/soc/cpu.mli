@@ -1,0 +1,38 @@
+(** CPU core state relevant to Sentry: the register file (where
+    sensitive cipher state lives during computation) and the IRQ
+    enable flag.  A context switch with IRQs enabled spills the
+    registers to a DRAM kernel stack; the [onsoc_*] bracket prevents
+    that (§6.2). *)
+
+type t
+
+val num_regs : int
+val reg_bytes : int
+
+val create : clock:Clock.t -> t
+val irqs_enabled : t -> bool
+
+(** Load sensitive working state into the register file. *)
+val load_regs : t -> Bytes.t -> unit
+
+val regs_snapshot : t -> Bytes.t
+val zero_regs : t -> unit
+
+(** Plain IRQ disable/enable (no zeroing) — generic kernel code. *)
+val disable_irqs : t -> unit
+
+val enable_irqs : t -> unit
+
+(** The paper's [onsoc_disable_irq()] macro. *)
+val onsoc_disable_irq : t -> unit
+
+(** The paper's [onsoc_enable_irq()]: zero every register, then
+    re-enable interrupts. *)
+val onsoc_enable_irq : t -> unit
+
+(** Longest observed interrupts-off window (the paper measures
+    ~160 us on average). *)
+val max_irq_window_ns : t -> float
+
+(** The AES_On_SoC computation bracket; exception-safe. *)
+val with_irqs_off : t -> (unit -> 'a) -> 'a

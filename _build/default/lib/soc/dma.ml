@@ -1,0 +1,64 @@
+(** DMA controller.
+
+    A DMA engine moves data without CPU cooperation and — crucially —
+    {e bypasses the L2 cache}: transfers read and write DRAM (or iRAM)
+    directly.  Cache coherence is software-managed on these SoCs
+    (§4.4): the OS must clean lines before an outgoing transfer and
+    invalidate before an incoming one.
+
+    A DMA {e attack} (§3.1) programs this controller over an exposed
+    interface to dump memory of a PIN-locked device.  The only
+    hardware defence is TrustZone's deny list. *)
+
+type error = Denied | Bad_address
+
+type t = {
+  dram : Dram.t;
+  iram : Iram.t;
+  tz : Trustzone.t;
+  clock : Clock.t;
+  energy : Energy.t;
+}
+
+let create ~dram ~iram ~tz ~clock ~energy = { dram; iram; tz; clock; energy }
+
+let charge t len =
+  Clock.advance t.clock (float_of_int len *. Calib.dma_byte_ns);
+  Energy.charge t.energy ~category:"dma" (float_of_int len *. Calib.onsoc_byte_j)
+
+let target t addr len =
+  if Dram.contains t.dram addr && Dram.contains t.dram (addr + len - 1) then Some `Dram
+  else if Iram.contains t.iram addr && Iram.contains t.iram (addr + len - 1) then Some `Iram
+  else None
+
+(** [read t ~addr ~len] — a device-initiated read of physical memory.
+    Sees DRAM as it is, stale or not (never the cache's view), and
+    iRAM unless TrustZone denies the window. *)
+let read t ~addr ~len =
+  if not (Trustzone.dma_allowed t.tz ~addr ~len) then Error Denied
+  else
+    match target t addr len with
+    | None -> Error Bad_address
+    | Some `Dram ->
+        charge t len;
+        Ok (Dram.read t.dram ~initiator:`Dma addr len)
+    | Some `Iram ->
+        charge t len;
+        (* iRAM DMA stays on-SoC: no bus transaction, but the data
+           still leaves through the peripheral. *)
+        Ok (Bytes.sub (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len)
+
+(** [write t ~addr b] — a device-initiated write (e.g. an incoming
+    network buffer, or a code-injection attempt). *)
+let write t ~addr b =
+  let len = Bytes.length b in
+  if not (Trustzone.dma_allowed t.tz ~addr ~len) then Error Denied
+  else
+    match target t addr len with
+    | None -> Error Bad_address
+    | Some `Dram ->
+        charge t len;
+        Ok (Dram.write t.dram ~initiator:`Dma addr b)
+    | Some `Iram ->
+        charge t len;
+        Ok (Bytes.blit b 0 (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len)

@@ -1,0 +1,18 @@
+(** DMA controller: transfers bypass the L2 cache (coherence is
+    software-managed, §4.4) and are subject only to TrustZone's deny
+    list — the substrate of both legitimate device I/O and the §3.1
+    DMA attack. *)
+
+type error = Denied | Bad_address
+
+type t
+
+val create :
+  dram:Dram.t -> iram:Iram.t -> tz:Trustzone.t -> clock:Clock.t -> energy:Energy.t -> t
+
+(** Device-initiated read of physical memory: DRAM as it is (stale or
+    not), iRAM unless denied. *)
+val read : t -> addr:int -> len:int -> (Bytes.t, error) result
+
+(** Device-initiated write (incoming buffer — or injection attempt). *)
+val write : t -> addr:int -> Bytes.t -> (unit, error) result

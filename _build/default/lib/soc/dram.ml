@@ -1,0 +1,74 @@
+(** Off-SoC DRAM with a data-remanence model.
+
+    The backing store is directly inspectable ([snapshot], [raw]) —
+    that is the point: cold-boot and DMA attacks read this array, not
+    the CPU's view through the cache. *)
+
+open Sentry_util
+
+type t = {
+  region : Memmap.region;
+  data : Bytes.t;
+  bus : Bus.t;
+  clock : Clock.t;
+  prng : Prng.t;
+  mutable powered : bool;
+}
+
+let create ~bus ~clock ~prng ~size =
+  {
+    region = Memmap.region ~base:Memmap.dram_base ~size;
+    data = Bytes.make size '\000';
+    bus;
+    clock;
+    prng;
+    powered = true;
+  }
+
+let region t = t.region
+let size t = t.region.Memmap.size
+let contains t addr = Memmap.contains t.region addr
+
+let check t addr len =
+  if not (t.powered) then failwith "Dram: access while powered off";
+  if not (contains t addr && (len = 0 || contains t (addr + len - 1))) then
+    invalid_arg (Printf.sprintf "Dram: access out of range 0x%x+%d" addr len)
+
+(** [read t ~initiator addr len] fetches bytes over the bus. *)
+let read t ~initiator addr len =
+  check t addr len;
+  let off = Memmap.offset t.region addr in
+  let b = Bytes.sub t.data off len in
+  Bus.record t.bus ~initiator Bus.Read addr b;
+  b
+
+(** [write t ~initiator addr b] stores bytes over the bus. *)
+let write t ~initiator addr b =
+  let len = Bytes.length b in
+  check t addr len;
+  let off = Memmap.offset t.region addr in
+  Bytes.blit b 0 t.data off len;
+  Bus.record t.bus ~initiator Bus.Write addr b
+
+(** Direct backing-store access for attack tooling and test assertions
+    (no bus traffic — this is "desoldering the chip", not a CPU read). *)
+let raw t = t.data
+
+let snapshot t = Bytes.copy t.data
+
+(** [power_cycle t ~off_s] models removing power for [off_s] seconds.
+    Each byte independently survives with the Table 2-calibrated
+    probability; decayed bytes fall to the DRAM ground state (0x00 or
+    0xFF depending on cell polarity — we model half and half, decided
+    per 64-byte row, as real modules ground alternate rows). *)
+let power_cycle t ~off_s =
+  let p = Calib.dram_survival ~power_off_s:off_s in
+  if p < 1.0 then begin
+    let n = Bytes.length t.data in
+    let row_ground row = if row land 1 = 0 then '\x00' else '\xff' in
+    for i = 0 to n - 1 do
+      if not (Prng.flip t.prng ~p) then Bytes.unsafe_set t.data i (row_ground (i lsr 6))
+    done
+  end
+
+let set_powered t powered = t.powered <- powered

@@ -1,0 +1,31 @@
+(** Off-SoC DRAM with a Table 2-calibrated data-remanence model.  The
+    backing store is directly inspectable — cold-boot and DMA attacks
+    read this array, not the CPU's cached view. *)
+
+open Sentry_util
+
+type t
+
+val create : bus:Bus.t -> clock:Clock.t -> prng:Prng.t -> size:int -> t
+val region : t -> Memmap.region
+val size : t -> int
+val contains : t -> int -> bool
+
+(** Bus-visible fetch/store (used by the L2 controller, uncached CPU
+    accesses and DMA). *)
+val read : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> int -> Bytes.t
+
+val write : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> Bytes.t -> unit
+
+(** Direct backing-store access (attack tooling / test assertions —
+    no bus traffic). *)
+val raw : t -> Bytes.t
+
+val snapshot : t -> Bytes.t
+
+(** Remove power for [off_s] seconds: each byte survives with the
+    calibrated probability; decayed bytes fall to the per-row ground
+    state. *)
+val power_cycle : t -> off_s:float -> unit
+
+val set_powered : t -> bool -> unit

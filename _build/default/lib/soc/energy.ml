@@ -1,0 +1,41 @@
+(** Energy accounting with per-category attribution.
+
+    The paper reports energy for encryption, decryption, page zeroing
+    and full-memory sweeps separately; categories keep those
+    attributable without separate meters. *)
+
+type t = { mutable total_j : float; by_category : (string, float ref) Hashtbl.t }
+
+let create () = { total_j = 0.0; by_category = Hashtbl.create 16 }
+
+let charge t ~category joules =
+  t.total_j <- t.total_j +. joules;
+  match Hashtbl.find_opt t.by_category category with
+  | Some r -> r := !r +. joules
+  | None -> Hashtbl.add t.by_category category (ref joules)
+
+let total t = t.total_j
+
+let category t name =
+  match Hashtbl.find_opt t.by_category name with Some r -> !r | None -> 0.0
+
+let categories t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.by_category []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  t.total_j <- 0.0;
+  Hashtbl.reset t.by_category
+
+(** [metered t ~category:c f] runs [f ()] and returns its result with
+    the energy charged to [c] during the call. *)
+let metered t ~category:c f =
+  let before = category t c in
+  let result = f () in
+  (result, category t c -. before)
+
+let pp ppf t =
+  Fmt.pf ppf "total %a" Sentry_util.Units.pp_energy t.total_j;
+  List.iter
+    (fun (k, v) -> Fmt.pf ppf "@ %s: %a" k Sentry_util.Units.pp_energy v)
+    (categories t)

@@ -1,0 +1,29 @@
+(** On-SoC internal SRAM: CPU accesses never cross the external bus;
+    firmware zeroes it at power-on boot (cold-boot safe, Table 2);
+    ordinary memory to DMA unless TrustZone denies the window. *)
+
+type t
+
+val create : clock:Clock.t -> energy:Energy.t -> size:int -> t
+val region : t -> Memmap.region
+val size : t -> int
+val contains : t -> int -> bool
+
+(** The firmware-reserved low 64 KB. *)
+val firmware_region : t -> Memmap.region
+
+val read : t -> int -> int -> Bytes.t
+
+(** Writing inside the firmware region marks the platform crashed. *)
+val write : t -> int -> Bytes.t -> unit
+
+(** False once the firmware scratch area has been clobbered (§4.5). *)
+val firmware_ok : t -> bool
+
+(** Direct view (what an un-denied DMA window reads). *)
+val raw : t -> Bytes.t
+
+val snapshot : t -> Bytes.t
+
+(** Power-on-reset firmware behaviour: zero everything. *)
+val firmware_clear : t -> unit

@@ -1,0 +1,85 @@
+(** The assembled platform: two configurations mirroring the paper's
+    prototypes ([tegra3]: cache locking + TrustZone + no accelerator;
+    [nexus4]: locked firmware, iRAM only, crypto accelerator). *)
+
+open Sentry_util
+
+type config = {
+  name : string;
+  dram_size : int;
+  iram_size : int;
+  cache_locking_available : bool;
+  has_crypto_accel : bool;
+  trustzone_available : bool;
+  has_pinned_memory : bool;  (** the §10 future-architecture feature *)
+}
+
+val tegra3 : ?dram_size:int -> unit -> config
+val nexus4 : ?dram_size:int -> unit -> config
+
+(** The hypothetical §10 platform: Tegra-class plus pin-on-SoC
+    memory. *)
+val future : ?dram_size:int -> unit -> config
+
+type t
+
+val create : ?seed:int -> config -> t
+
+val config : t -> config
+val clock : t -> Clock.t
+val energy : t -> Energy.t
+val prng : t -> Prng.t
+val bus : t -> Bus.t
+val dram : t -> Dram.t
+val iram : t -> Iram.t
+val l2 : t -> Pl310.t
+val fuse : t -> Fuse.t
+val trustzone : t -> Trustzone.t
+val dma : t -> Dma.t
+val cpu : t -> Cpu.t
+
+(** The pin-on-SoC memory, on platforms that have it. *)
+val pinned : t -> Pinned_mem.t option
+
+(** Current simulated time (ns). *)
+val now : t -> float
+
+val dram_region : t -> Memmap.region
+val iram_region : t -> Memmap.region
+val in_dram : t -> int -> bool
+val in_iram : t -> int -> bool
+val in_pinned : t -> int -> bool
+
+exception Bus_fault of int
+
+(** Cached CPU read/write: DRAM addresses go through the L2, iRAM is
+    served on-SoC.  @raise Bus_fault on unmapped addresses. *)
+val read : t -> int -> int -> Bytes.t
+
+val write : t -> int -> Bytes.t -> unit
+
+(** Uncached CPU access: straight to DRAM over the bus. *)
+val read_uncached : t -> int -> int -> Bytes.t
+
+val write_uncached : t -> int -> Bytes.t -> unit
+
+(** Bulk raw store with no per-access charging, for operations whose
+    cost is modeled wholesale (e.g. the zeroing thread); drops stale
+    cache lines over the range. *)
+val write_raw : t -> int -> Bytes.t -> unit
+
+val read_byte : t -> int -> char
+val write_byte : t -> int -> char -> unit
+
+(** Charge pure compute time (no memory traffic). *)
+val compute : t -> ns:float -> unit
+
+type reboot =
+  | Warm  (** OS reboot: no power loss; boot overwrites low DRAM *)
+  | Reflash  (** short power disconnect; firmware wipes on-SoC state *)
+  | Hard_reset of float  (** power removed for the given seconds *)
+
+(** The three Table 2 reset variants. *)
+val reboot : t -> reboot -> unit
+
+val boots : t -> int

@@ -1,0 +1,21 @@
+(** The §10 "pin-on-SoC" architecture suggestion, implemented for the
+    hypothetical future platform: small dedicated on-SoC memory,
+    hardware-inaccessible to DMA, erased by immutable boot ROM on
+    every reset. *)
+
+type t
+
+val create : clock:Clock.t -> energy:Energy.t -> size:int -> t
+val region : t -> Memmap.region
+val size : t -> int
+val contains : t -> int -> bool
+
+val read : t -> int -> int -> Bytes.t
+val write : t -> int -> Bytes.t -> unit
+
+(** Boot-ROM erase — runs on every boot, warm or cold. *)
+val boot_rom_clear : t -> unit
+
+(** Direct array view (test tooling; physically reaching it means
+    decapping the SoC). *)
+val raw : t -> Bytes.t

@@ -1,0 +1,316 @@
+(** PL310-style shared L2 cache controller with lockdown-by-way.
+
+    Geometry mirrors the Tegra 3: 1 MB, 8 ways of 128 KB, 32-byte
+    lines, write-back + write-allocate.  The controller supports:
+
+    - {b Lockdown by way} (the "data lockdown" register): a bitmask of
+      ways that receive no new allocations.  Lines already resident in
+      a locked way keep serving hits and absorbing writes, but are
+      never evicted — so their data never reaches DRAM.  This is the
+      mechanism Sentry repurposes for security (§4.2).
+    - {b Clean/invalidate with a way mask}: Sentry's kernel patch
+      (§4.5) routes every L2 flush through a mask that skips locked
+      ways.  The stock full flush, by contrast, cleans {e all} ways —
+      including locked ones — and drops the lockdown, which is exactly
+      the dangerous behaviour the paper discovered and disabled.
+
+    If an access misses and every way is either locked or disabled,
+    the access bypasses the cache entirely (uncached DRAM access), as
+    the PL310 does when allocation is impossible. *)
+
+type line = {
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable tag : int;
+  data : Bytes.t;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable bypasses : int;
+}
+
+type t = {
+  dram : Dram.t;
+  clock : Clock.t;
+  energy : Energy.t;
+  ways : int;
+  way_size : int;
+  line_size : int;
+  sets : int;
+  set_shift : int; (* log2 line_size *)
+  lines : line array array; (* way -> set *)
+  mutable lockdown : int; (* bit w set: way w receives no allocations *)
+  mutable flush_mask : int; (* bit w set: maintenance ops skip way w *)
+  mutable rr : int array; (* per-set round-robin victim pointer *)
+  stats : stats;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(ways = 8) ?(way_size = 128 * Sentry_util.Units.kib) ?(line_size = 32) ~dram
+    ~clock ~energy () =
+  let sets = way_size / line_size in
+  {
+    dram;
+    clock;
+    energy;
+    ways;
+    way_size;
+    line_size;
+    sets;
+    set_shift = log2 line_size;
+    lines =
+      Array.init ways (fun _ ->
+          Array.init sets (fun _ ->
+              { valid = false; dirty = false; tag = 0; data = Bytes.make line_size '\000' }));
+    lockdown = 0;
+    flush_mask = 0;
+    rr = Array.make sets 0;
+    stats = { hits = 0; misses = 0; writebacks = 0; bypasses = 0 };
+  }
+
+let ways t = t.ways
+let way_size t = t.way_size
+let line_size t = t.line_size
+let size t = t.ways * t.way_size
+let stats t = t.stats
+
+let set_of_addr t addr = (addr lsr t.set_shift) land (t.sets - 1)
+let tag_of_addr t addr = addr lsr (t.set_shift + log2 t.sets)
+let line_base t addr = addr land lnot (t.line_size - 1)
+
+(* ---------------- lockdown & flush-mask registers ---------------- *)
+
+let lockdown t = t.lockdown
+
+(** [set_lockdown t mask] programs the lockdown-by-way register.  A set
+    bit means the corresponding way allocates no new lines. *)
+let set_lockdown t mask =
+  Clock.advance t.clock Calib.pl310_op_ns;
+  t.lockdown <- mask land ((1 lsl t.ways) - 1)
+
+let flush_mask t = t.flush_mask
+
+(** [set_flush_mask t mask] records which ways the Sentry-patched
+    kernel must skip during cache maintenance. *)
+let set_flush_mask t mask = t.flush_mask <- mask land ((1 lsl t.ways) - 1)
+
+(* --------------------------- lookup ------------------------------ *)
+
+(** [lookup t addr] finds the way currently holding [addr]'s line. *)
+let lookup t addr =
+  let set = set_of_addr t addr and tag = tag_of_addr t addr in
+  let rec go w =
+    if w = t.ways then None
+    else
+      let l = t.lines.(w).(set) in
+      if l.valid && l.tag = tag then Some w else go (w + 1)
+  in
+  go 0
+
+let resident t addr = Option.is_some (lookup t addr)
+
+(** Way that holds [addr], if any — exposed for tests validating the
+    warming protocol. *)
+let way_of t addr = lookup t addr
+
+let charge_hit t =
+  t.stats.hits <- t.stats.hits + 1;
+  Clock.advance t.clock Calib.l2_hit_line_ns;
+  Energy.charge t.energy ~category:"l2" (float_of_int t.line_size *. Calib.onsoc_byte_j)
+
+let write_back t w set =
+  let l = t.lines.(w).(set) in
+  if l.valid && l.dirty then begin
+    let addr =
+      (l.tag lsl (t.set_shift + log2 t.sets)) lor (set lsl t.set_shift)
+    in
+    Dram.write t.dram ~initiator:`L2 addr (Bytes.copy l.data);
+    Clock.advance t.clock Calib.dram_line_ns;
+    l.dirty <- false;
+    t.stats.writebacks <- t.stats.writebacks + 1
+  end
+
+(** Pick a victim way for allocation in [set], honouring lockdown.
+    Invalid lines in unlocked ways are preferred; otherwise round-robin
+    over unlocked ways.  [None] when every way is locked. *)
+let victim_way t set =
+  let unlocked w = t.lockdown land (1 lsl w) = 0 in
+  let rec find_invalid w =
+    if w = t.ways then None
+    else if unlocked w && not t.lines.(w).(set).valid then Some w
+    else find_invalid (w + 1)
+  in
+  match find_invalid 0 with
+  | Some w -> Some w
+  | None ->
+      let n_unlocked = ref 0 in
+      for w = 0 to t.ways - 1 do
+        if unlocked w then incr n_unlocked
+      done;
+      if !n_unlocked = 0 then None
+      else begin
+        (* advance round-robin pointer to the next unlocked way *)
+        let rec next w = if unlocked (w mod t.ways) then w mod t.ways else next (w + 1) in
+        let w = next t.rr.(set) in
+        t.rr.(set) <- (w + 1) mod t.ways;
+        Some w
+      end
+
+(** Allocate (fill) the line containing [addr]; returns the way, or
+    [None] when allocation is impossible (fully locked cache). *)
+let fill t addr =
+  let set = set_of_addr t addr and tag = tag_of_addr t addr in
+  match victim_way t set with
+  | None -> None
+  | Some w ->
+      let l = t.lines.(w).(set) in
+      write_back t w set;
+      let base = line_base t addr in
+      let fresh = Dram.read t.dram ~initiator:`L2 base t.line_size in
+      Bytes.blit fresh 0 l.data 0 t.line_size;
+      l.valid <- true;
+      l.dirty <- false;
+      l.tag <- tag;
+      Clock.advance t.clock (Calib.l2_hit_line_ns +. Calib.dram_line_ns);
+      Some w
+
+(* ----------------------- CPU access path ------------------------- *)
+
+(* One line-granule access: [off] is the offset inside the line,
+   [len] stays within the line. *)
+let access_chunk t addr ~write buf buf_off len =
+  let off_in_line = addr land (t.line_size - 1) in
+  match lookup t addr with
+  | Some w ->
+      charge_hit t;
+      let l = t.lines.(w).(set_of_addr t addr) in
+      if write then begin
+        Bytes.blit buf buf_off l.data off_in_line len;
+        l.dirty <- true
+      end
+      else Bytes.blit l.data off_in_line buf buf_off len
+  | None -> (
+      t.stats.misses <- t.stats.misses + 1;
+      match fill t addr with
+      | Some w ->
+          let l = t.lines.(w).(set_of_addr t addr) in
+          if write then begin
+            Bytes.blit buf buf_off l.data off_in_line len;
+            l.dirty <- true
+          end
+          else Bytes.blit l.data off_in_line buf buf_off len
+      | None ->
+          (* allocation impossible: uncached DRAM access *)
+          t.stats.bypasses <- t.stats.bypasses + 1;
+          Clock.advance t.clock Calib.dram_line_ns;
+          if write then Dram.write t.dram ~initiator:`Cpu addr (Bytes.sub buf buf_off len)
+          else
+            let b = Dram.read t.dram ~initiator:`Cpu addr len in
+            Bytes.blit b 0 buf buf_off len)
+
+let iter_chunks t addr len f =
+  let pos = ref addr and remaining = ref len and done_ = ref 0 in
+  while !remaining > 0 do
+    let off_in_line = !pos land (t.line_size - 1) in
+    let chunk = min !remaining (t.line_size - off_in_line) in
+    f !pos !done_ chunk;
+    pos := !pos + chunk;
+    done_ := !done_ + chunk;
+    remaining := !remaining - chunk
+  done
+
+(** [read t addr len] performs a cached CPU read. *)
+let read t addr len =
+  let out = Bytes.create len in
+  iter_chunks t addr len (fun a o n -> access_chunk t a ~write:false out o n);
+  out
+
+(** [write t addr b] performs a cached CPU write (write-allocate). *)
+let write t addr b =
+  iter_chunks t addr (Bytes.length b) (fun a o n -> access_chunk t a ~write:true b o n)
+
+(* ---------------------- maintenance ops -------------------------- *)
+
+let clean_invalidate_way t w =
+  for set = 0 to t.sets - 1 do
+    write_back t w set;
+    t.lines.(w).(set).valid <- false
+  done;
+  Clock.advance t.clock Calib.pl310_op_ns
+
+(** [flush_masked t] — the Sentry-patched kernel flush: cleans and
+    invalidates every way {e not} excluded by the flush mask, and
+    leaves the lockdown register alone. *)
+let flush_masked t =
+  for w = 0 to t.ways - 1 do
+    if t.flush_mask land (1 lsl w) = 0 then clean_invalidate_way t w
+  done
+
+(** [flush_all_stock t] — the stock kernel's full clean+invalidate.
+    As the paper's hardware validation found (§4.2), this {e does}
+    write back and drop locked ways and resets the lockdown state:
+    running it with secrets in a locked way leaks them to DRAM.
+    Sentry replaces every call site of this with [flush_masked]. *)
+let flush_all_stock t =
+  for w = 0 to t.ways - 1 do
+    clean_invalidate_way t w
+  done;
+  t.lockdown <- 0
+
+(** Per-line maintenance used by DMA coherence code.  Honours the
+    flush mask: lines resident in protected ways are left alone. *)
+let clean_invalidate_range t addr len =
+  iter_chunks t addr len (fun a _ _ ->
+      match lookup t a with
+      | Some w when t.flush_mask land (1 lsl w) = 0 ->
+          let set = set_of_addr t a in
+          write_back t w set;
+          t.lines.(w).(set).valid <- false
+      | Some _ | None -> ())
+
+(** Invalidate without cleaning (used before incoming DMA writes so
+    the CPU does not read stale lines).  Locked/masked ways are
+    skipped. *)
+let invalidate_range t addr len =
+  iter_chunks t addr len (fun a _ _ ->
+      match lookup t a with
+      | Some w when t.flush_mask land (1 lsl w) = 0 ->
+          t.lines.(w).(set_of_addr t a).valid <- false
+      | Some _ | None -> ())
+
+(** Power-on reset: the low-level firmware resets the controller and
+    zeroes the data arrays, so cache contents never survive a cold
+    boot (§4.3). *)
+let reset t =
+  for w = 0 to t.ways - 1 do
+    for set = 0 to t.sets - 1 do
+      let l = t.lines.(w).(set) in
+      l.valid <- false;
+      l.dirty <- false;
+      l.tag <- 0;
+      Bytes.fill l.data 0 t.line_size '\000'
+    done
+  done;
+  t.lockdown <- 0;
+  t.flush_mask <- 0;
+  Array.fill t.rr 0 t.sets 0
+
+(** Test/attack helper: the raw bytes of a resident line, if any.
+    Models probing the SRAM arrays directly (requires decapping the
+    SoC — out of the paper's threat model, but used by tests to check
+    what is and is not inside the package). *)
+let peek_line t addr =
+  match lookup t addr with
+  | None -> None
+  | Some w -> Some (Bytes.copy t.lines.(w).(set_of_addr t addr).data)
+
+let hit_rate t =
+  let s = t.stats in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

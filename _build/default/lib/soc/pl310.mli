@@ -1,0 +1,92 @@
+(** PL310-style shared L2 cache controller with lockdown-by-way
+    (§4.2): write-back, write-allocate, 8 ways of 128 KB by default.
+    Locked ways keep serving hits and absorbing writes but never
+    evict — their data never reaches DRAM — and the flush mask makes
+    kernel cache maintenance skip them (the Sentry patch, §4.5).
+    [flush_all_stock] reproduces the dangerous stock behaviour. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable bypasses : int;  (** accesses with no allocatable way *)
+}
+
+type t
+
+val create :
+  ?ways:int ->
+  ?way_size:int ->
+  ?line_size:int ->
+  dram:Dram.t ->
+  clock:Clock.t ->
+  energy:Energy.t ->
+  unit ->
+  t
+
+val ways : t -> int
+val way_size : t -> int
+val line_size : t -> int
+val size : t -> int
+val stats : t -> stats
+
+val set_of_addr : t -> int -> int
+val tag_of_addr : t -> int -> int
+val line_base : t -> int -> int
+
+(** {2 Lockdown and flush-mask registers} *)
+
+val lockdown : t -> int
+
+(** A set bit means the way receives no new allocations. *)
+val set_lockdown : t -> int -> unit
+
+val flush_mask : t -> int
+
+(** Ways that maintenance operations must skip. *)
+val set_flush_mask : t -> int -> unit
+
+(** {2 Lookup} *)
+
+(** The way currently holding [addr]'s line, if resident. *)
+val lookup : t -> int -> int option
+
+val resident : t -> int -> bool
+val way_of : t -> int -> int option
+
+(** {2 CPU access path} *)
+
+(** Cached read: hit, fill (evicting per lockdown), or — when every
+    way is locked — an uncached DRAM bypass. *)
+val read : t -> int -> int -> Bytes.t
+
+(** Cached write (write-allocate, write-back). *)
+val write : t -> int -> Bytes.t -> unit
+
+(** {2 Maintenance} *)
+
+(** Sentry-patched flush: clean+invalidate every way not excluded by
+    the flush mask; lockdown preserved. *)
+val flush_masked : t -> unit
+
+(** Stock full flush: cleans and drops {e locked} ways too and resets
+    the lockdown — the leak the paper discovered (§4.2). *)
+val flush_all_stock : t -> unit
+
+(** Per-line clean+invalidate for DMA coherence; honours the flush
+    mask. *)
+val clean_invalidate_range : t -> int -> int -> unit
+
+(** Invalidate without cleaning (before incoming DMA); locked/masked
+    ways are skipped. *)
+val invalidate_range : t -> int -> int -> unit
+
+(** Power-on reset: invalidate and zero everything, clear both
+    registers. *)
+val reset : t -> unit
+
+(** Raw bytes of a resident line (test/attack tooling: probing the
+    SRAM arrays directly, outside the paper's threat model). *)
+val peek_line : t -> int -> Bytes.t option
+
+val hit_rate : t -> float

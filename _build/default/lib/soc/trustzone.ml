@@ -1,0 +1,60 @@
+(** ARM TrustZone: two worlds backed by hardware access control.
+
+    Sentry uses TrustZone for two things (§3.1, §10): programming the
+    PL310 lockdown registers (co-processor access is secure-world
+    only) and denying DMA windows over protected memory — in
+    particular over the iRAM region holding keys, since iRAM is
+    otherwise ordinary memory as far as DMA is concerned (§4.4). *)
+
+type world = Secure | Normal
+
+exception Permission_denied of string
+
+type t = {
+  fuse : Fuse.t;
+  mutable world : world;
+  mutable dma_denied : Memmap.region list;
+}
+
+let create ~fuse = { fuse; world = Normal; dma_denied = [] }
+
+let world t = t.world
+
+(** [with_secure_world t f] executes [f] in the secure world (the SMC
+    world-switch instruction), restoring the previous world after. *)
+let with_secure_world t f =
+  let saved = t.world in
+  t.world <- Secure;
+  Fun.protect ~finally:(fun () -> t.world <- saved) f
+
+let require_secure t what =
+  if t.world <> Secure then raise (Permission_denied what)
+
+(** [deny_dma t region] (secure world only) blocks all DMA accesses
+    intersecting [region]. *)
+let deny_dma t region =
+  require_secure t "Trustzone.deny_dma";
+  t.dma_denied <- region :: t.dma_denied
+
+let allow_all_dma t =
+  require_secure t "Trustzone.allow_all_dma";
+  t.dma_denied <- []
+
+let regions_intersect (a : Memmap.region) (b : Memmap.region) =
+  a.Memmap.base < Memmap.limit b && b.Memmap.base < Memmap.limit a
+
+(** [dma_allowed t ~addr ~len] — the hardware filter consulted on
+    every DMA transfer.  TrustZone cannot authenticate DMA initiators
+    (§3.1), so the deny list applies to {e all} devices. *)
+let dma_allowed t ~addr ~len =
+  let req = Memmap.region ~base:addr ~size:(max 1 len) in
+  not (List.exists (regions_intersect req) t.dma_denied)
+
+(** [read_fuse t] — the device secret, secure world only. *)
+let read_fuse t =
+  require_secure t "Trustzone.read_fuse";
+  Fuse.secret_unchecked t.fuse
+
+(** Secure-world gate used by the PL310 driver: lockdown registers are
+    only programmable from the secure world (§10). *)
+let check_coprocessor_access t = require_secure t "PL310 lockdown register"

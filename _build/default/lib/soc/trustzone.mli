@@ -1,0 +1,32 @@
+(** ARM TrustZone: secure/normal worlds with hardware access control.
+    Sentry uses it to program the PL310 lockdown registers
+    (secure-world-only co-processor access, §10) and to deny DMA
+    windows over on-SoC key storage (§4.4). *)
+
+type world = Secure | Normal
+
+exception Permission_denied of string
+
+type t
+
+val create : fuse:Fuse.t -> t
+val world : t -> world
+
+(** Execute in the secure world (SMC world switch), restoring the
+    previous world afterwards — exception-safe. *)
+val with_secure_world : t -> (unit -> 'a) -> 'a
+
+(** Block all DMA intersecting [region] (secure world only). *)
+val deny_dma : t -> Memmap.region -> unit
+
+val allow_all_dma : t -> unit
+
+(** The hardware filter consulted on every DMA transfer; applies to
+    all initiators (TrustZone cannot authenticate devices, §3.1). *)
+val dma_allowed : t -> addr:int -> len:int -> bool
+
+(** The device secret (secure world only). *)
+val read_fuse : t -> Bytes.t
+
+(** Secure-world gate for the PL310 lockdown registers. *)
+val check_coprocessor_access : t -> unit

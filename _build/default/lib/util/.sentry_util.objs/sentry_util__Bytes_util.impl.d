@@ -1,0 +1,1 @@
+lib/util/bytes_util.ml: Bytes Char Option

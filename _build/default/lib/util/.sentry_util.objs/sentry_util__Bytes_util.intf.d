@@ -1,0 +1,1 @@
+lib/util/bytes_util.mli: Bytes

@@ -1,0 +1,1 @@
+lib/util/hex.ml: Buffer Bytes Char Printf String

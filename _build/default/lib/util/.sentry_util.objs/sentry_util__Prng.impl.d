@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Bytes Char Float Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/util/units.mli: Format

@@ -1,0 +1,61 @@
+(** Hexadecimal encoding/decoding and memory-dump formatting. *)
+
+let hex_digit n = "0123456789abcdef".[n land 0xf]
+
+(** [encode b] is the lowercase hex string of [b]. *)
+let encode b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (hex_digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (hex_digit (c land 0xf))
+  done;
+  Bytes.to_string out
+
+let encode_string s = encode (Bytes.of_string s)
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: not a hex digit"
+
+(** [decode s] parses a hex string (even length) into bytes.
+    @raise Invalid_argument on malformed input. *)
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = digit_value s.[2 * i] and lo = digit_value s.[(2 * i) + 1] in
+    Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  out
+
+(** [dump ~base b] renders a classic 16-bytes-per-row hexdump, with
+    addresses starting at [base]. *)
+let dump ?(base = 0) b =
+  let buf = Buffer.create 256 in
+  let n = Bytes.length b in
+  let rows = (n + 15) / 16 in
+  for row = 0 to rows - 1 do
+    Buffer.add_string buf (Printf.sprintf "%08x  " (base + (row * 16)));
+    for col = 0 to 15 do
+      let i = (row * 16) + col in
+      if i < n then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code (Bytes.get b i)))
+      else Buffer.add_string buf "   ";
+      if col = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for col = 0 to 15 do
+      let i = (row * 16) + col in
+      if i < n then
+        let c = Bytes.get b i in
+        Buffer.add_char buf (if c >= ' ' && c < '\x7f' then c else '.')
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf

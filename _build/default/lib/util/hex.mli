@@ -1,0 +1,10 @@
+(** Hexadecimal encoding/decoding and memory-dump formatting. *)
+
+val encode : Bytes.t -> string
+val encode_string : string -> string
+
+(** @raise Invalid_argument on odd length or non-hex digits. *)
+val decode : string -> Bytes.t
+
+(** Classic 16-bytes-per-row hexdump with an ASCII gutter. *)
+val dump : ?base:int -> Bytes.t -> string

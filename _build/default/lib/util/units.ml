@@ -1,0 +1,48 @@
+(** Size, time and energy units with pretty-printers.
+
+    Time in the simulator is kept in nanoseconds (as float), energy in
+    joules.  All conversions are centralised here so the calibration
+    constants in [Sentry_soc.Calib] read naturally. *)
+
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+let ns = 1.0
+let us = 1e3
+let ms = 1e6
+let s = 1e9
+let minute = 60.0 *. s
+
+let uj = 1e-6
+let mj = 1e-3
+
+(** [pp_bytes ppf n] prints [n] bytes with a binary-unit suffix. *)
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n >= gib then Fmt.pf ppf "%.2f GB" (f /. float_of_int gib)
+  else if n >= mib then Fmt.pf ppf "%.2f MB" (f /. float_of_int mib)
+  else if n >= kib then Fmt.pf ppf "%.1f KB" (f /. float_of_int kib)
+  else Fmt.pf ppf "%d B" n
+
+(** [pp_time ppf t] prints a nanosecond count with an adaptive unit. *)
+let pp_time ppf t =
+  if t >= minute then Fmt.pf ppf "%.2f min" (t /. minute)
+  else if t >= s then Fmt.pf ppf "%.2f s" (t /. s)
+  else if t >= ms then Fmt.pf ppf "%.2f ms" (t /. ms)
+  else if t >= us then Fmt.pf ppf "%.2f us" (t /. us)
+  else Fmt.pf ppf "%.0f ns" t
+
+(** [pp_energy ppf e] prints joules with an adaptive unit. *)
+let pp_energy ppf e =
+  if e >= 1.0 then Fmt.pf ppf "%.2f J" e
+  else if e >= mj then Fmt.pf ppf "%.2f mJ" (e /. mj)
+  else Fmt.pf ppf "%.2f uJ" (e /. uj)
+
+let bytes_to_mb n = float_of_int n /. float_of_int mib
+
+(** Throughput in MB/s given bytes moved and nanoseconds elapsed. *)
+let throughput_mb_s ~bytes ~time_ns =
+  if time_ns <= 0.0 then 0.0 else bytes_to_mb bytes /. (time_ns /. s)
+
+let to_string pp v = Fmt.str "%a" pp v

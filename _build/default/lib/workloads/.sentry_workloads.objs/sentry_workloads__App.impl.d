@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Address_space Bytes Machine Page Page_table Process Sentry_core Sentry_kernel Sentry_soc Sentry_util System Units Vm

@@ -1,0 +1,1 @@
+lib/workloads/app.mli: Address_space Process Sentry_core Sentry_kernel

@@ -1,0 +1,1 @@
+lib/workloads/background_app.ml: Address_space Clock Machine Page Page_table Prng Process Sentry_core Sentry_kernel Sentry_soc Sentry_util System Units Vm

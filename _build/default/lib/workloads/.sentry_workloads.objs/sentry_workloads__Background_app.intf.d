@@ -1,0 +1,1 @@
+lib/workloads/background_app.mli: Sentry_core Sentry_kernel

@@ -1,0 +1,1 @@
+lib/workloads/daily_use.ml: App Calib Energy Machine Perf Sentry_core Sentry_crypto Sentry_soc Sentry_util

@@ -1,0 +1,1 @@
+lib/workloads/daily_use.mli: App Sentry_core

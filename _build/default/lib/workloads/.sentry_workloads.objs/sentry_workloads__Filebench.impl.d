@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Block_dev Buffer_cache Dm_crypt Frame_alloc Machine Page Printf Prng Ramfs Sentry_core Sentry_crypto Sentry_kernel Sentry_soc Sentry_util Units

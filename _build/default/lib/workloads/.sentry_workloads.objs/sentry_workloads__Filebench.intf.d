@@ -1,0 +1,1 @@
+lib/workloads/filebench.mli: Buffer_cache Ramfs Sentry_core Sentry_kernel

@@ -1,0 +1,1 @@
+lib/workloads/kernel_compile.ml: List Machine Memmap Pl310 Prng Sentry_soc Sentry_util Units

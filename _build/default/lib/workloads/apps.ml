@@ -1,0 +1,54 @@
+(** The four Android applications of the paper's macrobenchmarks
+    (§8.2): Contacts, Google Maps, Twitter and ServeStream (an MP3
+    streaming app).
+
+    Profile sources: Fig 2 (MB decrypted around unlock), Fig 4 (MB
+    encrypted at lock), §7 (DMA region sizes: 1 MB Contacts, 3 MB
+    Twitter, 15 MB Maps) and §8.2 (script lengths: ~23 s Contacts,
+    ~20 s Maps, ~17 s Twitter, ~5 min MP3). *)
+
+let contacts =
+  {
+    App.app_name = "Contacts";
+    footprint_mb = 26.0;
+    dma_mb = 1.0;
+    resume_mb = 5.0;
+    runtime_mb = 17.0;
+    refault_factor = 1.0;
+    script_s = 23.0;
+  }
+
+let maps =
+  {
+    App.app_name = "Maps";
+    footprint_mb = 48.0;
+    dma_mb = 15.0;
+    resume_mb = 23.0;
+    runtime_mb = 5.0;
+    refault_factor = 0.3;
+    script_s = 20.0;
+  }
+
+let twitter =
+  {
+    App.app_name = "Twitter";
+    footprint_mb = 20.0;
+    dma_mb = 3.0;
+    resume_mb = 9.0;
+    runtime_mb = 4.0;
+    refault_factor = 1.0;
+    script_s = 17.0;
+  }
+
+let mp3 =
+  {
+    App.app_name = "MP3";
+    footprint_mb = 10.0;
+    dma_mb = 1.0;
+    resume_mb = 5.0;
+    runtime_mb = 2.0;
+    refault_factor = 17.0;
+    script_s = 300.0;
+  }
+
+let all = [ contacts; maps; twitter; mp3 ]

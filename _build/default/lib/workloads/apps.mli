@@ -1,0 +1,8 @@
+(** The four applications of the paper's macrobenchmarks (§8.2), with
+    profile numbers taken from the paper's own measurements. *)
+
+val contacts : App.profile
+val maps : App.profile
+val twitter : App.profile
+val mp3 : App.profile
+val all : App.profile list

@@ -1,0 +1,62 @@
+(** Daily battery-impact model (§7, §8.2).
+
+    "Sentry will consume daily about 2% of a device's battery life to
+    protect an application assuming the user locks and unlocks a phone
+    150 times a day."  Energy per cycle comes from the same machinery
+    as Fig 5; the battery constant is the Nexus 4's. *)
+
+open Sentry_soc
+open Sentry_crypto
+
+type result = {
+  app_name : string;
+  joules_per_lock : float;
+  joules_per_unlock : float;
+  cycles_per_day : int;
+  joules_per_day : float;
+  battery_fraction : float;
+}
+
+let mb = float_of_int Sentry_util.Units.mib
+
+(** Closed-form estimate from an app profile: lock encrypts the full
+    footprint, unlock decrypts DMA eagerly plus the resume set lazily
+    (counted conservatively, like the paper's measurement). *)
+let estimate (profile : App.profile) =
+  let j_b = Perf.j_per_byte Perf.Crypto_api_kernel in
+  let enc = profile.App.footprint_mb *. mb *. j_b in
+  let dec = (profile.App.dma_mb +. profile.App.resume_mb) *. mb *. j_b in
+  let cycles = Calib.unlocks_per_day in
+  let per_day = float_of_int cycles *. (enc +. dec) in
+  {
+    app_name = profile.App.app_name;
+    joules_per_lock = enc;
+    joules_per_unlock = dec;
+    cycles_per_day = cycles;
+    joules_per_day = per_day;
+    battery_fraction = per_day /. Calib.nexus4_battery_j;
+  }
+
+(** Measured variant: runs [cycles] real lock/unlock+resume rounds on
+    a live system and extrapolates from metered AES energy. *)
+let measure system sentry app ~cycles =
+  let machine = Sentry_core.System.machine system in
+  let energy = Machine.energy machine in
+  let before = Energy.category energy "aes" in
+  for _ = 1 to cycles do
+    ignore (Sentry_core.Sentry.lock sentry);
+    (match Sentry_core.Sentry.unlock sentry ~pin:"1234" with
+    | Ok _ -> ()
+    | Error _ -> failwith "Daily_use.measure: unlock failed");
+    App.resume system app
+  done;
+  let per_cycle = (Energy.category energy "aes" -. before) /. float_of_int cycles in
+  let per_day = per_cycle *. float_of_int Calib.unlocks_per_day in
+  {
+    app_name = app.App.profile.App.app_name;
+    joules_per_lock = per_cycle /. 2.0;
+    joules_per_unlock = per_cycle /. 2.0;
+    cycles_per_day = Calib.unlocks_per_day;
+    joules_per_day = per_day;
+    battery_fraction = per_day /. Calib.nexus4_battery_j;
+  }

@@ -1,0 +1,18 @@
+(** Daily battery impact of protecting an application at 150
+    lock/unlock cycles per day (§7, §8.2: "about 2%"). *)
+
+type result = {
+  app_name : string;
+  joules_per_lock : float;
+  joules_per_unlock : float;
+  cycles_per_day : int;
+  joules_per_day : float;
+  battery_fraction : float;
+}
+
+(** Closed-form estimate from an app profile. *)
+val estimate : App.profile -> result
+
+(** Measured variant: run real lock/unlock+resume cycles on a live
+    system and extrapolate from metered AES energy. *)
+val measure : Sentry_core.System.t -> Sentry_core.Sentry.t -> App.t -> cycles:int -> result

@@ -1,0 +1,128 @@
+(** A filebench-like engine (§8.2, Fig 9).
+
+    Reproduces the paper's dm-crypt isolation experiment: an in-memory
+    disk partition, a fileset created first (which warms the buffer
+    cache and "masks" encryption costs), then random-read,
+    random-read/write and sequential-read personalities — each
+    runnable through the page cache or with direct I/O. *)
+
+open Sentry_util
+open Sentry_soc
+open Sentry_kernel
+
+type crypto = No_crypto | Generic_aes | Sentry_aes
+
+let crypto_name = function
+  | No_crypto -> "No Crypto"
+  | Generic_aes -> "Generic AES"
+  | Sentry_aes -> "Sentry"
+
+type workload = Randread | Randrw | Seqread
+
+let workload_name = function
+  | Randread -> "randread"
+  | Randrw -> "randrw"
+  | Seqread -> "seqread"
+
+type setup = {
+  system : Sentry_core.System.t;
+  fs_cached : Ramfs.t; (* files through the buffer cache *)
+  fs_direct : Ramfs.t; (* same extents, direct to dm-crypt/device *)
+  cache : Buffer_cache.t;
+  nfiles : int;
+  file_size : int;
+}
+
+(** [prepare system ~crypto ~fileset_mb] builds the storage stack and
+    creates the fileset (warming the cache, as the paper notes). *)
+let prepare (system : Sentry_core.System.t) ~crypto ~fileset_mb ~nfiles =
+  let machine = system.Sentry_core.System.machine in
+  let dev_size = (fileset_mb + 2) * Units.mib in
+  let dev = Block_dev.create machine ~kind:Block_dev.Ramdisk ~size:dev_size in
+  let base = Block_dev.target dev in
+  let lower =
+    match crypto with
+    | No_crypto -> base
+    | Generic_aes ->
+        (* a registry holding only the stock cipher *)
+        let api = Sentry_crypto.Crypto_api.create () in
+        let frame = Frame_alloc.alloc system.Sentry_core.System.frames in
+        let generic =
+          Sentry_crypto.Generic_aes.create machine ~ctx_base:frame
+            ~variant:Sentry_crypto.Perf.Crypto_api_kernel
+        in
+        Sentry_crypto.Generic_aes.register generic api;
+        let key = Prng.bytes (Machine.prng machine) 16 in
+        Dm_crypt.target (Dm_crypt.create ~api ~key base)
+    | Sentry_aes ->
+        (* the system registry: AES_On_SoC is registered there with
+           the highest priority by Sentry.install *)
+        let key = Prng.bytes (Machine.prng machine) 16 in
+        Dm_crypt.target (Dm_crypt.create ~api:system.Sentry_core.System.crypto_api ~key base)
+  in
+  let cache = Buffer_cache.create machine ~capacity_pages:(dev_size / Page.size) lower in
+  let cached = Buffer_cache.target cache in
+  let file_size = fileset_mb * Units.mib / nfiles in
+  let fs_cached = Ramfs.create cached in
+  let fs_direct = Ramfs.create lower in
+  for i = 0 to nfiles - 1 do
+    let name = Printf.sprintf "file%03d" i in
+    let f = Ramfs.create_file fs_cached ~name ~size:file_size in
+    ignore (Ramfs.create_file fs_direct ~name ~size:file_size);
+    (* fileset creation writes real data — and warms the cache *)
+    let data = Prng.bytes (Machine.prng machine) file_size in
+    Ramfs.write fs_cached f ~off:0 data
+  done;
+  Buffer_cache.sync cache;
+  { system; fs_cached; fs_direct; cache; nfiles; file_size }
+
+type result = {
+  bytes_moved : int;
+  elapsed_ns : float;
+  throughput_mb_s : float;
+  cache_hit_rate : float;
+}
+
+let op_size = 4096
+
+(** [run setup workload ~direct_io ~ops ~seed] replays one
+    personality and reports simulated throughput. *)
+let run setup workload ~direct_io ~ops ~seed =
+  let machine = setup.system.Sentry_core.System.machine in
+  let prng = Prng.create ~seed in
+  let fs = if direct_io then setup.fs_direct else setup.fs_cached in
+  let hits0, misses0 = Buffer_cache.stats setup.cache in
+  let start = Machine.now machine in
+  let bytes = ref 0 in
+  let seq_off = ref 0 in
+  for i = 0 to ops - 1 do
+    let file = Ramfs.lookup fs (Printf.sprintf "file%03d" (Prng.int prng setup.nfiles)) in
+    let max_off = (Ramfs.file_size file - op_size) / op_size in
+    let off =
+      match workload with
+      | Randread | Randrw -> Prng.int prng (max_off + 1) * op_size
+      | Seqread ->
+          let o = !seq_off in
+          seq_off := (!seq_off + op_size) mod (Ramfs.file_size file - op_size + 1);
+          o
+    in
+    (match workload with
+    | Randread | Seqread -> ignore (Ramfs.read fs file ~off ~len:op_size)
+    | Randrw ->
+        if i land 1 = 0 then ignore (Ramfs.read fs file ~off ~len:op_size)
+        else Ramfs.write fs file ~off (Prng.bytes prng op_size));
+    bytes := !bytes + op_size;
+    (* periodic writeback, as the flusher thread would do *)
+    if (not direct_io) && workload = Randrw && i mod 128 = 127 then
+      Buffer_cache.sync setup.cache
+  done;
+  if (not direct_io) && workload = Randrw then Buffer_cache.sync setup.cache;
+  let elapsed_ns = Machine.now machine -. start in
+  let hits1, misses1 = Buffer_cache.stats setup.cache in
+  let h = hits1 - hits0 and m = misses1 - misses0 in
+  {
+    bytes_moved = !bytes;
+    elapsed_ns;
+    throughput_mb_s = Units.throughput_mb_s ~bytes:!bytes ~time_ns:elapsed_ns;
+    cache_hit_rate = (if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m));
+  }

@@ -1,0 +1,12 @@
+(** The Fig 10 experiment: a compile-like memory trace through the
+    real cache model with 0-8 ways locked; minutes are scaled so the
+    0-way run matches the paper's 14.41. *)
+
+val paper_baseline_minutes : float
+
+type result = { locked_ways : int; minutes : float; miss_rate : float }
+
+val run : ?seed:int -> locked_ways:int -> unit -> result
+
+(** The full 0-8 sweep. *)
+val sweep : ?seed:int -> unit -> result list

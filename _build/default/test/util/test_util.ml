@@ -1,0 +1,314 @@
+open Sentry_util
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------ Prng ----------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits a = Prng.bits b then incr same
+  done;
+  checkb "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let p = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 2.5 in
+    checkb "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_flip_bias () =
+  let p = Prng.create ~seed:5 in
+  let heads = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Prng.flip p ~p:0.25 then incr heads
+  done;
+  let ratio = float_of_int !heads /. float_of_int n in
+  checkb "quarter-ish" true (ratio > 0.22 && ratio < 0.28)
+
+let test_prng_bytes_len () =
+  let p = Prng.create ~seed:6 in
+  checki "length" 33 (Bytes.length (Prng.bytes p 33))
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_zipf_gen_skew () =
+  let gen = Prng.zipf_gen ~n:100 ~s:1.2 in
+  let p = Prng.create ~seed:10 in
+  let top = ref 0 and n = 5000 in
+  for _ = 1 to n do
+    if gen p < 10 then incr top
+  done;
+  (* with s=1.2 the top decile should draw well over a third of mass *)
+  checkb "skewed" true (float_of_int !top /. float_of_int n > 0.35)
+
+let test_prng_exponential_positive () =
+  let p = Prng.create ~seed:11 in
+  for _ = 1 to 100 do
+    checkb "positive" true (Prng.exponential p ~mean:3.0 >= 0.0)
+  done
+
+(* ------------------------------ Hex ------------------------------ *)
+
+let test_hex_roundtrip () =
+  let p = Prng.create ~seed:12 in
+  for _ = 1 to 50 do
+    let b = Prng.bytes p (Prng.int p 64) in
+    check Alcotest.bytes "roundtrip" b (Hex.decode (Hex.encode b))
+  done
+
+let test_hex_known () =
+  check Alcotest.string "encode" "00ff10" (Hex.encode (Hex.decode "00ff10"));
+  check Alcotest.string "abc" "616263" (Hex.encode_string "abc")
+
+let test_hex_uppercase_decode () =
+  check Alcotest.bytes "upper" (Hex.decode "deadbeef") (Hex.decode "DEADBEEF")
+
+let test_hex_bad_input () =
+  Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hex.decode: not a hex digit")
+    (fun () -> ignore (Hex.decode "zz"))
+
+let test_hex_dump_shape () =
+  let d = Hex.dump ~base:0x1000 (Bytes.of_string "hello world, this is a dump") in
+  checkb "base" true (String.length d > 0 && String.sub d 0 8 = "00001000");
+  checkb "ascii gutter" true (String.contains d '|')
+
+(* --------------------------- Bytes_util -------------------------- *)
+
+let test_fill_count_pattern () =
+  let b = Bytes.create 64 in
+  Bytes_util.fill_pattern b (Bytes.of_string "ABCD");
+  checki "count" 16 (Bytes_util.count_pattern b (Bytes.of_string "ABCD"));
+  Bytes.set b 5 'x';
+  checki "one slot broken" 15 (Bytes_util.count_pattern b (Bytes.of_string "ABCD"))
+
+let test_count_pattern_partial_tail () =
+  let b = Bytes.create 10 in
+  Bytes_util.fill_pattern b (Bytes.of_string "abc");
+  (* 3 full slots fit in 10 bytes *)
+  checki "tail ignored" 3 (Bytes_util.count_pattern b (Bytes.of_string "abc"))
+
+let test_find_contains () =
+  let b = Bytes.of_string "xxxxneedleyyyy" in
+  check Alcotest.(option int) "found" (Some 4) (Bytes_util.find b (Bytes.of_string "needle"));
+  checkb "contains" true (Bytes_util.contains b (Bytes.of_string "needle"));
+  checkb "missing" false (Bytes_util.contains b (Bytes.of_string "nadel"));
+  check Alcotest.(option int) "empty needle" (Some 0) (Bytes_util.find b Bytes.empty)
+
+let test_find_at_end () =
+  let b = Bytes.of_string "aaaaaab" in
+  check Alcotest.(option int) "end" (Some 5) (Bytes_util.find b (Bytes.of_string "ab"))
+
+let test_xor_into () =
+  let a = Bytes.of_string "\x0f\xf0" and d = Bytes.of_string "\xff\xff" in
+  Bytes_util.xor_into ~src:a ~dst:d;
+  check Alcotest.bytes "xor" (Bytes.of_string "\xf0\x0f") d;
+  Bytes_util.xor_into ~src:a ~dst:d;
+  check Alcotest.bytes "involution" (Bytes.of_string "\xff\xff") d
+
+let test_equal_ct () =
+  checkb "equal" true (Bytes_util.equal_ct (Bytes.of_string "abc") (Bytes.of_string "abc"));
+  checkb "diff" false (Bytes_util.equal_ct (Bytes.of_string "abc") (Bytes.of_string "abd"));
+  checkb "len" false (Bytes_util.equal_ct (Bytes.of_string "abc") (Bytes.of_string "ab"))
+
+let test_zero_is_zero () =
+  let b = Bytes.of_string "junk" in
+  checkb "not zero" false (Bytes_util.is_zero b);
+  Bytes_util.zero b;
+  checkb "zero" true (Bytes_util.is_zero b);
+  checkb "empty is zero" true (Bytes_util.is_zero Bytes.empty)
+
+(* ------------------------------ Stats ---------------------------- *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  checki "n" 4 s.Stats.n
+
+let test_stats_stddev () =
+  let s = Stats.summarize [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s.Stats.stddev
+
+let test_stats_constant_series () =
+  let s = Stats.summarize (Array.make 10 3.5) in
+  Alcotest.(check (float 1e-12)) "zero spread" 0.0 s.Stats.stddev
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100.0 xs)
+
+let test_stats_repeat () =
+  let s = Stats.repeat ~trials:5 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.Stats.mean
+
+let test_stats_overhead () =
+  Alcotest.(check (float 1e-9)) "2x" 2.0 (Stats.overhead ~base:5.0 ~measured:10.0);
+  checkb "inf" true (Stats.overhead ~base:0.0 ~measured:1.0 = infinity)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty series") (fun () ->
+      ignore (Stats.summarize [||]))
+
+(* ------------------------------ Units ---------------------------- *)
+
+let test_units_pp () =
+  check Alcotest.string "bytes" "1.00 MB" (Units.to_string Units.pp_bytes Units.mib);
+  check Alcotest.string "kb" "4.0 KB" (Units.to_string Units.pp_bytes 4096);
+  check Alcotest.string "time" "1.50 s" (Units.to_string Units.pp_time (1.5 *. Units.s));
+  check Alcotest.string "minutes" "2.00 min" (Units.to_string Units.pp_time (120.0 *. Units.s));
+  check Alcotest.string "energy" "2.00 mJ" (Units.to_string Units.pp_energy 0.002)
+
+let test_units_throughput () =
+  Alcotest.(check (float 1e-6)) "100 MB/s" 100.0
+    (Units.throughput_mb_s ~bytes:(100 * Units.mib) ~time_ns:Units.s);
+  Alcotest.(check (float 1e-6)) "zero time" 0.0 (Units.throughput_mb_s ~bytes:5 ~time_ns:0.0)
+
+(* ------------------------------ Table ---------------------------- *)
+
+let test_table_render () =
+  let t =
+    Table.make ~title:"T" ~header:[ "a"; "bb" ] ~notes:[ "n" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let s = Table.to_string t in
+  checkb "has title" true (String.length s > 0);
+  List.iter
+    (fun needle ->
+      checkb needle true
+        (Bytes_util.contains (Bytes.of_string s) (Bytes.of_string needle)))
+    [ "T"; "a"; "bb"; "333"; "note: n" ]
+
+let test_table_csv () =
+  let t =
+    Table.make ~title:"T" ~header:[ "a"; "b" ]
+      [ [ "plain"; "with,comma" ]; [ "with\"quote"; "x" ] ]
+  in
+  let csv = Table.to_csv t in
+  checkb "comment title" true (String.length csv > 0 && csv.[0] = '#');
+  checkb "comma quoted" true
+    (Bytes_util.contains (Bytes.of_string csv) (Bytes.of_string "\"with,comma\""));
+  checkb "quote doubled" true
+    (Bytes_util.contains (Bytes.of_string csv) (Bytes.of_string "\"with\"\"quote\""))
+
+let test_table_ragged_rows () =
+  (* rows narrower than the header must not crash *)
+  let t = Table.make ~title:"x" ~header:[ "a"; "b"; "c" ] [ [ "1" ]; [ "1"; "2"; "3" ] ] in
+  checkb "renders" true (String.length (Table.to_string t) > 0)
+
+(* --------------------------- properties -------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"hex roundtrip" ~count:200 (string_of_size Gen.(0 -- 100)) (fun s ->
+        Bytes.to_string (Hex.decode (Hex.encode_string s)) = s);
+    Test.make ~name:"xor_into is an involution" ~count:200
+      (pair (string_of_size Gen.(return 32)) (string_of_size Gen.(return 32)))
+      (fun (a, b) ->
+        let src = Bytes.of_string a and dst = Bytes.of_string b in
+        Bytes_util.xor_into ~src ~dst;
+        Bytes_util.xor_into ~src ~dst;
+        Bytes.to_string dst = b);
+    Test.make ~name:"equal_ct agrees with Bytes.equal" ~count:500
+      (pair (string_of_size Gen.(0 -- 20)) (string_of_size Gen.(0 -- 20)))
+      (fun (a, b) ->
+        Bytes_util.equal_ct (Bytes.of_string a) (Bytes.of_string b) = (a = b));
+    Test.make ~name:"count_pattern after fill_pattern = slots" ~count:100
+      (pair (int_range 1 16) (int_range 1 256))
+      (fun (pn, n) ->
+        QCheck.assume (n >= pn);
+        let pat = Bytes.init pn (fun i -> Char.chr ((i * 37) mod 256)) in
+        let b = Bytes.create n in
+        Bytes_util.fill_pattern b pat;
+        Bytes_util.count_pattern b pat = n / pn);
+    Test.make ~name:"percentile is monotone" ~count:100
+      (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let a = Array.of_list xs in
+        Stats.percentile 25.0 a <= Stats.percentile 75.0 a);
+  ]
+
+let () =
+  Alcotest.run "sentry_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "flip bias" `Quick test_prng_flip_bias;
+          Alcotest.test_case "bytes length" `Quick test_prng_bytes_len;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_gen_skew;
+          Alcotest.test_case "exponential positive" `Quick test_prng_exponential_positive;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "known" `Quick test_hex_known;
+          Alcotest.test_case "uppercase" `Quick test_hex_uppercase_decode;
+          Alcotest.test_case "bad input" `Quick test_hex_bad_input;
+          Alcotest.test_case "dump shape" `Quick test_hex_dump_shape;
+        ] );
+      ( "bytes_util",
+        [
+          Alcotest.test_case "fill/count" `Quick test_fill_count_pattern;
+          Alcotest.test_case "partial tail" `Quick test_count_pattern_partial_tail;
+          Alcotest.test_case "find/contains" `Quick test_find_contains;
+          Alcotest.test_case "find at end" `Quick test_find_at_end;
+          Alcotest.test_case "xor_into" `Quick test_xor_into;
+          Alcotest.test_case "equal_ct" `Quick test_equal_ct;
+          Alcotest.test_case "zero/is_zero" `Quick test_zero_is_zero;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "constant" `Quick test_stats_constant_series;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "repeat" `Quick test_stats_repeat;
+          Alcotest.test_case "overhead" `Quick test_stats_overhead;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "pretty printing" `Quick test_units_pp;
+          Alcotest.test_case "throughput" `Quick test_units_throughput;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,260 @@
+open Sentry_util
+open Sentry_kernel
+open Sentry_core
+open Sentry_workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------- App ------------------------------ *)
+
+let small_profile =
+  {
+    App.app_name = "tiny";
+    footprint_mb = 1.0;
+    dma_mb = 0.25;
+    resume_mb = 0.25;
+    runtime_mb = 0.25;
+    refault_factor = 1.0;
+    script_s = 1.0;
+  }
+
+let test_app_launch_regions () =
+  let system = System.boot `Tegra3 ~seed:1 in
+  let app = App.launch system small_profile in
+  let regions = Address_space.regions app.App.proc.Process.aspace in
+  checki "two regions" 2 (List.length regions);
+  checkb "dma region" true
+    (List.exists (fun r -> r.Address_space.kind = Address_space.Dma) regions);
+  checki "total bytes" Units.mib (Address_space.total_bytes app.App.proc.Process.aspace)
+
+let test_app_cycle_overhead_positive () =
+  let system = System.boot `Tegra3 ~seed:2 in
+  let sentry = Sentry.install system (Config.default `Tegra3) in
+  let app = App.launch system small_profile in
+  Sentry.mark_sensitive sentry app.App.proc;
+  let stats = Sentry.lock sentry in
+  checki "footprint encrypted" 256 stats.Encrypt_on_lock.pages_encrypted;
+  (match Sentry.unlock sentry ~pin:"1234" with Ok _ -> () | Error _ -> Alcotest.fail "unlock");
+  App.resume system app;
+  let elapsed_ns = App.run_script system app in
+  let elapsed_s = elapsed_ns /. Units.s in
+  checkb "script padded to nominal" true (elapsed_s >= 1.0);
+  checkb "bounded overhead" true (elapsed_s < 1.5)
+
+let test_app_no_sentry_script_is_nominal () =
+  let system = System.boot `Tegra3 ~seed:3 in
+  let app = App.launch system small_profile in
+  let elapsed_s = App.run_script system app /. Units.s in
+  Alcotest.(check (float 0.02)) "nominal" 1.0 elapsed_s
+
+let test_apps_profiles_match_paper () =
+  (* the numbers the paper states outright *)
+  let maps = Apps.maps in
+  Alcotest.(check (float 0.01)) "maps dma 15MB" 15.0 maps.App.dma_mb;
+  Alcotest.(check (float 0.01)) "maps lock 48MB" 48.0 maps.App.footprint_mb;
+  Alcotest.(check (float 0.01)) "maps unlock 38MB" 38.0 (maps.App.dma_mb +. maps.App.resume_mb);
+  Alcotest.(check (float 0.01)) "contacts dma 1MB" 1.0 Apps.contacts.App.dma_mb;
+  Alcotest.(check (float 0.01)) "twitter dma 3MB" 3.0 Apps.twitter.App.dma_mb;
+  checki "four apps" 4 (List.length Apps.all)
+
+(* -------------------------- Background_app ------------------------ *)
+
+let run_bg ?(budget = None) profile ~seed =
+  let system = System.boot `Tegra3 ~seed in
+  let ws = profile.Background_app.working_set_kb * Units.kib in
+  match budget with
+  | None ->
+      let proc = System.spawn system ~name:"bg" ~bytes:ws in
+      System.fill_region system proc
+        (List.hd (Address_space.regions proc.Process.aspace))
+        (Bytes.of_string "bgpattrn");
+      Background_app.run system proc profile ~seed
+  | Some b ->
+      let config = { (Config.default `Tegra3) with Config.background_budget_bytes = b } in
+      let sentry = Sentry.install system config in
+      let proc = System.spawn system ~name:"bg" ~bytes:ws in
+      System.fill_region system proc
+        (List.hd (Address_space.regions proc.Process.aspace))
+        (Bytes.of_string "bgpattrn");
+      Sentry.mark_sensitive sentry proc;
+      Sentry.enable_background sentry proc;
+      ignore (Sentry.lock sentry);
+      Background_app.run system proc profile ~seed
+
+let test_background_app_baseline_has_kernel_time () =
+  let r = run_bg Background_app.vlock ~seed:4 in
+  checkb "some kernel time" true (r.Background_app.kernel_time_ns > 0.0);
+  checkb "some faults" true (r.Background_app.faults > 0)
+
+let test_background_app_sentry_costs_more () =
+  let base = run_bg Background_app.alpine ~seed:5 in
+  let with256 = run_bg ~budget:(Some (256 * Units.kib)) Background_app.alpine ~seed:5 in
+  checkb "sentry slower" true
+    (with256.Background_app.kernel_time_ns > base.Background_app.kernel_time_ns)
+
+let test_background_app_more_cache_helps () =
+  let with256 = run_bg ~budget:(Some (256 * Units.kib)) Background_app.alpine ~seed:6 in
+  let with512 = run_bg ~budget:(Some (512 * Units.kib)) Background_app.alpine ~seed:6 in
+  checkb "512KB faster than 256KB" true
+    (with512.Background_app.kernel_time_ns < with256.Background_app.kernel_time_ns)
+
+let test_background_app_alpine_factor_range () =
+  let base = run_bg Background_app.alpine ~seed:7 in
+  let with256 = run_bg ~budget:(Some (256 * Units.kib)) Background_app.alpine ~seed:7 in
+  let factor = with256.Background_app.kernel_time_ns /. base.Background_app.kernel_time_ns in
+  (* paper: 2.74x; accept the right ballpark *)
+  checkb "factor in [1.8, 3.8]" true (factor > 1.8 && factor < 3.8)
+
+let test_background_app_deterministic () =
+  let a = run_bg Background_app.vlock ~seed:8 in
+  let b = run_bg Background_app.vlock ~seed:8 in
+  Alcotest.(check (float 1e-6)) "same kernel time" a.Background_app.kernel_time_ns
+    b.Background_app.kernel_time_ns
+
+let test_background_app_ws_guard () =
+  let system = System.boot `Tegra3 ~seed:9 in
+  let proc = System.spawn system ~name:"small" ~bytes:4096 in
+  Alcotest.check_raises "too big" (Invalid_argument "Background_app.run: working set too big")
+    (fun () -> ignore (Background_app.run system proc Background_app.alpine ~seed:9))
+
+(* ----------------------------- Filebench -------------------------- *)
+
+let prepare crypto ~seed =
+  let system = System.boot `Tegra3 ~seed in
+  (match crypto with
+  | Filebench.Sentry_aes -> ignore (Sentry.install system (Config.default `Tegra3))
+  | _ -> ());
+  Filebench.prepare system ~crypto ~fileset_mb:2 ~nfiles:4
+
+let test_filebench_cache_masks_crypto () =
+  let setup = prepare Filebench.Generic_aes ~seed:10 in
+  let r = Filebench.run setup Filebench.Randread ~direct_io:false ~ops:200 ~seed:10 in
+  checkb "warm cache" true (r.Filebench.cache_hit_rate > 0.95);
+  let direct = Filebench.run setup Filebench.Randread ~direct_io:true ~ops:100 ~seed:10 in
+  checkb "direct much slower" true
+    (direct.Filebench.throughput_mb_s < r.Filebench.throughput_mb_s /. 5.0)
+
+let test_filebench_direct_io_tracks_aes_rate () =
+  let setup = prepare Filebench.Generic_aes ~seed:11 in
+  let r = Filebench.run setup Filebench.Randread ~direct_io:true ~ops:100 ~seed:11 in
+  (* 4KB reads decrypt 8 sectors at the tegra AES rate; throughput must
+     land near it *)
+  checkb "near AES rate" true
+    (r.Filebench.throughput_mb_s > 8.0 && r.Filebench.throughput_mb_s < 14.0)
+
+let test_filebench_sentry_close_to_generic () =
+  let g = prepare Filebench.Generic_aes ~seed:12 in
+  let s = prepare Filebench.Sentry_aes ~seed:12 in
+  let rg = Filebench.run g Filebench.Randread ~direct_io:true ~ops:100 ~seed:12 in
+  let rs = Filebench.run s Filebench.Randread ~direct_io:true ~ops:100 ~seed:12 in
+  let ratio = rs.Filebench.throughput_mb_s /. rg.Filebench.throughput_mb_s in
+  checkb "within 3%" true (ratio > 0.97 && ratio < 1.03)
+
+let test_filebench_no_crypto_fast_everywhere () =
+  let setup = prepare Filebench.No_crypto ~seed:13 in
+  let direct = Filebench.run setup Filebench.Randread ~direct_io:true ~ops:100 ~seed:13 in
+  checkb "ramdisk speed" true (direct.Filebench.throughput_mb_s > 100.0)
+
+let test_filebench_data_integrity () =
+  let setup = prepare Filebench.Sentry_aes ~seed:14 in
+  (* write through cached path, read back through direct path: same
+     bytes must emerge from the crypto stack *)
+  let f_cached = Ramfs.lookup setup.Filebench.fs_cached "file000" in
+  let f_direct = Ramfs.lookup setup.Filebench.fs_direct "file000" in
+  Ramfs.write setup.Filebench.fs_cached f_cached ~off:123 (Bytes.of_string "integrity!");
+  Buffer_cache.sync setup.Filebench.cache;
+  Alcotest.(check bytes) "cached write visible via direct read" (Bytes.of_string "integrity!")
+    (Ramfs.read setup.Filebench.fs_direct f_direct ~off:123 ~len:10)
+
+(* --------------------------- Kernel_compile ----------------------- *)
+
+let test_kernel_compile_baseline_calibrated () =
+  let r = Kernel_compile.run ~locked_ways:0 () in
+  Alcotest.(check (float 0.01)) "14.41 min" Kernel_compile.paper_baseline_minutes
+    r.Kernel_compile.minutes
+
+let test_kernel_compile_one_way_under_2pct () =
+  let r = Kernel_compile.run ~locked_ways:1 () in
+  let slowdown = (r.Kernel_compile.minutes /. Kernel_compile.paper_baseline_minutes) -. 1.0 in
+  checkb "small slowdown" true (slowdown > 0.0 && slowdown < 0.02)
+
+let test_kernel_compile_monotone () =
+  let sweep = Kernel_compile.sweep () in
+  checki "nine points" 9 (List.length sweep);
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        (* allow the 7->8 anomaly: a fully locked cache degenerates to
+           uncached access, which can differ from 1-way thrash *)
+        (a.Kernel_compile.locked_ways >= 7 || a.Kernel_compile.minutes <= b.Kernel_compile.minutes)
+        && monotone rest
+    | _ -> true
+  in
+  checkb "monotone up to 7 ways" true (monotone sweep)
+
+let test_kernel_compile_miss_rate_grows () =
+  let r0 = Kernel_compile.run ~locked_ways:0 () in
+  let r6 = Kernel_compile.run ~locked_ways:6 () in
+  checkb "miss rate grows" true (r6.Kernel_compile.miss_rate > r0.Kernel_compile.miss_rate)
+
+(* ----------------------------- Daily_use -------------------------- *)
+
+let test_daily_use_estimates () =
+  let r = Daily_use.estimate Apps.maps in
+  checkb "about 1-2% for maps" true
+    (r.Daily_use.battery_fraction > 0.005 && r.Daily_use.battery_fraction < 0.03);
+  checki "150 cycles" 150 r.Daily_use.cycles_per_day;
+  let tiny = Daily_use.estimate Apps.mp3 in
+  checkb "smaller app costs less" true
+    (tiny.Daily_use.joules_per_day < r.Daily_use.joules_per_day)
+
+let test_daily_use_measured () =
+  let system = System.boot `Nexus4 ~seed:15 in
+  let sentry = Sentry.install system (Config.default `Nexus4) in
+  let app = App.launch system small_profile in
+  Sentry.mark_sensitive sentry app.App.proc;
+  let r = Daily_use.measure system sentry app ~cycles:3 in
+  checkb "positive" true (r.Daily_use.joules_per_day > 0.0);
+  checkb "tiny app under 1%" true (r.Daily_use.battery_fraction < 0.01)
+
+let () =
+  Alcotest.run "sentry_workloads"
+    [
+      ( "app",
+        [
+          Alcotest.test_case "launch regions" `Quick test_app_launch_regions;
+          Alcotest.test_case "cycle overhead" `Quick test_app_cycle_overhead_positive;
+          Alcotest.test_case "nominal without sentry" `Quick test_app_no_sentry_script_is_nominal;
+          Alcotest.test_case "paper profiles" `Quick test_apps_profiles_match_paper;
+        ] );
+      ( "background_app",
+        [
+          Alcotest.test_case "baseline kernel time" `Quick
+            test_background_app_baseline_has_kernel_time;
+          Alcotest.test_case "sentry costs more" `Quick test_background_app_sentry_costs_more;
+          Alcotest.test_case "more cache helps" `Quick test_background_app_more_cache_helps;
+          Alcotest.test_case "alpine factor" `Quick test_background_app_alpine_factor_range;
+          Alcotest.test_case "deterministic" `Quick test_background_app_deterministic;
+          Alcotest.test_case "working-set guard" `Quick test_background_app_ws_guard;
+        ] );
+      ( "filebench",
+        [
+          Alcotest.test_case "cache masks crypto" `Quick test_filebench_cache_masks_crypto;
+          Alcotest.test_case "direct tracks AES rate" `Quick test_filebench_direct_io_tracks_aes_rate;
+          Alcotest.test_case "sentry close to generic" `Quick test_filebench_sentry_close_to_generic;
+          Alcotest.test_case "no crypto fast" `Quick test_filebench_no_crypto_fast_everywhere;
+          Alcotest.test_case "data integrity" `Quick test_filebench_data_integrity;
+        ] );
+      ( "kernel_compile",
+        [
+          Alcotest.test_case "baseline" `Quick test_kernel_compile_baseline_calibrated;
+          Alcotest.test_case "one way <2%" `Quick test_kernel_compile_one_way_under_2pct;
+          Alcotest.test_case "monotone" `Quick test_kernel_compile_monotone;
+          Alcotest.test_case "miss rate grows" `Quick test_kernel_compile_miss_rate_grows;
+        ] );
+      ( "daily_use",
+        [
+          Alcotest.test_case "estimates" `Quick test_daily_use_estimates;
+          Alcotest.test_case "measured" `Quick test_daily_use_measured;
+        ] );
+    ]
