@@ -89,6 +89,68 @@ let demo_cmd =
   let doc = "walk through a lock / background / unlock cycle" in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ const ())
 
+(* ----------------------------- analyze --------------------------- *)
+
+let analyze platform fault matrix =
+  let open Sentry_analysis in
+  let platform =
+    match platform with
+    | "tegra3" -> `Tegra3
+    | "nexus4" -> `Nexus4
+    | "future" -> `Future
+    | p ->
+        Printf.eprintf "unknown platform %S (tegra3|nexus4|future)\n" p;
+        exit 1
+  in
+  let fault =
+    match fault with
+    | "none" -> Scenario.No_fault
+    | f -> (
+        match List.find_opt (fun x -> Scenario.fault_name x = f) Scenario.faults with
+        | Some x -> x
+        | None ->
+            Printf.eprintf "unknown fault %S (none|%s)\n" f
+              (String.concat "|" (List.map Scenario.fault_name Scenario.faults));
+            exit 1)
+  in
+  let r = Scenario.run ~fault platform in
+  Printf.printf "secret-flow analysis: platform=%s fault=%s\n%s"
+    (match platform with `Tegra3 -> "tegra3" | `Nexus4 -> "nexus4" | `Future -> "future")
+    (Scenario.fault_name fault)
+    (Engine.report r.Scenario.engine);
+  let scenario_ok =
+    match Scenario.expected_checker fault with
+    | None -> r.Scenario.violations = []
+    | Some name ->
+        Printf.printf "expected checker %s: %s\n" name
+          (if Scenario.tripped_expected r then "tripped" else "NOT TRIPPED");
+        Scenario.tripped_expected r
+  in
+  let matrix_ok =
+    if not matrix then true
+    else begin
+      print_string (Verdict_check.report ());
+      Verdict_check.agrees ()
+    end
+  in
+  if not (scenario_ok && matrix_ok) then exit 1
+
+let analyze_cmd =
+  let doc = "verify secret-flow invariants over the canned lock/unlock scenario" in
+  let platform =
+    Arg.(value & opt string "tegra3" & info [ "platform" ] ~docv:"PLATFORM" ~doc:"tegra3|nexus4|future")
+  in
+  let fault =
+    Arg.(
+      value & opt string "none"
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:"inject a protection fault and confirm the matching checker flags it")
+  in
+  let matrix =
+    Arg.(value & flag & info [ "matrix" ] ~doc:"also cross-check taint verdicts against the Table 3 attack matrix")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ platform $ fault $ matrix)
+
 (* ----------------------------- attack ---------------------------- *)
 
 let attack variant protect =
@@ -134,4 +196,4 @@ let attack_cmd =
 
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "sentry-cli" ~doc) [ list_cmd; exp_cmd; demo_cmd; attack_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "sentry-cli" ~doc) [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd ]))

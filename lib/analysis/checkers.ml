@@ -1,0 +1,225 @@
+(** The built-in invariant suite: one module per rule of the Sentry
+    security argument, each phrased over taint provenance rather than
+    content, so a passing run certifies the {e mechanism} (secrets
+    never flowed off-SoC) and not just a lucky memory image.
+
+    All rules are read-only: they inspect raw arrays, shadow stores
+    and registers directly and never issue simulated CPU accesses that
+    would themselves generate events. *)
+
+open Sentry_soc
+open Sentry_core
+open Sentry_kernel
+open Checker
+
+let machine sentry = System.machine (Sentry.system sentry)
+
+(* Transition events fire after the state is updated, so "the device
+   is now locked" is just [Sentry.is_locked]. *)
+let locked_event sentry = function
+  | Transition { new_state = Lock_state.Locked | Lock_state.Deep_locked; _ } | On_demand ->
+      Sentry.is_locked sentry
+  | Transition _ | Bus_txn _ | Eviction _ | Dma_read _ -> false
+
+let secret = Taint.Secret_cleartext
+let is_secret l = Taint.rank l >= Taint.rank secret
+
+(** No byte of DRAM may carry secret-cleartext taint while the device
+    is locked — the paper's core claim (§2): everything off-SoC is
+    ciphertext by the time the lock completes. *)
+module No_secret_in_dram = struct
+  type t = { addr : int; len : int }
+
+  let name = "no-cleartext-secret-in-dram-while-locked"
+
+  let check sentry event =
+    if not (locked_event sentry event) then []
+    else
+      let dram = Machine.dram (machine sentry) in
+      match Dram.shadow dram with
+      | None -> []
+      | Some sh ->
+          let base = (Dram.region dram).Memmap.base in
+          Taint.runs sh ~level:secret
+          |> List.map (fun (off, len) -> { addr = base + off; len })
+
+  let is_problematic _ = true
+
+  let to_string f =
+    Printf.sprintf "secret cleartext in DRAM at 0x%08x (%d bytes) while locked" f.addr f.len
+end
+
+(** No secret-cleartext bytes may cross the external memory bus while
+    locked: a FuturePlus-style probe (§3.1) sees every transaction. *)
+module No_tainted_bus = struct
+  type t = Bus.transaction
+
+  let name = "no-tainted-bus-transaction-while-locked"
+
+  let check sentry event =
+    match event with
+    | Bus_txn txn when Sentry.is_locked sentry && is_secret txn.Bus.taint -> [ txn ]
+    | _ -> []
+
+  let is_problematic _ = true
+
+  let to_string txn =
+    Fmt.str "secret-tainted bus transaction while locked: %a" Bus.pp_transaction txn
+end
+
+(** A dirty line in a locked way must never be written back: lockdown
+    is the {e only} thing keeping locked-L2 secrets inside the SoC
+    (§4.2, §4.5 — the stock-flush hazard). *)
+module Locked_way_never_evicted = struct
+  type t = { way : int; addr : int }
+
+  let name = "locked-way-never-evicted"
+
+  let check _sentry event =
+    match event with
+    | Eviction { way; addr; locked = true } -> [ { way; addr } ]
+    | _ -> []
+
+  let is_problematic _ = true
+
+  let to_string f =
+    Printf.sprintf "line 0x%08x evicted from locked way %d to DRAM" f.addr f.way
+end
+
+(** The register file must carry no secret taint once the device is
+    locked/suspended: a context switch spills registers to a DRAM
+    kernel stack, which is why [onsoc_enable_irq] zeroes them (§6.2). *)
+module Registers_clean_on_suspend = struct
+  type t = Taint.level
+
+  let name = "registers-clean-on-suspend"
+
+  let check sentry event =
+    if not (locked_event sentry event) then []
+    else
+      let level = Cpu.reg_taint (Machine.cpu (machine sentry)) in
+      if is_secret level then [ level ] else []
+
+  let is_problematic _ = true
+
+  let to_string level =
+    Printf.sprintf "register file carries %s taint while locked" (Taint.to_string level)
+end
+
+(** Every frame freed by a sensitive process must be scrubbed before
+    the lock completes — the freed-page barrier of §7 (stock Linux
+    zeroes "eventually", which is too late). *)
+module Freed_pages_zeroed = struct
+  type t = { frame : int; level : Taint.level }
+
+  let name = "freed-pages-zeroed-before-lock"
+
+  let check sentry event =
+    match event with
+    | Transition { new_state = Lock_state.Locked | Lock_state.Deep_locked; _ } ->
+        let m = machine sentry in
+        let sys = Sentry.system sentry in
+        Frame_alloc.pending_dirty sys.System.frames
+        |> List.filter_map (fun frame ->
+               let level = Machine.taint_of m frame Page.size in
+               if is_secret level then Some { frame; level } else None)
+    | _ -> []
+
+  let is_problematic _ = true
+
+  let to_string f =
+    Printf.sprintf "freed frame 0x%08x still %s at lock time" f.frame (Taint.to_string f.level)
+end
+
+(** Secrets parked in iRAM must sit behind a TrustZone DMA deny
+    window: iRAM is ordinary memory to a DMA engine (§4.4). *)
+module Dma_window_excludes_iram = struct
+  type t = { addr : int; len : int; via : [ `Window | `Observed_read ] }
+
+  let name = "dma-window-excludes-iram"
+
+  let check sentry event =
+    match event with
+    | Transition _ | On_demand -> (
+        let m = machine sentry in
+        let iram = Machine.iram m in
+        match Iram.shadow iram with
+        | None -> []
+        | Some sh ->
+            let base = (Iram.region iram).Memmap.base in
+            let tz = Machine.trustzone m in
+            Taint.runs sh ~level:secret
+            |> List.filter_map (fun (off, len) ->
+                   let addr = base + off in
+                   if Trustzone.dma_allowed tz ~addr ~len then Some { addr; len; via = `Window }
+                   else None))
+    | Dma_read { addr; len; taint } when is_secret taint -> [ { addr; len; via = `Observed_read } ]
+    | Bus_txn _ | Eviction _ | Dma_read _ -> []
+
+  let is_problematic _ = true
+
+  let to_string f =
+    match f.via with
+    | `Window ->
+        Printf.sprintf "secret bytes at 0x%08x (%d bytes) are inside an open DMA window" f.addr
+          f.len
+    | `Observed_read ->
+        Printf.sprintf "DMA read of secret bytes at 0x%08x (%d bytes) completed" f.addr f.len
+end
+
+(** The root keys exist only in the fuse and on-SoC storage: their
+    bytes must never appear in the DRAM array, nor in unlocked cache
+    ways (whose lines eventually write back).  Content-based on
+    purpose — this rule guards against flows the taint plumbing itself
+    might miss. *)
+module Root_key_confined = struct
+  type t = { key : string; where : string; addr : int }
+
+  let name = "root-key-confined-to-fuse-and-iram"
+
+  let key_findings m ~label key =
+    let found = ref [] in
+    (match Sentry_util.Bytes_util.find (Dram.raw (Machine.dram m)) key with
+    | Some off ->
+        let addr = (Dram.region (Machine.dram m)).Memmap.base + off in
+        found := { key = label; where = "DRAM"; addr } :: !found
+    | None -> ());
+    let l2 = Machine.l2 m in
+    let lockdown = Pl310.lockdown l2 in
+    Pl310.iter_resident l2 (fun ~way ~addr data ->
+        if lockdown land (1 lsl way) = 0 && Sentry_util.Bytes_util.contains data key then
+          found := { key = label; where = Printf.sprintf "unlocked L2 way %d" way; addr } :: !found);
+    !found
+
+  let check sentry event =
+    match event with
+    | Transition { new_state = Lock_state.Locked | Lock_state.Deep_locked; _ } | On_demand ->
+        let m = machine sentry in
+        let keys = Sentry.key_manager sentry in
+        let vol = key_findings m ~label:"volatile" (Key_manager.volatile_key keys) in
+        let pers =
+          match Key_manager.persistent_key keys with
+          | Some k -> key_findings m ~label:"persistent" k
+          | None -> []
+        in
+        vol @ pers
+    | Transition _ | Bus_txn _ | Eviction _ | Dma_read _ -> []
+
+  let is_problematic _ = true
+
+  let to_string f = Printf.sprintf "%s root key found in %s at 0x%08x" f.key f.where f.addr
+end
+
+(** Every built-in rule, in evaluation order. *)
+let all : packed list =
+  [
+    Packed (module No_secret_in_dram);
+    Packed (module No_tainted_bus);
+    Packed (module Locked_way_never_evicted);
+    Packed (module Registers_clean_on_suspend);
+    Packed (module Freed_pages_zeroed);
+    Packed (module Dma_window_excludes_iram);
+    Packed (module Root_key_confined);
+  ]
+
+let names = List.map packed_name all

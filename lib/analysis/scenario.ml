@@ -1,0 +1,141 @@
+(** The canned verification scenario: a full lock/unlock cycle with a
+    sensitive foreground app, a short-lived sensitive app whose freed
+    pages must be scrubbed, and (where the platform supports it) a
+    background-enabled app paging over encrypted DRAM while locked.
+
+    Run unmodified it must produce {e zero} violations on every
+    platform; each [fault] deliberately breaks one Sentry protection
+    and must trip the matching checker — the analysis-layer
+    counterpart of the attack-based tests in [Sentry_attacks]. *)
+
+open Sentry_util
+open Sentry_soc
+open Sentry_core
+open Sentry_kernel
+
+type fault =
+  | No_fault
+  | Stock_flush_while_locked
+      (** run the stock full L2 flush after locking: cleans locked
+          ways to DRAM and drops lockdown (§4.2) *)
+  | Skip_register_clearing
+      (** [onsoc_enable_irq] without the register scrub (§6.2) *)
+  | Skip_freed_page_barrier
+      (** zeroing thread disabled: freed sensitive pages linger (§7) *)
+  | Widen_dma_window
+      (** TrustZone DMA deny list cleared: iRAM exposed (§4.4) *)
+
+let fault_name = function
+  | No_fault -> "none"
+  | Stock_flush_while_locked -> "stock-flush-while-locked"
+  | Skip_register_clearing -> "skip-register-clearing"
+  | Skip_freed_page_barrier -> "skip-freed-page-barrier"
+  | Widen_dma_window -> "widen-dma-window"
+
+let faults =
+  [ Stock_flush_while_locked; Skip_register_clearing; Skip_freed_page_barrier; Widen_dma_window ]
+
+(** The checker each fault must trip. *)
+let expected_checker = function
+  | No_fault -> None
+  | Stock_flush_while_locked -> Some Checkers.Locked_way_never_evicted.name
+  | Skip_register_clearing -> Some Checkers.Registers_clean_on_suspend.name
+  | Skip_freed_page_barrier -> Some Checkers.Freed_pages_zeroed.name
+  | Widen_dma_window -> Some Checkers.Dma_window_excludes_iram.name
+
+(** The platform each fault's protection exists on (stock flush needs
+    cache locking; the DMA window matters where keys live in iRAM). *)
+let fault_platform = function
+  | No_fault | Stock_flush_while_locked | Skip_register_clearing | Skip_freed_page_barrier ->
+      `Tegra3
+  | Widen_dma_window -> `Nexus4
+
+type result = {
+  platform : Config.platform;
+  fault : fault;
+  engine : Engine.t;
+  violations : Checker.violation list;
+  lock_stats : Encrypt_on_lock.stats;
+}
+
+let user_data = Bytes.of_string "CONFIDENTIAL-NOTES-do-not-page-out-"
+
+let fill system sentry proc =
+  Sentry.mark_sensitive sentry proc;
+  match Address_space.find_region proc.Process.aspace ~name:"main" with
+  | Some region -> System.fill_region system proc region user_data
+  | None -> invalid_arg "Scenario: process has no main region"
+
+(** [run ?fault platform] — execute the scenario and return every
+    violation the engine recorded. *)
+let run ?(fault = No_fault) (platform : Config.platform) =
+  let system = System.boot platform in
+  let machine = System.machine system in
+  let config = { (Config.default platform) with track_taint = true } in
+  let sentry = Sentry.install system config in
+  let engine = Engine.attach sentry in
+  (* -- pre-lock fault injections ---------------------------------- *)
+  (match fault with
+  | Widen_dma_window ->
+      let tz = Machine.trustzone machine in
+      Trustzone.with_secure_world tz (fun () -> Trustzone.allow_all_dma tz)
+  | Skip_register_clearing -> Cpu.set_zeroing_enabled (Machine.cpu machine) false
+  | Skip_freed_page_barrier -> Zerod.set_enabled system.System.zerod false
+  | No_fault | Stock_flush_while_locked -> ());
+  (* -- workload setup --------------------------------------------- *)
+  let app = System.spawn system ~name:"mail" ~bytes:(64 * Units.kib) in
+  fill system sentry app;
+  (* a sensitive app that exits before the lock: its frames join the
+     dirty list with their plaintext (and taint) intact *)
+  let tmp = System.spawn system ~name:"notes" ~bytes:(16 * Units.kib) in
+  fill system sentry tmp;
+  System.kill system tmp;
+  let bg =
+    if Sentry.background_engine sentry <> None then begin
+      let bg = System.spawn system ~name:"sync" ~bytes:(32 * Units.kib) in
+      fill system sentry bg;
+      Sentry.enable_background sentry bg;
+      Some bg
+    end
+    else None
+  in
+  (* -- lock -------------------------------------------------------- *)
+  let lock_stats = Sentry.lock sentry in
+  (match fault with
+  | Stock_flush_while_locked ->
+      (* the §4.2 hazard: a stock kernel's full flush while locked *)
+      Pl310.flush_all_stock (Machine.l2 machine)
+  | Widen_dma_window ->
+      (* mount the dump a DMA attacker would run against the open window *)
+      ignore (Sentry_attacks.Dma_attack.dump machine ~target:`Iram)
+  | No_fault | Skip_register_clearing | Skip_freed_page_barrier -> ());
+  (* -- background computation while locked ------------------------- *)
+  (match bg with
+  | Some proc ->
+      (match Address_space.find_region proc.Process.aspace ~name:"main" with
+      | Some region ->
+          (* touch every page: page-ins, decrypts in locked lines, and
+             (once the budget fills) encrypted evictions back to DRAM *)
+          for page = 0 to region.Address_space.npages - 1 do
+            ignore
+              (Vm.read system.System.vm proc
+                 ~vaddr:(region.Address_space.vstart + (page * Page.size))
+                 ~len:64)
+          done
+      | None -> ())
+  | None -> ());
+  Engine.check_now engine;
+  (* -- unlock ------------------------------------------------------ *)
+  (match Sentry.unlock sentry ~pin:config.Config.pin with
+  | Ok _ -> ()
+  | Error _ -> invalid_arg "Scenario: unlock failed");
+  Engine.check_now engine;
+  let violations = Engine.violations engine in
+  Engine.detach engine;
+  { platform; fault; engine; violations; lock_stats }
+
+(** Did the run trip the checker its fault targets? *)
+let tripped_expected r =
+  match expected_checker r.fault with
+  | None -> false
+  | Some name -> List.exists (fun v -> String.equal v.Checker.checker name) r.violations

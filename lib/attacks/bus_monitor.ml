@@ -17,14 +17,13 @@
 open Sentry_soc
 
 type t = {
-  machine : Machine.t;
   mutable txns : Bus.transaction list; (* newest first *)
   mutable detach : (unit -> unit) option;
 }
 
 (** [attach machine] clamps the probe on the bus. *)
 let attach machine =
-  let t = { machine; txns = []; detach = None } in
+  let t = { txns = []; detach = None } in
   let detach = Bus.attach_monitor (Machine.bus machine) (fun txn -> t.txns <- txn :: t.txns) in
   t.detach <- Some detach;
   t

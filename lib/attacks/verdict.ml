@@ -24,16 +24,21 @@ let attack_name = function
 
 let secret = Bytes.of_string "TOP-SECRET-KEY-MATERIAL-0xDEADBEEF"
 
-(* Build a machine with [secret] placed per [storage]; returns the
-   machine and the secret's address. *)
-let place_secret ~seed storage =
+(** Build a machine with [secret] placed per [storage]; returns the
+    system, machine and the secret's address.  With [track_taint] the
+    shadow stores are allocated and the planted secret is labelled
+    [Secret_cleartext], so the analysis engine can re-derive this
+    module's verdicts from provenance instead of content. *)
+let place_secret ?(track_taint = false) ~seed storage =
   let system = System.boot `Tegra3 ~seed in
   let machine = System.machine system in
+  if track_taint then Machine.enable_taint machine;
+  let tag f = Machine.with_taint machine Taint.Secret_cleartext f in
   let addr =
     match storage with
     | Plain_dram ->
         let frame = Sentry_kernel.Frame_alloc.alloc system.System.frames in
-        Machine.write_uncached machine frame secret;
+        tag (fun () -> Machine.write_uncached machine frame secret);
         frame
     | Iram_storage ->
         let alloc = Iram_alloc.create machine in
@@ -42,7 +47,7 @@ let place_secret ~seed storage =
           | Some a -> a
           | None -> failwith "iram alloc"
         in
-        Machine.write machine addr secret;
+        tag (fun () -> Machine.write machine addr secret);
         (* Sentry protects iRAM from DMA via TrustZone (§4.4). *)
         Trustzone.with_secure_world (Machine.trustzone machine) (fun () ->
             Trustzone.deny_dma (Machine.trustzone machine) (Machine.iram_region machine));
@@ -50,7 +55,7 @@ let place_secret ~seed storage =
     | Locked_l2_storage ->
         let lc = Locked_cache.create machine ~arena_base:system.System.arena_base ~max_ways:2 in
         let page = Locked_cache.alloc_page lc in
-        Machine.write machine page secret;
+        tag (fun () -> Machine.write machine page secret);
         page
   in
   (system, machine, addr)

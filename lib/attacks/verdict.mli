@@ -12,6 +12,16 @@ val attack_name : attack -> string
 (** The planted secret (shared so callers can report on it). *)
 val secret : Bytes.t
 
+(** Fresh machine with the secret placed per [storage]; with
+    [track_taint] the planted bytes are labelled [Secret_cleartext] so
+    analysis passes can re-derive verdicts from provenance.  Returns
+    (system, machine, secret address). *)
+val place_secret :
+  ?track_taint:bool ->
+  seed:int ->
+  storage ->
+  Sentry_core.System.t * Sentry_soc.Machine.t * int
+
 (** Evaluate one cell on a fresh machine: [true] = the storage held. *)
 val safe : storage:storage -> attack:attack -> bool
 

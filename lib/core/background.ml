@@ -59,12 +59,13 @@ let evict t r =
   (* encrypt in place inside the locked way *)
   let plain = Machine.read t.machine r.locked_page Page.size in
   let ct = Page_crypt.encrypt_bytes t.pc ~pid:r.proc.Process.pid ~vpn:r.vpn plain in
-  Machine.write t.machine r.locked_page ct;
-  (* copy ciphertext back to DRAM (uncached: it must actually land),
-     then invalidate any stale lines over the frame — the page-in copy
-     read the old ciphertext through the cache, and software manages
-     coherence on this SoC (§4.4) *)
-  Machine.write_uncached t.machine backing ct;
+  Machine.with_taint t.machine Taint.Ciphertext (fun () ->
+      Machine.write t.machine r.locked_page ct;
+      (* copy ciphertext back to DRAM (uncached: it must actually land),
+         then invalidate any stale lines over the frame — the page-in copy
+         read the old ciphertext through the cache, and software manages
+         coherence on this SoC (§4.4) *)
+      Machine.write_uncached t.machine backing ct);
   Pl310.invalidate_range (Machine.l2 t.machine) backing Page.size;
   pte.Page_table.frame <- backing;
   pte.Page_table.backing <- None;
@@ -87,10 +88,12 @@ let page_in t proc ~vpn pte =
   let dram_frame = pte.Page_table.frame in
   (* step 1: copy encrypted page into the locked way *)
   let ct = Machine.read t.machine dram_frame Page.size in
-  Machine.write t.machine locked_page ct;
+  Machine.with_taint t.machine Taint.Ciphertext (fun () ->
+      Machine.write t.machine locked_page ct);
   (* step 2: decrypt in place (plaintext only in locked lines) *)
   let plain = Page_crypt.decrypt_bytes t.pc ~pid:proc.Process.pid ~vpn ct in
-  Machine.write t.machine locked_page plain;
+  Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
+      Machine.write t.machine locked_page plain);
   (* step 3: repoint the PTE and set young *)
   pte.Page_table.frame <- locked_page;
   pte.Page_table.backing <- Some dram_frame;

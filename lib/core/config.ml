@@ -11,6 +11,7 @@ type t = {
   background_budget_bytes : int; (* locked-cache pool for background paging *)
   pin : string;
   max_pin_attempts : int; (* wrong PINs before deep-lock *)
+  track_taint : bool; (* allocate shadow memory + tag secret flows *)
 }
 
 let default_tegra3 =
@@ -21,6 +22,7 @@ let default_tegra3 =
     background_budget_bytes = 256 * Sentry_util.Units.kib;
     pin = "1234";
     max_pin_attempts = 5;
+    track_taint = false;
   }
 
 (* The Nexus 4 prototype cannot enable cache locking (locked
@@ -34,6 +36,7 @@ let default_nexus4 =
     background_budget_bytes = 0;
     pin = "1234";
     max_pin_attempts = 5;
+    track_taint = false;
   }
 
 (* The §10 future platform: pinned on-SoC memory for keys and the AES

@@ -20,6 +20,9 @@ type t = {
           static on-SoC allocations *)
   pin : string;
   max_pin_attempts : int;  (** wrong PINs before deep-lock *)
+  track_taint : bool;
+      (** allocate shadow memory and tag secret flows so the analysis
+          engine can verify invariants (off by default: zero cost) *)
 }
 
 (** Tegra 3 defaults: locked-L2 storage, 4-way budget, 256 KB

@@ -23,7 +23,8 @@ let key_len = Key_derive.key_len
 let create machine onsoc =
   let volatile_addr = Onsoc.alloc onsoc ~bytes:key_len in
   let key = Key_derive.volatile_key machine in
-  Machine.write machine volatile_addr key;
+  Machine.with_taint machine Taint.Secret_cleartext (fun () ->
+      Machine.write machine volatile_addr key);
   { machine; onsoc; volatile_addr; persistent_addr = None }
 
 (** Read the volatile key back from on-SoC storage. *)
@@ -41,7 +42,8 @@ let unlock_persistent t ~password =
         t.persistent_addr <- Some a;
         a
   in
-  Machine.write t.machine addr key;
+  Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
+      Machine.write t.machine addr key);
   key
 
 let persistent_key t =
@@ -49,7 +51,12 @@ let persistent_key t =
   | None -> None
   | Some a -> Some (Machine.read t.machine a key_len)
 
-(** Wipe both keys from on-SoC storage. *)
+(** Wipe both keys from on-SoC storage (the overwrite is public). *)
 let wipe t =
   Machine.write t.machine t.volatile_addr (Bytes.make key_len '\xff');
   Option.iter (fun a -> Machine.write t.machine a (Bytes.make key_len '\xff')) t.persistent_addr
+
+(** Where the keys are parked, for analysis passes checking root-key
+    confinement. *)
+let volatile_addr t = t.volatile_addr
+let persistent_addr t = t.persistent_addr

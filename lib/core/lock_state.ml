@@ -13,12 +13,33 @@ type t = {
   mutable failed_attempts : int;
   mutable lock_count : int;
   mutable unlock_count : int;
+  mutable observers : (old_state:state -> new_state:state -> unit) list;
 }
 
 let create ~pin ~max_attempts =
-  { pin; max_attempts; state = Unlocked; failed_attempts = 0; lock_count = 0; unlock_count = 0 }
+  {
+    pin;
+    max_attempts;
+    state = Unlocked;
+    failed_attempts = 0;
+    lock_count = 0;
+    unlock_count = 0;
+    observers = [];
+  }
 
 let state t = t.state
+
+(** [on_transition t f] — [f] fires after every state change, in
+    registration order.  Used by the analysis engine to evaluate
+    invariants at lock/unlock boundaries. *)
+let on_transition t f = t.observers <- t.observers @ [ f ]
+
+let clear_observers t = t.observers <- []
+
+let transition t new_state =
+  let old_state = t.state in
+  t.state <- new_state;
+  List.iter (fun f -> f ~old_state ~new_state) t.observers
 
 let state_name = function
   | Unlocked -> "unlocked"
@@ -31,15 +52,14 @@ exception Invalid_transition of string
 
 let begin_lock t =
   match t.state with
-  | Unlocked ->
-      t.state <- Locking
+  | Unlocked -> transition t Locking
   | s -> raise (Invalid_transition ("begin_lock from " ^ state_name s))
 
 let finish_lock t =
   match t.state with
   | Locking ->
-      t.state <- Locked;
-      t.lock_count <- t.lock_count + 1
+      t.lock_count <- t.lock_count + 1;
+      transition t Locked
   | s -> raise (Invalid_transition ("finish_lock from " ^ state_name s))
 
 type unlock_error = Bad_pin | Deep_lock_engaged
@@ -52,12 +72,12 @@ let begin_unlock t ~pin =
   | Locked ->
       if String.equal pin t.pin then begin
         t.failed_attempts <- 0;
-        t.state <- Unlocking;
+        transition t Unlocking;
         Ok ()
       end
       else begin
         t.failed_attempts <- t.failed_attempts + 1;
-        if t.failed_attempts >= t.max_attempts then t.state <- Deep_locked;
+        if t.failed_attempts >= t.max_attempts then transition t Deep_locked;
         Error Bad_pin
       end
   | s -> raise (Invalid_transition ("begin_unlock from " ^ state_name s))
@@ -65,8 +85,8 @@ let begin_unlock t ~pin =
 let finish_unlock t =
   match t.state with
   | Unlocking ->
-      t.state <- Unlocked;
-      t.unlock_count <- t.unlock_count + 1
+      t.unlock_count <- t.unlock_count + 1;
+      transition t Unlocked
   | s -> raise (Invalid_transition ("finish_unlock from " ^ state_name s))
 
 let counts t = (t.lock_count, t.unlock_count, t.failed_attempts)

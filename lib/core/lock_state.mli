@@ -29,3 +29,9 @@ val finish_unlock : t -> unit
 
 (** (locks completed, unlocks completed, consecutive failed PINs). *)
 val counts : t -> int * int * int
+
+(** [on_transition t f] — [f] fires after every state change, in
+    registration order (analysis hooks). *)
+val on_transition : t -> (old_state:state -> new_state:state -> unit) -> unit
+
+val clear_observers : t -> unit

@@ -34,17 +34,21 @@ let decrypt_bytes t ~pid ~vpn data =
 
 (** Encrypt a frame in place (lock path).  The ciphertext replaces the
     plaintext through the cached path; the lock sequence ends with a
-    masked L2 flush so no plaintext survives in unlocked ways. *)
+    masked L2 flush so no plaintext survives in unlocked ways.
+    Passing through the cipher declassifies: the frame's bytes are
+    re-labelled [Ciphertext]. *)
 let encrypt_frame t ~pid ~vpn ~frame =
   let plain = Machine.read t.machine frame Page.size in
   let ct = encrypt_bytes t ~pid ~vpn plain in
-  Machine.write t.machine frame ct
+  Machine.with_taint t.machine Taint.Ciphertext (fun () -> Machine.write t.machine frame ct)
 
-(** Decrypt a frame in place (lazy unlock path). *)
+(** Decrypt a frame in place (lazy unlock path); the recovered bytes
+    are secret cleartext again. *)
 let decrypt_frame t ~pid ~vpn ~frame =
   let ct = Machine.read t.machine frame Page.size in
   let plain = decrypt_bytes t ~pid ~vpn ct in
-  Machine.write t.machine frame plain
+  Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
+      Machine.write t.machine frame plain)
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

@@ -47,6 +47,8 @@ let install (system : System.t) (config : Config.t) =
     match Config.validate config with Ok c -> c | Error msg -> invalid_arg ("Sentry.install: " ^ msg)
   in
   let machine = system.System.machine in
+  (* Shadow stores must exist before the first key write is tagged. *)
+  if config.Config.track_taint then Sentry_soc.Machine.enable_taint machine;
   let onsoc = Onsoc.of_config machine config ~arena_base:system.System.arena_base in
   Onsoc.protect_from_dma onsoc machine;
   let keys = Key_manager.create machine onsoc in
@@ -163,5 +165,7 @@ let key_manager t = t.keys
 let onsoc t = t.onsoc
 let aes t = t.aes
 let config t = t.config
+let last_lock_stats t = t.last_lock
+let last_unlock_stats t = t.last_unlock
 let lock_state t = t.lock_state
 let sensitive_processes t = t.sensitive

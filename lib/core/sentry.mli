@@ -57,5 +57,9 @@ val key_manager : t -> Key_manager.t
 val onsoc : t -> Onsoc.t
 val aes : t -> Sentry_crypto.Aes_on_soc.t
 val config : t -> Config.t
+
+(** Stats of the most recent lock / unlock, if any. *)
+val last_lock_stats : t -> Encrypt_on_lock.stats option
+val last_unlock_stats : t -> Decrypt_on_unlock.stats option
 val lock_state : t -> Lock_state.t
 val sensitive_processes : t -> Sentry_kernel.Process.t list

@@ -31,6 +31,8 @@ type t = {
   mutable last_suspend_stats : Encrypt_on_lock.stats option;
 }
 
+let last_suspend_stats t = t.last_suspend_stats
+
 let create sentry =
   { sentry; suspended = false; suspend_count = 0; wake_counts = []; last_suspend_stats = None }
 

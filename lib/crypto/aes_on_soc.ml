@@ -26,6 +26,9 @@ type t = {
   variant : Perf.variant;
 }
 
+let storage t = t.storage
+let base t = t.base
+
 let storage_name = function
   | In_iram -> "iRAM"
   | In_locked_l2 -> "locked L2"
@@ -36,7 +39,10 @@ let storage_name = function
     whose lines are pinned in a locked way). *)
 let create machine ~storage ~base ~key =
   let acc = Accessor.machine machine ~base in
-  let block = Aes_block.init acc ~key in
+  (* The context writes carry key-schedule material: label them. *)
+  let block =
+    Machine.with_taint machine Taint.Secret_cleartext (fun () -> Aes_block.init acc ~key)
+  in
   let variant =
     match storage with
     | In_iram | In_pinned -> Perf.Onsoc_iram (* SRAM-class timing *)
@@ -52,7 +58,7 @@ let context_bytes t = Aes_block.context_size t.block.Aes_block.size
 let with_protected_registers t ~sensitive f =
   let cpu = Machine.cpu t.machine in
   Cpu.with_irqs_off cpu (fun () ->
-      Cpu.load_regs cpu sensitive;
+      Cpu.load_regs cpu ~taint:Taint.Secret_cleartext sensitive;
       f ())
 
 let key_schedule_head t = t.block.Aes_block.acc.Accessor.load 0 64
@@ -112,7 +118,9 @@ let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
 
 (** Re-key: rewrites the on-SoC context and the bulk twin together. *)
 let set_key t key =
-  t.block <- Aes_block.init t.block.Aes_block.acc ~key;
+  t.block <-
+    Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
+        Aes_block.init t.block.Aes_block.acc ~key);
   t.fast_key <- Aes.expand key
 
 (** Register with a [Crypto_api] {e above} the generic cipher and any

@@ -14,6 +14,12 @@ val storage_name : storage -> string
     in a locked-way-backed arena page. *)
 val create : Machine.t -> storage:storage -> base:int -> key:Bytes.t -> t
 
+(** Where this instance keeps its context. *)
+val storage : t -> storage
+
+(** Physical base of the on-SoC context. *)
+val base : t -> int
+
 val context_bytes : t -> int
 
 (** Blocks transformed per interrupts-off bracket on the instrumented

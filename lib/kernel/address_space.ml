@@ -8,22 +8,20 @@
     - [Shared] pages are only encrypted if every process sharing them
       is sensitive. *)
 
-open Sentry_soc
 
 type kind = Normal | Dma | Shared of string (* sharing group label *)
 
 type region = { name : string; kind : kind; vstart : int; npages : int }
 
 type t = {
-  machine : Machine.t;
   frames : Frame_alloc.t;
   table : Page_table.t;
   mutable regions : region list;
   mutable next_vaddr : int;
 }
 
-let create machine ~frames =
-  { machine; frames; table = Page_table.create (); regions = []; next_vaddr = 0x1000_0000 }
+let create _machine ~frames =
+  { frames; table = Page_table.create (); regions = []; next_vaddr = 0x1000_0000 }
 
 let table t = t.table
 let regions t = List.rev t.regions

@@ -20,6 +20,7 @@ type t = {
 
 (** [create machine ~region] manages the page-aligned frames of
     [region] (which must lie in DRAM). *)
+let managed_region t = t.region
 let create machine ~region =
   let first = Page.align_up region.Memmap.base in
   let last = Page.align_down (Memmap.limit region) in
@@ -69,6 +70,10 @@ let free t frame =
   assert (Page.is_aligned frame);
   t.allocated <- t.allocated - 1;
   t.dirty <- frame :: t.dirty
+
+(** Frames freed but not yet scrubbed, without claiming them — the
+    analysis engine inspects their taint at lock time. *)
+let pending_dirty t = t.dirty
 
 (** [take_dirty t] hands the dirty list to the zeroing thread. *)
 let take_dirty t =

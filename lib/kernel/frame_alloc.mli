@@ -21,6 +21,12 @@ val alloc : t -> int
 (** Release a frame onto the dirty list (contents intact!). *)
 val free : t -> int -> unit
 
+(** Frames freed but not yet scrubbed, without claiming them. *)
+val pending_dirty : t -> int list
+
+(** The DRAM range this allocator manages. *)
+val managed_region : t -> Memmap.region
+
 (** Hand the dirty list to the zeroing thread. *)
 val take_dirty : t -> int list
 

@@ -5,7 +5,7 @@
     or sequential offsets.  Files can be opened through the cached
     target or (direct I/O) straight through dm-crypt. *)
 
-type file = { fname : string; extent : int (* byte offset on target *); mutable fsize : int }
+type file = { fname : string; extent : int (* byte offset on target *); fsize : int }
 
 type t = {
   target : Blockio.t;

@@ -69,11 +69,17 @@ let read t proc ~vaddr ~len =
       Bytes.blit b 0 out off chunk);
   out
 
-(** [write t proc ~vaddr b] — a user-mode write through the MMU. *)
+(** [write t proc ~vaddr b] — a user-mode write through the MMU.
+    Stores by a sensitive process carry secret-cleartext taint: the
+    paper's unit of protection is the app, not individual buffers. *)
 let write t proc ~vaddr b =
-  iter_pages vaddr (Bytes.length b) (fun va off chunk ->
-      let pa = translate t proc va in
-      Machine.write t.machine pa (Bytes.sub b off chunk))
+  let level =
+    if proc.Process.sensitive then Taint.Secret_cleartext else Machine.ambient_taint t.machine
+  in
+  Machine.with_taint t.machine level (fun () ->
+      iter_pages vaddr (Bytes.length b) (fun va off chunk ->
+          let pa = translate t proc va in
+          Machine.write t.machine pa (Bytes.sub b off chunk)))
 
 (** [touch t proc ~vaddr] — minimal access used by trace replay. *)
 let touch t proc ~vaddr = ignore (translate t proc vaddr)

@@ -9,9 +9,21 @@
 
 open Sentry_soc
 
-type t = { machine : Machine.t; frames : Frame_alloc.t; mutable pages_zeroed : int }
+type t = {
+  machine : Machine.t;
+  frames : Frame_alloc.t;
+  mutable pages_zeroed : int;
+  mutable enabled : bool;
+}
 
-let create machine ~frames = { machine; frames; pages_zeroed = 0 }
+let create machine ~frames = { machine; frames; pages_zeroed = 0; enabled = true }
+
+(** Fault-injection knob: a disabled zerod lets [drain] return without
+    scrubbing anything — the stock-Linux hazard Sentry's lock barrier
+    exists to close. *)
+let set_enabled t enabled = t.enabled <- enabled
+
+let enabled t = t.enabled
 
 let zero_page t frame =
   (* The store stream's cost is the calibrated rate below; write_raw
@@ -23,11 +35,15 @@ let zero_page t frame =
     (Sentry_util.Units.bytes_to_mb Page.size *. Calib.zeroing_j_per_mb);
   t.pages_zeroed <- t.pages_zeroed + 1
 
-(** [drain t] zeroes every pending dirty frame; returns how many. *)
+(** [drain t] zeroes every pending dirty frame; returns how many.
+    A no-op returning 0 while disabled. *)
 let drain t =
-  let dirty = Frame_alloc.take_dirty t.frames in
-  List.iter (zero_page t) dirty;
-  Frame_alloc.give_clean t.frames dirty;
-  List.length dirty
+  if not t.enabled then 0
+  else begin
+    let dirty = Frame_alloc.take_dirty t.frames in
+    List.iter (zero_page t) dirty;
+    Frame_alloc.give_clean t.frames dirty;
+    List.length dirty
+  end
 
 let pages_zeroed t = t.pages_zeroed

@@ -9,7 +9,14 @@ type t
 
 val create : Machine.t -> frames:Frame_alloc.t -> t
 
-(** Zero every pending dirty frame; returns how many were scrubbed. *)
+(** Zero every pending dirty frame; returns how many were scrubbed.
+    A no-op while disabled. *)
 val drain : t -> int
+
+(** Fault-injection knob: disabling reproduces stock Linux's
+    no-deadline zeroing (freed pages linger). *)
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
 
 val pages_zeroed : t -> int

@@ -15,6 +15,7 @@ type transaction = {
   op : op;
   addr : int;
   data : bytes; (* snapshot of the bytes that crossed the bus *)
+  taint : Taint.level; (* provenance join over [data] (Public when tracking is off) *)
   time_ns : float;
   initiator : [ `Cpu | `L2 | `Dma ];
 }
@@ -39,11 +40,16 @@ let attach_monitor t f =
 
 let monitored t = t.monitors <> []
 
-(** [record t ~initiator op addr data] logs one transaction and charges
-    bus energy.  Timing is charged by the initiating component (the L2
-    controller, the CPU or the DMA engine), not here, to avoid double
-    counting. *)
-let record t ~initiator op addr data =
+(** [record t ~initiator ?taint op addr data] logs one transaction and
+    charges bus energy.  Timing is charged by the initiating component
+    (the L2 controller, the CPU or the DMA engine), not here, to avoid
+    double counting.
+
+    The [data] field of the delivered transaction is a {e defensive
+    copy} taken at record time: callers are free to reuse or mutate
+    their buffer afterwards without retroactively altering any
+    monitor's view of what crossed the bus. *)
+let record t ~initiator ?(taint = Taint.Public) op addr data =
   t.transactions <- t.transactions + 1;
   let n = Bytes.length data in
   (match op with
@@ -51,7 +57,9 @@ let record t ~initiator op addr data =
   | Write -> t.bytes_written <- t.bytes_written + n);
   Energy.charge t.energy ~category:"bus" (float_of_int n *. Calib.dram_byte_j);
   if t.monitors <> [] then begin
-    let txn = { op; addr; data = Bytes.copy data; time_ns = Clock.now t.clock; initiator } in
+    let txn =
+      { op; addr; data = Bytes.copy data; taint; time_ns = Clock.now t.clock; initiator }
+    in
     List.iter (fun f -> f txn) t.monitors
   end
 

@@ -8,7 +8,13 @@ type op = Read | Write
 type transaction = {
   op : op;
   addr : int;
-  data : Bytes.t;  (** snapshot of the bytes that crossed the bus *)
+  data : Bytes.t;
+      (** snapshot of the bytes that crossed the bus — a defensive
+          copy taken at record time, never aliased to the initiator's
+          buffer *)
+  taint : Taint.level;
+      (** provenance join over [data] ([Public] when taint tracking is
+          off) *)
   time_ns : float;
   initiator : [ `Cpu | `Dma | `L2 ];
 }
@@ -23,8 +29,11 @@ val attach_monitor : t -> (transaction -> unit) -> unit -> unit
 val monitored : t -> bool
 
 (** Log one transaction (called by the L2 controller, the CPU's
-    uncached path and the DMA engine). *)
-val record : t -> initiator:[ `Cpu | `Dma | `L2 ] -> op -> int -> Bytes.t -> unit
+    uncached path and the DMA engine).  Monitors receive a snapshot:
+    the transaction's [data] is copied here, so mutating the buffer
+    after [record] returns cannot alter any monitor's view. *)
+val record :
+  t -> initiator:[ `Cpu | `Dma | `L2 ] -> ?taint:Taint.level -> op -> int -> Bytes.t -> unit
 
 (** (transaction count, bytes read, bytes written). *)
 val stats : t -> int * int * int

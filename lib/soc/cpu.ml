@@ -16,6 +16,8 @@ type t = {
   mutable irqs_enabled : bool;
   mutable irq_disabled_at : float;
   mutable max_irq_window_ns : float;
+  mutable reg_taint : Taint.level; (* label of the register file contents *)
+  mutable zeroing_enabled : bool; (* fault knob: the onsoc_enable_irq zeroing *)
 }
 
 let num_regs = 16
@@ -28,19 +30,31 @@ let create ~clock =
     irqs_enabled = true;
     irq_disabled_at = 0.0;
     max_irq_window_ns = 0.0;
+    reg_taint = Taint.Public;
+    zeroing_enabled = true;
   }
+
+(** Fault-injection knob: with zeroing disabled, [onsoc_enable_irq]
+    re-enables interrupts {e without} scrubbing the register file —
+    the §6.2 leak the macro exists to prevent. *)
+let set_zeroing_enabled t v = t.zeroing_enabled <- v
 
 let irqs_enabled t = t.irqs_enabled
 
 (** Load sensitive working state into the register file (models the
-    compiler keeping AES round state in registers). *)
-let load_regs t b =
+    compiler keeping AES round state in registers).  [taint] labels
+    the contents; the register file carries one joint label. *)
+let load_regs t ?(taint = Taint.Public) b =
   let n = min (Bytes.length b) reg_bytes in
-  Bytes.blit b 0 t.regs 0 n
+  Bytes.blit b 0 t.regs 0 n;
+  t.reg_taint <- Taint.join t.reg_taint taint
 
 let regs_snapshot t = Bytes.copy t.regs
+let reg_taint t = t.reg_taint
 
-let zero_regs t = Bytes_util.zero t.regs
+let zero_regs t =
+  Bytes_util.zero t.regs;
+  t.reg_taint <- Taint.Public
 
 (** Plain IRQ disable (no zeroing) — what generic kernel code does. *)
 let disable_irqs t =
@@ -63,7 +77,7 @@ let onsoc_disable_irq t = disable_irqs t
     register, then re-enable interrupts, so a subsequent context
     switch has nothing sensitive to spill. *)
 let onsoc_enable_irq t =
-  zero_regs t;
+  if t.zeroing_enabled then zero_regs t;
   enable_irqs t
 
 (** Longest observed interrupts-off window (the paper measures 160 us

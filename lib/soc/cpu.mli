@@ -12,10 +12,16 @@ val reg_bytes : int
 val create : clock:Clock.t -> t
 val irqs_enabled : t -> bool
 
-(** Load sensitive working state into the register file. *)
-val load_regs : t -> Bytes.t -> unit
+(** Load sensitive working state into the register file; [taint]
+    labels the contents (the file carries one joint label). *)
+val load_regs : t -> ?taint:Taint.level -> Bytes.t -> unit
 
 val regs_snapshot : t -> Bytes.t
+
+(** Current joint taint label of the register file; [zero_regs]
+    resets it to [Public]. *)
+val reg_taint : t -> Taint.level
+
 val zero_regs : t -> unit
 
 (** Plain IRQ disable/enable (no zeroing) — generic kernel code. *)
@@ -29,6 +35,10 @@ val onsoc_disable_irq : t -> unit
 (** The paper's [onsoc_enable_irq()]: zero every register, then
     re-enable interrupts. *)
 val onsoc_enable_irq : t -> unit
+
+(** Fault-injection knob: disabling makes [onsoc_enable_irq] skip the
+    register scrub (the §6.2 leak the macro prevents). *)
+val set_zeroing_enabled : t -> bool -> unit
 
 (** Longest observed interrupts-off window (the paper measures
     ~160 us on average). *)

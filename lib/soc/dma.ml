@@ -18,9 +18,22 @@ type t = {
   tz : Trustzone.t;
   clock : Clock.t;
   energy : Energy.t;
+  mutable on_read : (addr:int -> len:int -> taint:Taint.level -> unit) option;
 }
 
-let create ~dram ~iram ~tz ~clock ~energy = { dram; iram; tz; clock; energy }
+let create ~dram ~iram ~tz ~clock ~energy =
+  { dram; iram; tz; clock; energy; on_read = None }
+
+(** [set_read_hook t f] — [f] fires on every {e successful}
+    device-initiated read, with the taint join of the bytes that left
+    through the peripheral.  Analysis passes use it to catch secrets
+    escaping via DMA windows. *)
+let set_read_hook t f = t.on_read <- Some f
+
+let clear_read_hook t = t.on_read <- None
+
+let notify_read t ~addr ~len ~taint =
+  match t.on_read with Some f -> f ~addr ~len ~taint | None -> ()
 
 let charge t len =
   Clock.advance t.clock (float_of_int len *. Calib.dma_byte_ns);
@@ -41,9 +54,11 @@ let read t ~addr ~len =
     | None -> Error Bad_address
     | Some `Dram ->
         charge t len;
+        notify_read t ~addr ~len ~taint:(Dram.taint_range t.dram addr len);
         Ok (Dram.read t.dram ~initiator:`Dma addr len)
     | Some `Iram ->
         charge t len;
+        notify_read t ~addr ~len ~taint:(Iram.taint_range t.iram addr len);
         (* iRAM DMA stays on-SoC: no bus transaction, but the data
            still leaves through the peripheral. *)
         Ok (Bytes.sub (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len)
@@ -58,7 +73,9 @@ let write t ~addr b =
     | None -> Error Bad_address
     | Some `Dram ->
         charge t len;
+        (* Device-sourced data is public as far as Sentry knows. *)
         Ok (Dram.write t.dram ~initiator:`Dma addr b)
     | Some `Iram ->
         charge t len;
-        Ok (Bytes.blit b 0 (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len)
+        Bytes.blit b 0 (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len;
+        Ok (Iram.set_taint t.iram addr len Taint.Public)

@@ -16,3 +16,10 @@ val read : t -> addr:int -> len:int -> (Bytes.t, error) result
 
 (** Device-initiated write (incoming buffer — or injection attempt). *)
 val write : t -> addr:int -> Bytes.t -> (unit, error) result
+
+(** [set_read_hook t f] — [f] fires on every successful
+    device-initiated read with the taint join of the bytes that left
+    through the peripheral. *)
+val set_read_hook : t -> (addr:int -> len:int -> taint:Taint.level -> unit) -> unit
+
+val clear_read_hook : t -> unit

@@ -10,20 +10,50 @@ type t = {
   region : Memmap.region;
   data : Bytes.t;
   bus : Bus.t;
-  clock : Clock.t;
   prng : Prng.t;
   mutable powered : bool;
+  mutable shadow : Bytes.t option; (* taint labels, one per data byte *)
 }
 
-let create ~bus ~clock ~prng ~size =
+let create ~bus ~clock:_ ~prng ~size =
   {
     region = Memmap.region ~base:Memmap.dram_base ~size;
     data = Bytes.make size '\000';
     bus;
-    clock;
     prng;
     powered = true;
+    shadow = None;
   }
+
+(* ------------------------- taint shadow -------------------------- *)
+
+let enable_taint t =
+  if t.shadow = None then t.shadow <- Some (Taint.create_shadow (Bytes.length t.data))
+
+let taint_enabled t = t.shadow <> None
+
+(** Taint join over a physical range ([Public] when tracking is off). *)
+let taint_range t addr len =
+  match t.shadow with
+  | None -> Taint.Public
+  | Some s -> Taint.max_range s (Memmap.offset t.region addr) len
+
+(** Copy of the shadow labels behind a physical range. *)
+let shadow_of_range t addr len =
+  match t.shadow with
+  | None -> Taint.create_shadow len
+  | Some s -> Bytes.sub s (Memmap.offset t.region addr) len
+
+(** Uniformly relabel a physical range (zeroing thread, boot-time
+    clobbers, DMA-written attacker data). *)
+let set_taint t addr len level =
+  match t.shadow with
+  | None -> ()
+  | Some s -> Taint.fill s (Memmap.offset t.region addr) len level
+
+(** The raw shadow store, for analysis passes (same layout as [raw]);
+    [None] until taint tracking is enabled. *)
+let shadow t = t.shadow
 
 let region t = t.region
 let size t = t.region.Memmap.size
@@ -39,16 +69,28 @@ let read t ~initiator addr len =
   check t addr len;
   let off = Memmap.offset t.region addr in
   let b = Bytes.sub t.data off len in
-  Bus.record t.bus ~initiator Bus.Read addr b;
+  Bus.record t.bus ~initiator ~taint:(taint_range t addr len) Bus.Read addr b;
   b
 
-(** [write t ~initiator addr b] stores bytes over the bus. *)
-let write t ~initiator addr b =
+(** [write t ~initiator ?level ?taint addr b] stores bytes over the
+    bus.  The written range's taint comes from [taint] (a per-byte
+    shadow, e.g. an evicted cache line's) when given, else uniformly
+    from [level] (default [Public]). *)
+let write t ~initiator ?(level = Taint.Public) ?taint addr b =
   let len = Bytes.length b in
   check t addr len;
   let off = Memmap.offset t.region addr in
   Bytes.blit b 0 t.data off len;
-  Bus.record t.bus ~initiator Bus.Write addr b
+  let txn_taint =
+    match t.shadow with
+    | None -> Taint.Public
+    | Some s ->
+        (match taint with
+        | Some tb -> Bytes.blit tb 0 s off len
+        | None -> Taint.fill s off len level);
+        Taint.max_range s off len
+  in
+  Bus.record t.bus ~initiator ~taint:txn_taint Bus.Write addr b
 
 (** Direct backing-store access for attack tooling and test assertions
     (no bus traffic — this is "desoldering the chip", not a CPU read). *)
@@ -67,7 +109,11 @@ let power_cycle t ~off_s =
     let n = Bytes.length t.data in
     let row_ground row = if row land 1 = 0 then '\x00' else '\xff' in
     for i = 0 to n - 1 do
-      if not (Prng.flip t.prng ~p) then Bytes.unsafe_set t.data i (row_ground (i lsr 6))
+      if not (Prng.flip t.prng ~p) then begin
+        Bytes.unsafe_set t.data i (row_ground (i lsr 6));
+        (* a decayed cell holds the ground state, not the secret *)
+        match t.shadow with Some s -> Taint.set s i Taint.Public | None -> ()
+      end
     done
   end
 

@@ -15,7 +15,36 @@ val contains : t -> int -> bool
     accesses and DMA). *)
 val read : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> int -> Bytes.t
 
-val write : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> Bytes.t -> unit
+(** [write t ~initiator ?level ?taint addr b] — the written range's
+    shadow comes from [taint] (per-byte labels, e.g. an evicted cache
+    line's) when given, else uniformly from [level] (default
+    [Public]). *)
+val write :
+  t ->
+  initiator:[ `Cpu | `Dma | `L2 ] ->
+  ?level:Taint.level ->
+  ?taint:Bytes.t ->
+  int ->
+  Bytes.t ->
+  unit
+
+(** Lazily allocate the taint shadow (no-op when already enabled). *)
+val enable_taint : t -> unit
+
+val taint_enabled : t -> bool
+
+(** Taint join over a physical range ([Public] when tracking is off). *)
+val taint_range : t -> int -> int -> Taint.level
+
+(** Copy of the shadow labels behind a physical range. *)
+val shadow_of_range : t -> int -> int -> Bytes.t
+
+(** Uniformly relabel a physical range. *)
+val set_taint : t -> int -> int -> Taint.level -> unit
+
+(** The raw shadow store (same layout as [raw]); [None] until taint
+    tracking is enabled. *)
+val shadow : t -> Bytes.t option
 
 (** Direct backing-store access (attack tooling / test assertions —
     no bus traffic). *)

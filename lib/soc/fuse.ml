@@ -10,6 +10,7 @@ type t = { secret : Bytes.t; mutable jtag_enabled : bool; mutable burned : bool 
 
 let secret_len = 32
 
+let burned t = t.burned
 let create ~prng = { secret = Prng.bytes prng secret_len; jtag_enabled = true; burned = false }
 
 (** Raw secret — callers must go through [Trustzone.read_fuse], which

@@ -18,6 +18,7 @@ type t = {
   (* Firmware scribbles its own runtime state over the reserved low
      64 KB; overwriting that region crashes the platform (§4.5). *)
   mutable firmware_ok : bool;
+  mutable shadow : Bytes.t option; (* taint labels, one per data byte *)
 }
 
 let create ~clock ~energy ~size =
@@ -27,7 +28,23 @@ let create ~clock ~energy ~size =
     clock;
     energy;
     firmware_ok = true;
+    shadow = None;
   }
+
+let enable_taint t =
+  if t.shadow = None then t.shadow <- Some (Taint.create_shadow (Bytes.length t.data))
+
+let taint_range t addr len =
+  match t.shadow with
+  | None -> Taint.Public
+  | Some s -> Taint.max_range s (Memmap.offset t.region addr) len
+
+let set_taint t addr len level =
+  match t.shadow with
+  | None -> ()
+  | Some s -> Taint.fill s (Memmap.offset t.region addr) len level
+
+let shadow t = t.shadow
 
 let region t = t.region
 let size t = t.region.Memmap.size
@@ -50,11 +67,12 @@ let read t addr len =
   charge t len;
   Bytes.sub t.data (Memmap.offset t.region addr) len
 
-let write t addr b =
+let write t ?(level = Taint.Public) addr b =
   let len = Bytes.length b in
   check t addr len;
   charge t len;
   Bytes.blit b 0 t.data (Memmap.offset t.region addr) len;
+  set_taint t addr len level;
   (* Clobbering the firmware scratch area takes the platform down. *)
   if addr < t.region.Memmap.base + Memmap.iram_firmware_reserved then t.firmware_ok <- false
 
@@ -72,4 +90,7 @@ let snapshot t = Bytes.copy t.data
     Table 2 measurement. *)
 let firmware_clear t =
   Bytes_util.zero t.data;
+  (match t.shadow with
+  | Some s -> Taint.fill s 0 (Bytes.length s) Taint.Public
+  | None -> ());
   t.firmware_ok <- true

@@ -14,8 +14,22 @@ val firmware_region : t -> Memmap.region
 
 val read : t -> int -> int -> Bytes.t
 
-(** Writing inside the firmware region marks the platform crashed. *)
-val write : t -> int -> Bytes.t -> unit
+(** Writing inside the firmware region marks the platform crashed.
+    [level] labels the written bytes when taint tracking is on. *)
+val write : t -> ?level:Taint.level -> int -> Bytes.t -> unit
+
+(** Lazily allocate the taint shadow. *)
+val enable_taint : t -> unit
+
+(** Taint join over a range ([Public] when tracking is off). *)
+val taint_range : t -> int -> int -> Taint.level
+
+(** Uniformly relabel a range. *)
+val set_taint : t -> int -> int -> Taint.level -> unit
+
+(** The raw shadow store (same layout as [raw]); [None] until taint
+    tracking is enabled. *)
+val shadow : t -> Bytes.t option
 
 (** False once the firmware scratch area has been clobbered (§4.5). *)
 val firmware_ok : t -> bool

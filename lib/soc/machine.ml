@@ -67,6 +67,7 @@ type t = {
   cpu : Cpu.t;
   pinned : Pinned_mem.t option;
   mutable boots : int;
+  mutable ambient_taint : Taint.level; (* label applied to CPU stores *)
 }
 
 let create ?(seed = 0x5e17) conf =
@@ -86,7 +87,23 @@ let create ?(seed = 0x5e17) conf =
       Some (Pinned_mem.create ~clock ~energy ~size:Memmap.default_pinned_size)
     else None
   in
-  { conf; clock; energy; prng; bus; dram; iram; l2; fuse; tz; dma; cpu; pinned; boots = 1 }
+  {
+    conf;
+    clock;
+    energy;
+    prng;
+    bus;
+    dram;
+    iram;
+    l2;
+    fuse;
+    tz;
+    dma;
+    cpu;
+    pinned;
+    boots = 1;
+    ambient_taint = Taint.Public;
+  }
 
 let config t = t.conf
 let clock t = t.clock
@@ -106,6 +123,30 @@ let now t = Clock.now t.clock
 let dram_region t = Dram.region t.dram
 let iram_region t = Iram.region t.iram
 
+(* --------------------------- taint ------------------------------- *)
+
+(** Allocate every shadow store: DRAM, iRAM, L2 lines, pinned memory.
+    Idempotent; zero cost until called (the default). *)
+let enable_taint t =
+  Pl310.enable_taint t.l2;
+  (* Pl310.enable_taint covers DRAM *)
+  Iram.enable_taint t.iram;
+  Option.iter Pinned_mem.enable_taint t.pinned
+
+let taint_enabled t = Pl310.taint_enabled t.l2
+
+(** [with_taint t level f] — run [f] with every CPU store it performs
+    labelled [level].  This is the source-tagging primitive: writers
+    that know they are moving key material or ciphertext declare it
+    here without changing call-site signatures below them.  Nests:
+    the innermost label wins. *)
+let with_taint t level f =
+  let saved = t.ambient_taint in
+  t.ambient_taint <- level;
+  Fun.protect ~finally:(fun () -> t.ambient_taint <- saved) f
+
+let ambient_taint t = t.ambient_taint
+
 (* ------------------------- CPU memory ops ------------------------ *)
 
 let in_dram t addr = Dram.contains t.dram addr
@@ -113,6 +154,17 @@ let in_iram t addr = Iram.contains t.iram addr
 
 let in_pinned t addr =
   match t.pinned with Some p -> Pinned_mem.contains p addr | None -> false
+
+(** Taint join over a physical range, seen through the cache for DRAM
+    addresses.  [Public] when tracking is off or the address is
+    unmapped. *)
+let taint_of t addr len =
+  if in_dram t addr then Pl310.taint_range t.l2 addr len
+  else if in_iram t addr then Iram.taint_range t.iram addr len
+  else
+    match t.pinned with
+    | Some p when Pinned_mem.contains p addr -> Pinned_mem.taint_range p addr len
+    | Some _ | None -> Taint.Public
 
 exception Bus_fault of int
 
@@ -125,13 +177,13 @@ let read t addr len =
     | Some p when Pinned_mem.contains p addr -> Pinned_mem.read p addr len
     | Some _ | None -> raise (Bus_fault addr)
 
-(** Cached CPU write. *)
+(** Cached CPU write; bytes are labelled with the ambient taint. *)
 let write t addr b =
-  if in_dram t addr then Pl310.write t.l2 addr b
-  else if in_iram t addr then Iram.write t.iram addr b
+  if in_dram t addr then Pl310.write t.l2 ~taint:t.ambient_taint addr b
+  else if in_iram t addr then Iram.write t.iram ~level:t.ambient_taint addr b
   else
     match t.pinned with
-    | Some p when Pinned_mem.contains p addr -> Pinned_mem.write p addr b
+    | Some p when Pinned_mem.contains p addr -> Pinned_mem.write p ~level:t.ambient_taint addr b
     | Some _ | None -> raise (Bus_fault addr)
 
 (** Uncached CPU access: goes straight to DRAM over the bus (device
@@ -147,7 +199,7 @@ let write_uncached t addr b =
   if in_dram t addr then begin
     Clock.advance t.clock
       (float_of_int ((Bytes.length b + 31) / 32) *. Calib.dram_line_ns);
-    Dram.write t.dram ~initiator:`Cpu addr b
+    Dram.write t.dram ~initiator:`Cpu ~level:t.ambient_taint addr b
   end
   else write t addr b
 
@@ -159,6 +211,7 @@ let write_raw t addr b =
   if in_dram t addr then begin
     let off = addr - (Dram.region t.dram).Memmap.base in
     Bytes.blit b 0 (Dram.raw t.dram) off (Bytes.length b);
+    Dram.set_taint t.dram addr (Bytes.length b) t.ambient_taint;
     Pl310.invalidate_range t.l2 addr (Bytes.length b)
   end
   else write t addr b
@@ -200,6 +253,7 @@ let reboot t kind =
         int_of_float (Calib.warm_reboot_overwrite_fraction *. float_of_int t.conf.dram_size)
       in
       Bytes.fill (Dram.raw t.dram) 0 overwrite '\000';
+      Dram.set_taint t.dram (Dram.region t.dram).Memmap.base overwrite Taint.Public;
       Pl310.reset t.l2
   | Reflash ->
       Dram.power_cycle t.dram ~off_s:0.2;

@@ -50,6 +50,30 @@ val in_dram : t -> int -> bool
 val in_iram : t -> int -> bool
 val in_pinned : t -> int -> bool
 
+(** {2 Taint tracking}
+
+    Off (and free) by default.  [enable_taint] allocates shadow-byte
+    stores mirroring DRAM, iRAM, the L2 lines and pinned memory;
+    writers then label their stores via [with_taint]. *)
+
+(** Allocate every shadow store.  Idempotent. *)
+val enable_taint : t -> unit
+
+val taint_enabled : t -> bool
+
+(** [with_taint t level f] — run [f] with every CPU store it performs
+    labelled [level].  Nests; innermost label wins; exception-safe. *)
+val with_taint : t -> Taint.level -> (unit -> 'a) -> 'a
+
+(** The label currently applied to CPU stores ([Public] outside any
+    [with_taint]). *)
+val ambient_taint : t -> Taint.level
+
+(** Taint join over a physical range, seen through the cache for DRAM
+    addresses.  [Public] when tracking is off or the range is
+    unmapped. *)
+val taint_of : t -> int -> int -> Taint.level
+
 exception Bus_fault of int
 
 (** Cached CPU read/write: DRAM addresses go through the L2, iRAM is

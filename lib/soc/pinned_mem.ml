@@ -24,10 +24,25 @@ type t = {
   data : Bytes.t;
   clock : Clock.t;
   energy : Energy.t;
+  mutable shadow : Bytes.t option; (* taint labels, one per data byte *)
 }
 
 let create ~clock ~energy ~size =
-  { region = Memmap.region ~base:Memmap.pinned_base ~size; data = Bytes.make size '\000'; clock; energy }
+  {
+    region = Memmap.region ~base:Memmap.pinned_base ~size;
+    data = Bytes.make size '\000';
+    clock;
+    energy;
+    shadow = None;
+  }
+
+let enable_taint t =
+  if t.shadow = None then t.shadow <- Some (Taint.create_shadow (Bytes.length t.data))
+
+let taint_range t addr len =
+  match t.shadow with
+  | None -> Taint.Public
+  | Some s -> Taint.max_range s (Memmap.offset t.region addr) len
 
 let region t = t.region
 let size t = t.region.Memmap.size
@@ -47,15 +62,22 @@ let read t addr len =
   charge t len;
   Bytes.sub t.data (Memmap.offset t.region addr) len
 
-let write t addr b =
+let write t ?(level = Taint.Public) addr b =
   let len = Bytes.length b in
   check t addr len;
   charge t len;
-  Bytes.blit b 0 t.data (Memmap.offset t.region addr) len
+  Bytes.blit b 0 t.data (Memmap.offset t.region addr) len;
+  match t.shadow with
+  | Some s -> Taint.fill s (Memmap.offset t.region addr) len level
+  | None -> ()
 
 (** Immutable boot-ROM behaviour: erased on {e every} boot, warm or
     cold — there is no firmware to replace or skip. *)
-let boot_rom_clear t = Bytes_util.zero t.data
+let boot_rom_clear t =
+  Bytes_util.zero t.data;
+  match t.shadow with
+  | Some s -> Taint.fill s 0 (Bytes.length s) Taint.Public
+  | None -> ()
 
 (** Attack-side view for tests: what an attacker who somehow probed
     the array would see (requires decapping the SoC — out of the

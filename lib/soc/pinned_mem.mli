@@ -11,7 +11,13 @@ val size : t -> int
 val contains : t -> int -> bool
 
 val read : t -> int -> int -> Bytes.t
-val write : t -> int -> Bytes.t -> unit
+val write : t -> ?level:Taint.level -> int -> Bytes.t -> unit
+
+(** Lazily allocate the taint shadow. *)
+val enable_taint : t -> unit
+
+(** Taint join over a range ([Public] when tracking is off). *)
+val taint_range : t -> int -> int -> Taint.level
 
 (** Boot-ROM erase — runs on every boot, warm or cold. *)
 val boot_rom_clear : t -> unit

@@ -44,8 +44,10 @@ type t = {
   lines : line array array; (* way -> set *)
   mutable lockdown : int; (* bit w set: way w receives no allocations *)
   mutable flush_mask : int; (* bit w set: maintenance ops skip way w *)
-  mutable rr : int array; (* per-set round-robin victim pointer *)
+  rr : int array; (* per-set round-robin victim pointer *)
   stats : stats;
+  mutable shadows : Bytes.t array array option; (* way -> set -> per-byte line taint *)
+  mutable on_writeback : (way:int -> addr:int -> locked:bool -> unit) option;
 }
 
 let log2 n =
@@ -72,7 +74,30 @@ let create ?(ways = 8) ?(way_size = 128 * Sentry_util.Units.kib) ?(line_size = 3
     flush_mask = 0;
     rr = Array.make sets 0;
     stats = { hits = 0; misses = 0; writebacks = 0; bypasses = 0 };
+    shadows = None;
+    on_writeback = None;
   }
+
+(* ------------------------- taint shadow -------------------------- *)
+
+let enable_taint t =
+  Dram.enable_taint t.dram;
+  if t.shadows = None then
+    t.shadows <-
+      Some (Array.init t.ways (fun _ -> Array.init t.sets (fun _ -> Taint.create_shadow t.line_size)))
+
+let taint_enabled t = t.shadows <> None
+
+let line_shadow t w set =
+  match t.shadows with Some s -> Some s.(w).(set) | None -> None
+
+(** [set_writeback_hook t f] — [f] fires whenever a dirty line is
+    written back to DRAM, with [locked] true when the line's way is
+    currently under lockdown (the eviction the Sentry kernel patch
+    must never let happen, §4.5). *)
+let set_writeback_hook t f = t.on_writeback <- Some f
+
+let clear_writeback_hook t = t.on_writeback <- None
 
 let ways t = t.ways
 let way_size t = t.way_size
@@ -130,10 +155,13 @@ let write_back t w set =
     let addr =
       (l.tag lsl (t.set_shift + log2 t.sets)) lor (set lsl t.set_shift)
     in
-    Dram.write t.dram ~initiator:`L2 addr (Bytes.copy l.data);
+    Dram.write t.dram ~initiator:`L2 ?taint:(line_shadow t w set) addr (Bytes.copy l.data);
     Clock.advance t.clock Calib.dram_line_ns;
     l.dirty <- false;
-    t.stats.writebacks <- t.stats.writebacks + 1
+    t.stats.writebacks <- t.stats.writebacks + 1;
+    match t.on_writeback with
+    | Some f -> f ~way:w ~addr ~locked:(t.lockdown land (1 lsl w) <> 0)
+    | None -> ()
   end
 
 (** Pick a victim way for allocation in [set], honouring lockdown.
@@ -174,6 +202,9 @@ let fill t addr =
       let base = line_base t addr in
       let fresh = Dram.read t.dram ~initiator:`L2 base t.line_size in
       Bytes.blit fresh 0 l.data 0 t.line_size;
+      (match line_shadow t w set with
+      | Some sh -> Bytes.blit (Dram.shadow_of_range t.dram base t.line_size) 0 sh 0 t.line_size
+      | None -> ());
       l.valid <- true;
       l.dirty <- false;
       l.tag <- tag;
@@ -183,33 +214,35 @@ let fill t addr =
 (* ----------------------- CPU access path ------------------------- *)
 
 (* One line-granule access: [off] is the offset inside the line,
-   [len] stays within the line. *)
-let access_chunk t addr ~write buf buf_off len =
+   [len] stays within the line.  [taint] labels written bytes. *)
+let access_chunk t addr ~write ~taint buf buf_off len =
   let off_in_line = addr land (t.line_size - 1) in
+  let store_into w =
+    let set = set_of_addr t addr in
+    let l = t.lines.(w).(set) in
+    if write then begin
+      Bytes.blit buf buf_off l.data off_in_line len;
+      (match line_shadow t w set with
+      | Some sh -> Taint.fill sh off_in_line len taint
+      | None -> ());
+      l.dirty <- true
+    end
+    else Bytes.blit l.data off_in_line buf buf_off len
+  in
   match lookup t addr with
   | Some w ->
       charge_hit t;
-      let l = t.lines.(w).(set_of_addr t addr) in
-      if write then begin
-        Bytes.blit buf buf_off l.data off_in_line len;
-        l.dirty <- true
-      end
-      else Bytes.blit l.data off_in_line buf buf_off len
+      store_into w
   | None -> (
       t.stats.misses <- t.stats.misses + 1;
       match fill t addr with
-      | Some w ->
-          let l = t.lines.(w).(set_of_addr t addr) in
-          if write then begin
-            Bytes.blit buf buf_off l.data off_in_line len;
-            l.dirty <- true
-          end
-          else Bytes.blit l.data off_in_line buf buf_off len
+      | Some w -> store_into w
       | None ->
           (* allocation impossible: uncached DRAM access *)
           t.stats.bypasses <- t.stats.bypasses + 1;
           Clock.advance t.clock Calib.dram_line_ns;
-          if write then Dram.write t.dram ~initiator:`Cpu addr (Bytes.sub buf buf_off len)
+          if write then
+            Dram.write t.dram ~initiator:`Cpu ~level:taint addr (Bytes.sub buf buf_off len)
           else
             let b = Dram.read t.dram ~initiator:`Cpu addr len in
             Bytes.blit b 0 buf buf_off len)
@@ -228,12 +261,47 @@ let iter_chunks t addr len f =
 (** [read t addr len] performs a cached CPU read. *)
 let read t addr len =
   let out = Bytes.create len in
-  iter_chunks t addr len (fun a o n -> access_chunk t a ~write:false out o n);
+  iter_chunks t addr len (fun a o n ->
+      access_chunk t a ~write:false ~taint:Taint.Public out o n);
   out
 
-(** [write t addr b] performs a cached CPU write (write-allocate). *)
-let write t addr b =
-  iter_chunks t addr (Bytes.length b) (fun a o n -> access_chunk t a ~write:true b o n)
+(** [write t ?taint addr b] performs a cached CPU write
+    (write-allocate), labelling the written bytes [taint]. *)
+let write t ?(taint = Taint.Public) addr b =
+  iter_chunks t addr (Bytes.length b) (fun a o n -> access_chunk t a ~write:true ~taint b o n)
+
+(** Taint join over a physical range as the CPU sees it: resident
+    lines' shadows where cached, DRAM's shadow elsewhere. *)
+let taint_range t addr len =
+  if not (taint_enabled t) then Taint.Public
+  else begin
+    let acc = ref Taint.Public in
+    iter_chunks t addr len (fun a _ n ->
+        let off_in_line = a land (t.line_size - 1) in
+        let lvl =
+          match lookup t a with
+          | Some w -> (
+              match line_shadow t w (set_of_addr t a) with
+              | Some sh -> Taint.max_range sh off_in_line n
+              | None -> Taint.Public)
+          | None -> Dram.taint_range t.dram a n
+        in
+        acc := Taint.join !acc lvl);
+    !acc
+  end
+
+(** Iterate over every valid resident line: [f ~way ~addr data] sees
+    the controller's live data array (read-only by convention) — used
+    by analysis passes searching the cache for key material. *)
+let iter_resident t f =
+  for w = 0 to t.ways - 1 do
+    for set = 0 to t.sets - 1 do
+      let l = t.lines.(w).(set) in
+      if l.valid then
+        let addr = (l.tag lsl (t.set_shift + log2 t.sets)) lor (set lsl t.set_shift) in
+        f ~way:w ~addr l.data
+    done
+  done
 
 (* ---------------------- maintenance ops -------------------------- *)
 
@@ -294,7 +362,10 @@ let reset t =
       l.valid <- false;
       l.dirty <- false;
       l.tag <- 0;
-      Bytes.fill l.data 0 t.line_size '\000'
+      Bytes.fill l.data 0 t.line_size '\000';
+      match line_shadow t w set with
+      | Some sh -> Taint.fill sh 0 t.line_size Taint.Public
+      | None -> ()
     done
   done;
   t.lockdown <- 0;

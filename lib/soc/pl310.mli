@@ -60,8 +60,37 @@ val way_of : t -> int -> int option
     way is locked — an uncached DRAM bypass. *)
 val read : t -> int -> int -> Bytes.t
 
-(** Cached write (write-allocate, write-back). *)
-val write : t -> int -> Bytes.t -> unit
+(** Cached write (write-allocate, write-back); [taint] labels the
+    written bytes when taint tracking is on. *)
+val write : t -> ?taint:Taint.level -> int -> Bytes.t -> unit
+
+(** {2 Taint tracking} *)
+
+(** Lazily allocate per-line shadows (and DRAM's, transitively). *)
+val enable_taint : t -> unit
+
+val taint_enabled : t -> bool
+
+(** Taint join over a range as the CPU sees it: resident lines'
+    shadows where cached, DRAM's shadow elsewhere. [Public] when
+    tracking is off. *)
+val taint_range : t -> int -> int -> Taint.level
+
+(** Per-byte shadow of the line resident in ([way], [set]); [None]
+    until taint tracking is enabled. *)
+val line_shadow : t -> int -> int -> Bytes.t option
+
+(** [set_writeback_hook t f] — [f] fires on every dirty-line
+    writeback to DRAM; [locked] is true when the line's way is under
+    lockdown at writeback time (the eviction Sentry's kernel patch
+    must never allow, §4.5). *)
+val set_writeback_hook : t -> (way:int -> addr:int -> locked:bool -> unit) -> unit
+
+val clear_writeback_hook : t -> unit
+
+(** Visit every valid resident line ([f ~way ~addr data]); used by
+    analysis passes searching the cache for key material. *)
+val iter_resident : t -> (way:int -> addr:int -> Bytes.t -> unit) -> unit
 
 (** {2 Maintenance} *)
 

@@ -1,0 +1,33 @@
+(* `dune build @analyze` / `sentry_cli analyze` backend smoke: the
+   canned scenario must be violation-free on every platform, every
+   injected fault must trip its checker, and the taint-derived Table 3
+   matrix must agree with the attack-derived one. *)
+
+open Sentry_analysis
+
+let failed = ref false
+
+let check label ok = if not ok then (failed := true; Printf.printf "FAIL %s\n%!" label)
+
+let () =
+  List.iter
+    (fun (platform, name) ->
+      let r = Scenario.run platform in
+      Printf.printf "clean scenario on %-7s %d violation(s), %d event(s)\n%!" name
+        (List.length r.Scenario.violations)
+        (Engine.events_seen r.Scenario.engine);
+      if r.Scenario.violations <> [] then print_string (Engine.report r.Scenario.engine);
+      check (name ^ " clean") (r.Scenario.violations = []))
+    [ (`Tegra3, "tegra3"); (`Nexus4, "nexus4"); (`Future, "future") ];
+  List.iter
+    (fun fault ->
+      let r = Scenario.run ~fault (Scenario.fault_platform fault) in
+      Printf.printf "fault %-28s -> %d violation(s), expected checker %s\n%!"
+        (Scenario.fault_name fault)
+        (List.length r.Scenario.violations)
+        (if Scenario.tripped_expected r then "tripped" else "NOT TRIPPED");
+      check (Scenario.fault_name fault) (Scenario.tripped_expected r))
+    Scenario.faults;
+  print_string (Verdict_check.report ());
+  check "verdict agreement" (Verdict_check.agrees ());
+  if !failed then exit 1

@@ -142,6 +142,22 @@ let test_bus_counts () =
   checki "read bytes" 64 (r1 - r0);
   checki "write bytes" 64 (w1 - w0)
 
+let test_bus_record_snapshots_data () =
+  (* the recorded transaction must hold a defensive copy: mutating the
+     initiator's buffer after [record] returns cannot rewrite history *)
+  let m = fresh () in
+  let seen = ref [] in
+  let detach = Bus.attach_monitor (Machine.bus m) (fun txn -> seen := txn :: !seen) in
+  let buf = Bytes.of_string "original" in
+  Bus.record (Machine.bus m) ~initiator:`Cpu Bus.Write (dram_base m) buf;
+  Bytes.fill buf 0 (Bytes.length buf) '\xff';
+  detach ();
+  (match !seen with
+  | [ txn ] ->
+      Alcotest.(check bytes) "snapshot unchanged" (Bytes.of_string "original") txn.Bus.data;
+      checkb "not aliased" false (txn.Bus.data == buf)
+  | _ -> Alcotest.fail "expected exactly one transaction")
+
 (* ----------------------------- PL310 ------------------------------ *)
 
 let test_l2_geometry () =
@@ -549,6 +565,7 @@ let () =
         [
           Alcotest.test_case "monitor" `Quick test_bus_monitor_sees_uncached;
           Alcotest.test_case "counters" `Quick test_bus_counts;
+          Alcotest.test_case "record snapshots data" `Quick test_bus_record_snapshots_data;
         ] );
       ( "pl310",
         [
