@@ -41,6 +41,72 @@ let run_selected ~csv ids =
             exit 1)
     ids
 
+(* ------------------------- machine-readable ---------------------- *)
+
+(* BENCH_sentry.json: wall-clock summaries per experiment plus the key
+   simulator counters from one traced lock-cycle, under a versioned
+   schema so downstream tooling can evolve. *)
+let run_json ~path ~trials ids =
+  let entries =
+    match ids with
+    | [] -> Sentry_experiments.Experiments.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Sentry_experiments.Experiments.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 1)
+          ids
+  in
+  let open Sentry_obs in
+  let experiment (e : Sentry_experiments.Experiments.entry) =
+    let times =
+      Array.init trials (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (e.Sentry_experiments.Experiments.run ());
+          Unix.gettimeofday () -. t0)
+    in
+    let s = Sentry_util.Stats.summarize times in
+    Printf.printf "  %-11s %d trials, mean %.3fs ± %.3fs\n%!"
+      e.Sentry_experiments.Experiments.id trials s.Sentry_util.Stats.mean
+      s.Sentry_util.Stats.stddev;
+    Json_out.Obj
+      [
+        ("id", Json_out.Str e.Sentry_experiments.Experiments.id);
+        ("description", Json_out.Str e.Sentry_experiments.Experiments.description);
+        ("n", Json_out.Int s.Sentry_util.Stats.n);
+        ("mean_s", Json_out.Float s.Sentry_util.Stats.mean);
+        ("stddev_s", Json_out.Float s.Sentry_util.Stats.stddev);
+        ("min_s", Json_out.Float s.Sentry_util.Stats.min);
+        ("max_s", Json_out.Float s.Sentry_util.Stats.max);
+      ]
+  in
+  Printf.printf "bench --json: %d experiment(s), %d trial(s) each\n%!"
+    (List.length entries) trials;
+  let results = List.map experiment entries in
+  (* one traced lock-cycle supplies the simulator-side counters *)
+  Trace.start ();
+  let r = Sentry_core.Trace_scenario.run Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  let counters =
+    List.map
+      (fun (k, v) -> (k, Json_out.Float v))
+      (Sentry_core.Obs_report.flat r.Sentry_core.Trace_scenario.sentry)
+  in
+  Trace.stop ();
+  let doc =
+    Json_out.Obj
+      [
+        ("schema", Json_out.Str "sentry-bench/v1");
+        ("trials", Json_out.Int trials);
+        ("experiments", Json_out.List results);
+        ("counters", Json_out.Obj counters);
+      ]
+  in
+  Export.write_file ~path (Json_out.to_string doc ^ "\n");
+  Printf.printf "wrote %s\n" path
+
 open Cmdliner
 
 let ids =
@@ -55,12 +121,24 @@ let csv_flag =
   let doc = "Emit CSV instead of aligned tables (selected experiments only)." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
-let main list_it csv ids =
+let json_flag =
+  let doc = "Write machine-readable results (schema sentry-bench/v1) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trials_flag =
+  let doc = "Wall-clock trials per experiment in --json mode." in
+  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc)
+
+let main list_it csv json trials ids =
   if list_it then list_experiments ()
-  else match ids with [] -> run_all () | ids -> run_selected ~csv ids
+  else
+    match json with
+    | Some path -> run_json ~path ~trials ids
+    | None -> ( match ids with [] -> run_all () | ids -> run_selected ~csv ids)
 
 let cmd =
   let doc = "regenerate the Sentry paper's tables and figures" in
-  Cmd.v (Cmd.info "sentry-bench" ~doc) Term.(const main $ list_flag $ csv_flag $ ids)
+  Cmd.v (Cmd.info "sentry-bench" ~doc)
+    Term.(const main $ list_flag $ csv_flag $ json_flag $ trials_flag $ ids)
 
 let () = exit (Cmd.eval cmd)

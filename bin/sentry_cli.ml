@@ -151,6 +151,89 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ platform $ fault $ matrix)
 
+(* ------------------------------ trace ---------------------------- *)
+
+let platform_of_string = function
+  | "tegra3" -> `Tegra3
+  | "nexus4" -> `Nexus4
+  | "future" -> `Future
+  | p ->
+      Printf.eprintf "unknown platform %S (tegra3|nexus4|future)\n" p;
+      exit 1
+
+let trace scenario platform chrome jsonl metrics capacity list_categories =
+  let open Sentry_obs in
+  if list_categories then begin
+    Printf.printf "categories:\n";
+    List.iter (fun c -> Printf.printf "  %s\n" (Event.category_name c)) Event.categories;
+    Printf.printf "subsystems:\n";
+    List.iter (fun s -> Printf.printf "  %s\n" s) Event.known_subsystems
+  end
+  else begin
+    let scenario =
+      match Trace_scenario.of_string scenario with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "unknown scenario %S (%s)\n" scenario
+            (String.concat "|" (List.map Trace_scenario.name_to_string Trace_scenario.all));
+          exit 1
+    in
+    let platform = platform_of_string platform in
+    Trace.start ~capacity ();
+    let r = Trace_scenario.run scenario platform in
+    let events = Trace.events () in
+    let stats = Trace.stats () in
+    Printf.printf "scenario %s on %s: %d events recorded (%d dropped)\n"
+      (Trace_scenario.name_to_string scenario)
+      (Machine.config (System.machine r.Trace_scenario.system)).Machine.name
+      stats.Trace.emitted stats.Trace.dropped;
+    List.iter
+      (fun (cat, n) -> Printf.printf "  %-10s %d\n" (Event.category_name cat) n)
+      (Trace.category_counts ());
+    let write what path contents =
+      Export.write_file ~path contents;
+      Printf.printf "wrote %s to %s\n" what path
+    in
+    Option.iter
+      (fun path -> write "Chrome trace" path (Export.chrome_trace_string events))
+      chrome;
+    Option.iter (fun path -> write "event JSONL" path (Export.jsonl events)) jsonl;
+    Option.iter
+      (fun path ->
+        write "metrics" path (Export.metrics_jsonl (Obs_report.flat r.Trace_scenario.sentry)))
+      metrics;
+    Trace.stop ()
+  end
+
+let trace_cmd =
+  let doc = "record a canned scenario and export traces / metrics" in
+  let scenario =
+    Arg.(value & pos 0 string "lock-cycle" & info [] ~docv:"SCENARIO" ~doc:"lock-cycle|dm-crypt-io")
+  in
+  let platform =
+    Arg.(value & opt string "tegra3" & info [ "platform" ] ~docv:"PLATFORM" ~doc:"tegra3|nexus4|future")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"write a Chrome trace_event JSON (Perfetto / chrome://tracing)")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"write raw events, one JSON object per line")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"write the flat metrics report, one {key,value} per line")
+  in
+  let capacity =
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc:"trace ring capacity (events)")
+  in
+  let list_categories =
+    Arg.(value & flag & info [ "list-categories" ] ~doc:"print event categories and known subsystems, then exit")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace $ scenario $ platform $ chrome $ jsonl $ metrics $ capacity $ list_categories)
+
 (* ----------------------------- attack ---------------------------- *)
 
 let attack variant protect =
@@ -196,4 +279,7 @@ let attack_cmd =
 
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "sentry-cli" ~doc) [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sentry-cli" ~doc)
+          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd ]))

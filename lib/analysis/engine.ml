@@ -33,6 +33,17 @@ let dispatch t event =
       (fun () ->
         t.events_seen <- t.events_seen + 1;
         let vs = List.concat_map (Checker.run_packed t.sentry event) t.checkers in
+        if Sentry_obs.Trace.on () then
+          List.iter
+            (fun v ->
+              Sentry_obs.Trace.emit ~ts:v.Checker.time_ns ~cat:Sentry_obs.Event.Taint
+                ~subsystem:"analysis.engine" "taint-violation"
+                ~args:
+                  [
+                    ("checker", Sentry_obs.Event.Str v.Checker.checker);
+                    ("message", Sentry_obs.Event.Str v.Checker.message);
+                  ])
+            vs;
         t.violations <- List.rev_append vs t.violations)
   end
 

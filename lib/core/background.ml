@@ -43,6 +43,13 @@ let create machine ~pc ~locked ~budget_bytes =
 
 let resident_pages t = List.length t.lru
 
+let trace t name ~pid ~vpn =
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Mem ~subsystem:"core.background" name
+      ~args:[ ("pid", Sentry_obs.Event.Int pid); ("vpn", Sentry_obs.Event.Int vpn) ]
+
 let find_pte proc vpn =
   match Page_table.find (Address_space.table proc.Process.aspace) ~vpn with
   | Some pte -> pte
@@ -50,6 +57,7 @@ let find_pte proc vpn =
 
 (** Page-out one resident page (Fig 1 reversed). *)
 let evict t r =
+  trace t "page-out" ~pid:r.proc.Process.pid ~vpn:r.vpn;
   let pte = find_pte r.proc r.vpn in
   let backing =
     match pte.Page_table.backing with
@@ -83,6 +91,7 @@ let evict_lru t =
 
 (** Page-in (Fig 1): called from the fault handler. *)
 let page_in t proc ~vpn pte =
+  trace t "page-in" ~pid:proc.Process.pid ~vpn;
   if resident_pages t >= t.budget_pages then evict_lru t;
   let locked_page = Locked_cache.alloc_page t.locked in
   let dram_frame = pte.Page_table.frame in

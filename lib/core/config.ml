@@ -12,6 +12,7 @@ type t = {
   pin : string;
   max_pin_attempts : int; (* wrong PINs before deep-lock *)
   track_taint : bool; (* allocate shadow memory + tag secret flows *)
+  trace : bool; (* record structured events in the observability ring *)
 }
 
 let default_tegra3 =
@@ -23,6 +24,7 @@ let default_tegra3 =
     pin = "1234";
     max_pin_attempts = 5;
     track_taint = false;
+    trace = false;
   }
 
 (* The Nexus 4 prototype cannot enable cache locking (locked
@@ -37,6 +39,7 @@ let default_nexus4 =
     pin = "1234";
     max_pin_attempts = 5;
     track_taint = false;
+    trace = false;
   }
 
 (* The §10 future platform: pinned on-SoC memory for keys and the AES

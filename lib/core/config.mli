@@ -23,6 +23,10 @@ type t = {
   track_taint : bool;
       (** allocate shadow memory and tag secret flows so the analysis
           engine can verify invariants (off by default: zero cost) *)
+  trace : bool;
+      (** start the global observability recorder at install and point
+          its time source at the machine clock (off by default: hot
+          paths pay one ref test and record nothing) *)
 }
 
 (** Tegra 3 defaults: locked-L2 storage, 4-way budget, 256 KB

@@ -36,17 +36,25 @@ let on_transition t f = t.observers <- t.observers @ [ f ]
 
 let clear_observers t = t.observers <- []
 
-let transition t new_state =
-  let old_state = t.state in
-  t.state <- new_state;
-  List.iter (fun f -> f ~old_state ~new_state) t.observers
-
 let state_name = function
   | Unlocked -> "unlocked"
   | Locking -> "locking"
   | Locked -> "locked"
   | Unlocking -> "unlocking"
   | Deep_locked -> "deep-locked"
+
+let transition t new_state =
+  let old_state = t.state in
+  t.state <- new_state;
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Lock ~subsystem:"core.lock_state"
+      "lock-transition"
+      ~args:
+        [
+          ("from", Sentry_obs.Event.Str (state_name old_state));
+          ("to", Sentry_obs.Event.Str (state_name new_state));
+        ];
+  List.iter (fun f -> f ~old_state ~new_state) t.observers
 
 exception Invalid_transition of string
 
@@ -77,6 +85,10 @@ let begin_unlock t ~pin =
       end
       else begin
         t.failed_attempts <- t.failed_attempts + 1;
+        if Sentry_obs.Trace.on () then
+          Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Lock ~subsystem:"core.lock_state"
+            "pin-rejected"
+            ~args:[ ("failed_attempts", Sentry_obs.Event.Int t.failed_attempts) ];
         if t.failed_attempts >= t.max_attempts then transition t Deep_locked;
         Error Bad_pin
       end

@@ -37,7 +37,20 @@ let decrypt_bytes t ~pid ~vpn data =
     masked L2 flush so no plaintext survives in unlocked ways.
     Passing through the cipher declassifies: the frame's bytes are
     re-labelled [Ciphertext]. *)
+let trace_frame t name ~pid ~vpn ~frame =
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Crypto ~subsystem:"core.page_crypt" name
+      ~args:
+        [
+          ("pid", Sentry_obs.Event.Int pid);
+          ("vpn", Sentry_obs.Event.Int vpn);
+          ("frame", Sentry_obs.Event.Int frame);
+        ]
+
 let encrypt_frame t ~pid ~vpn ~frame =
+  trace_frame t "encrypt-frame" ~pid ~vpn ~frame;
   let plain = Machine.read t.machine frame Page.size in
   let ct = encrypt_bytes t ~pid ~vpn plain in
   Machine.with_taint t.machine Taint.Ciphertext (fun () -> Machine.write t.machine frame ct)
@@ -45,6 +58,7 @@ let encrypt_frame t ~pid ~vpn ~frame =
 (** Decrypt a frame in place (lazy unlock path); the recovered bytes
     are secret cleartext again. *)
 let decrypt_frame t ~pid ~vpn ~frame =
+  trace_frame t "decrypt-frame" ~pid ~vpn ~frame;
   let ct = Machine.read t.machine frame Page.size in
   let plain = decrypt_bytes t ~pid ~vpn ct in
   Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->

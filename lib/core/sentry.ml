@@ -49,6 +49,19 @@ let install (system : System.t) (config : Config.t) =
   let machine = system.System.machine in
   (* Shadow stores must exist before the first key write is tagged. *)
   if config.Config.track_taint then Sentry_soc.Machine.enable_taint machine;
+  (* The recorder timestamps clockless emitters (dm-crypt, the crypto
+     registry, this state machine) off the machine clock. *)
+  if config.Config.trace then begin
+    Sentry_obs.Trace.ensure ();
+    Sentry_obs.Trace.set_time_source (fun () ->
+        Sentry_soc.Clock.now (Sentry_soc.Machine.clock machine));
+    Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry" "install"
+      ~args:
+        [
+          ("platform", Sentry_obs.Event.Str (Sentry_soc.Machine.config machine).Sentry_soc.Machine.name);
+          ("track_taint", Sentry_obs.Event.Bool config.Config.track_taint);
+        ]
+  end;
   let onsoc = Onsoc.of_config machine config ~arena_base:system.System.arena_base in
   Onsoc.protect_from_dma onsoc machine;
   let keys = Key_manager.create machine onsoc in
@@ -122,7 +135,10 @@ let enable_background t proc =
     t.background_enabled <- proc :: t.background_enabled
 
 (** [lock t] — encrypt-on-lock.  Returns the lock-path statistics. *)
+let machine_now t = Sentry_soc.Clock.now (Sentry_soc.Machine.clock t.system.System.machine)
+
 let lock t =
+  let start_ns = machine_now t in
   Lock_state.begin_lock t.lock_state;
   let stats =
     Encrypt_on_lock.run t.pc t.system ~sensitive:t.sensitive
@@ -134,11 +150,21 @@ let lock t =
   | Some _ | None -> Vm.reset_fault_handler t.system.System.vm);
   Lock_state.finish_lock t.lock_state;
   t.last_lock <- Some stats;
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry" ~start_ns
+      ~end_ns:(machine_now t)
+      ~args:
+        [
+          ("pages_encrypted", Sentry_obs.Event.Int stats.Encrypt_on_lock.pages_encrypted);
+          ("freed_pages_zeroed", Sentry_obs.Event.Int stats.Encrypt_on_lock.freed_pages_zeroed);
+        ]
+      "encrypt-on-lock";
   stats
 
 (** [unlock t ~pin] — PIN check, eager DMA-region decryption, lazy
     handler installation. *)
 let unlock t ~pin =
+  let start_ns = machine_now t in
   match Lock_state.begin_unlock t.lock_state ~pin with
   | Error e -> Error e
   | Ok () ->
@@ -146,6 +172,14 @@ let unlock t ~pin =
       let stats = Decrypt_on_unlock.run t.pc t.system ~sensitive:t.sensitive in
       Lock_state.finish_unlock t.lock_state;
       t.last_unlock <- Some stats;
+      if Sentry_obs.Trace.on () then
+        Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry" ~start_ns
+          ~end_ns:(machine_now t)
+          ~args:
+            [
+              ("dma_pages_eager", Sentry_obs.Event.Int stats.Decrypt_on_unlock.dma_pages_eager);
+            ]
+          "decrypt-on-unlock";
       Ok stats
 
 (** Eager-unlock ablation: decrypt everything at unlock time. *)

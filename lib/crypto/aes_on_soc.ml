@@ -108,13 +108,26 @@ let decrypt t ~iv data = transform t ~dir:`Decrypt ~iv data
     still exercised. *)
 let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
   let c = Mode.of_key t.fast_key in
-  with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
-      (* the modeled transform time elapses inside the bracket: this is
-         exactly the window interrupts stay masked (§6.2) *)
-      Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
-      match dir with
-      | `Encrypt -> Mode.cbc_encrypt c ~iv data
-      | `Decrypt -> Mode.cbc_decrypt c ~iv data)
+  let start_ns = Clock.now (Machine.clock t.machine) in
+  let out =
+    with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+        (* the modeled transform time elapses inside the bracket: this is
+           exactly the window interrupts stay masked (§6.2) *)
+        Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
+        match dir with
+        | `Encrypt -> Mode.cbc_encrypt c ~iv data
+        | `Decrypt -> Mode.cbc_decrypt c ~iv data)
+  in
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.aes_on_soc" ~start_ns
+      ~end_ns:(Clock.now (Machine.clock t.machine))
+      ~args:
+        [
+          ("storage", Sentry_obs.Event.Str (storage_name t.storage));
+          ("bytes", Sentry_obs.Event.Int (Bytes.length data));
+        ]
+      (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt");
+  out
 
 (** Re-key: rewrites the on-SoC context and the bulk twin together. *)
 let set_key t key =

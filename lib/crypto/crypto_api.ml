@@ -29,7 +29,16 @@ let find t ~algorithm =
   let candidates = List.filter (fun i -> i.algorithm = algorithm) t.impls in
   match List.sort (fun a b -> compare b.priority a.priority) candidates with
   | [] -> raise Not_found
-  | best :: _ -> best
+  | best :: _ ->
+      if Sentry_obs.Trace.on () then
+        Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.api" "dispatch"
+          ~args:
+            [
+              ("algorithm", Sentry_obs.Event.Str algorithm);
+              ("driver", Sentry_obs.Event.Str best.name);
+              ("priority", Sentry_obs.Event.Int best.priority);
+            ];
+      best
 
 let find_by_name t ~name = List.find (fun i -> i.name = name) t.impls
 

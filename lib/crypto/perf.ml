@@ -62,6 +62,16 @@ let charge m variant ~bytes =
   let platform = platform_of_machine m in
   let mb_s = throughput_mb_s ~platform variant in
   let seconds = Sentry_util.Units.bytes_to_mb bytes /. mb_s in
+  let start_ns = Clock.now (Machine.clock m) in
   Clock.advance (Machine.clock m) (seconds *. Sentry_util.Units.s);
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.perf" ~start_ns
+      ~end_ns:(Clock.now (Machine.clock m))
+      ~args:
+        [
+          ("variant", Sentry_obs.Event.Str (variant_name variant));
+          ("bytes", Sentry_obs.Event.Int bytes);
+        ]
+      "aes-charge";
   Energy.charge (Machine.energy m) ~category:"aes"
     (float_of_int bytes *. j_per_byte variant)

@@ -63,10 +63,18 @@ let flush_entry t e =
     e.dirty <- false
   end
 
+let trace t name index =
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Mem ~subsystem:"kernel.bcache" name
+      ~args:[ ("page", Sentry_obs.Event.Int index) ]
+
 let evict_lru t =
   match t.tail with
   | None -> ()
   | Some e ->
+      trace t "evict" e.index;
       flush_entry t e;
       unlink t e;
       Hashtbl.remove t.table e.index
@@ -84,6 +92,7 @@ let lookup t index =
       e
   | None ->
       t.misses <- t.misses + 1;
+      trace t "miss" index;
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       let data =
         let off = index * Page.size in

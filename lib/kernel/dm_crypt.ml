@@ -42,16 +42,36 @@ let iv_for t idx =
   | Essiv_iv essiv -> Essiv.iv essiv ~sector:idx
   | Plain64_tweak -> Xts.tweak_of_sector idx
 
+(* dm-crypt holds no clock: spans use the recorder's installed time
+   source, which Sentry points at the machine clock. *)
+let trace_sector t name idx f =
+  if Sentry_obs.Trace.on () then begin
+    let start_ns = Sentry_obs.Trace.now () in
+    let r = f () in
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"kernel.dm_crypt" ~start_ns
+      ~end_ns:(Sentry_obs.Trace.now ())
+      ~args:
+        [
+          ("sector", Sentry_obs.Event.Int idx);
+          ("cipher", Sentry_obs.Event.Str t.cipher.Crypto_api.name);
+        ]
+      name;
+    r
+  end
+  else f ()
+
 let read_sector t idx =
-  let ct = Blockio.read t.lower ~off:(idx * sector) ~len:sector in
-  t.sectors_decrypted <- t.sectors_decrypted + 1;
-  t.cipher.Crypto_api.decrypt ~iv:(iv_for t idx) ct
+  trace_sector t "decrypt-sector" idx (fun () ->
+      let ct = Blockio.read t.lower ~off:(idx * sector) ~len:sector in
+      t.sectors_decrypted <- t.sectors_decrypted + 1;
+      t.cipher.Crypto_api.decrypt ~iv:(iv_for t idx) ct)
 
 let write_sector t idx plain =
   assert (Bytes.length plain = sector);
-  t.sectors_encrypted <- t.sectors_encrypted + 1;
-  let ct = t.cipher.Crypto_api.encrypt ~iv:(iv_for t idx) plain in
-  Blockio.write t.lower ~off:(idx * sector) ct
+  trace_sector t "encrypt-sector" idx (fun () ->
+      t.sectors_encrypted <- t.sectors_encrypted + 1;
+      let ct = t.cipher.Crypto_api.encrypt ~iv:(iv_for t idx) plain in
+      Blockio.write t.lower ~off:(idx * sector) ct)
 
 (** The decrypted view as a [Blockio] target.  Unaligned accesses use
     read-modify-write at sector granularity, like the real dm target. *)

@@ -23,6 +23,12 @@ type t = {
 
 let next_pid = ref 1
 
+(* Pids are process-global, so back-to-back simulations in one OS
+   process would otherwise number their processes differently —
+   breaking trace-stream reproducibility.  Deterministic harnesses
+   reset before booting. *)
+let reset_pids () = next_pid := 1
+
 let create ~name ~aspace ~kstack =
   let pid = !next_pid in
   incr next_pid;

@@ -17,5 +17,10 @@ type t = {
 }
 
 val create : name:string -> aspace:Address_space.t -> kstack:int -> t
+
+(** Restart pid numbering at 1.  Pids are global to the OS process;
+    deterministic harnesses (trace scenarios) reset before booting so
+    repeated runs produce identical event streams. *)
+val reset_pids : unit -> unit
 val mark_sensitive : t -> unit
 val pp : Format.formatter -> t -> unit

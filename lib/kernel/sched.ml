@@ -50,6 +50,15 @@ let spill_registers t proc =
   let cpu = Machine.cpu t.machine in
   if Cpu.irqs_enabled cpu then begin
     let regs = Cpu.regs_snapshot cpu in
+    if Sentry_obs.Trace.on () then
+      Sentry_obs.Trace.emit
+        ~ts:(Clock.now (Machine.clock t.machine))
+        ~cat:Sentry_obs.Event.Sched ~subsystem:"kernel.sched" "register-spill"
+        ~args:
+          [
+            ("pid", Sentry_obs.Event.Int proc.Process.pid);
+            ("reg_taint", Sentry_obs.Event.Str (Taint.to_string (Cpu.reg_taint cpu)));
+          ];
     Machine.write_uncached t.machine proc.Process.kstack regs;
     t.spills <- t.spills + 1
   end
@@ -61,6 +70,17 @@ let context_switch t =
   else begin
     t.switches <- t.switches + 1;
     Clock.advance (Machine.clock t.machine) Calib.context_switch_ns;
+    if Sentry_obs.Trace.on () then
+      Sentry_obs.Trace.emit
+        ~ts:(Clock.now (Machine.clock t.machine))
+        ~cat:Sentry_obs.Event.Sched ~subsystem:"kernel.sched" "context-switch"
+        ~args:
+          [
+            ( "from_pid",
+              match t.current with
+              | Some p -> Sentry_obs.Event.Int p.Process.pid
+              | None -> Sentry_obs.Event.Str "idle" );
+          ];
     (match t.current with
     | Some p ->
         spill_registers t p;

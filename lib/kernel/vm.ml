@@ -31,6 +31,7 @@ let pte_of t proc vaddr =
 (** Fire the fault path for [pte] if it would trap. *)
 let maybe_fault t proc ~vaddr pte =
   if (not pte.Page_table.present) || not pte.Page_table.young then begin
+    let was_present = pte.Page_table.present in
     proc.Process.faults <- proc.Process.faults + 1;
     Clock.advance (Machine.clock t.machine) Calib.page_fault_ns;
     let start = Clock.now (Machine.clock t.machine) in
@@ -38,6 +39,19 @@ let maybe_fault t proc ~vaddr pte =
     let spent = Clock.elapsed (Machine.clock t.machine) ~since:start in
     proc.Process.kernel_time_ns <-
       proc.Process.kernel_time_ns +. spent +. Calib.page_fault_ns;
+    if Sentry_obs.Trace.on () then
+      Sentry_obs.Trace.emit
+        ~ts:(start -. Calib.page_fault_ns)
+        ~cat:Sentry_obs.Event.Pagefault ~subsystem:"kernel.vm"
+        ~phase:(Sentry_obs.Event.Complete (spent +. Calib.page_fault_ns))
+        "page-fault"
+        ~args:
+          [
+            ("pid", Sentry_obs.Event.Int proc.Process.pid);
+            ("vaddr", Sentry_obs.Event.Int vaddr);
+            ("present", Sentry_obs.Event.Bool was_present);
+            ("young_trap", Sentry_obs.Event.Bool was_present);
+          ];
     if (not pte.Page_table.present) || not pte.Page_table.young then
       raise (Segfault { pid = proc.Process.pid; vaddr })
   end

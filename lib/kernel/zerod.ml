@@ -40,10 +40,17 @@ let zero_page t frame =
 let drain t =
   if not t.enabled then 0
   else begin
+    let start_ns = Clock.now (Machine.clock t.machine) in
     let dirty = Frame_alloc.take_dirty t.frames in
     List.iter (zero_page t) dirty;
     Frame_alloc.give_clean t.frames dirty;
-    List.length dirty
+    let n = List.length dirty in
+    if Sentry_obs.Trace.on () && n > 0 then
+      Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Zerod ~subsystem:"kernel.zerod" ~start_ns
+        ~end_ns:(Clock.now (Machine.clock t.machine))
+        ~args:[ ("pages", Sentry_obs.Event.Int n) ]
+        "drain";
+    n
   end
 
 let pages_zeroed t = t.pages_zeroed

@@ -1,0 +1,46 @@
+(** Structured trace events: simulated timestamp + category +
+    subsystem + name + typed arguments. *)
+
+type category =
+  | Cache
+  | Bus
+  | Dma
+  | Irq
+  | Sched
+  | Pagefault
+  | Crypto
+  | Zerod
+  | Lock
+  | Taint
+  | Mem
+
+val categories : category list
+val category_name : category -> string
+val category_of_name : string -> category option
+
+(** Stable small index, used for per-category counters. *)
+val category_index : category -> int
+
+val num_categories : int
+
+(** Subsystem ids the instrumented stack emits under (documentation
+    for [trace --list-categories]; emitters may add new ones). *)
+val known_subsystems : string list
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type phase =
+  | Instant  (** a point event *)
+  | Complete of float  (** a span; payload is the duration in simulated ns *)
+  | Counter  (** a sampled counter value (args carry the series) *)
+
+type t = {
+  ts_ns : float;
+  cat : category;
+  subsystem : string;
+  name : string;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+(** Exporters: Chrome [trace_event] JSON (Perfetto /
+    [chrome://tracing]), a JSONL event dump, and the flat metrics
+    report behind [BENCH_sentry.json]. *)
+
+let arg_json = function
+  | Event.Int i -> Json_out.Int i
+  | Event.Float f -> Json_out.Float f
+  | Event.Str s -> Json_out.Str s
+  | Event.Bool b -> Json_out.Bool b
+
+let args_json args = Json_out.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)
+
+(* ----------------------- Chrome trace_event ---------------------- *)
+
+(* trace_event timestamps are microseconds. *)
+let us ns = ns /. 1000.0
+
+(** One lane (Chrome "thread") per subsystem, in order of first
+    appearance; lane names are announced with [thread_name] metadata
+    events as the format prescribes. *)
+let chrome_trace ?(process_name = "sentry-sim") events =
+  let tids = Hashtbl.create 16 in
+  let order = ref [] in
+  let tid_of subsystem =
+    match Hashtbl.find_opt tids subsystem with
+    | Some tid -> tid
+    | None ->
+        let tid = Hashtbl.length tids + 1 in
+        Hashtbl.add tids subsystem tid;
+        order := (subsystem, tid) :: !order;
+        tid
+  in
+  let event_json (e : Event.t) =
+    let common =
+      [
+        ("name", Json_out.Str e.Event.name);
+        ("cat", Json_out.Str (Event.category_name e.Event.cat));
+        ("pid", Json_out.Int 1);
+        ("tid", Json_out.Int (tid_of e.Event.subsystem));
+        ("ts", Json_out.Float (us e.Event.ts_ns));
+        ("args", args_json e.Event.args);
+      ]
+    in
+    match e.Event.phase with
+    | Event.Instant -> Json_out.Obj (("ph", Json_out.Str "i") :: ("s", Json_out.Str "t") :: common)
+    | Event.Complete dur ->
+        Json_out.Obj (("ph", Json_out.Str "X") :: ("dur", Json_out.Float (us dur)) :: common)
+    | Event.Counter -> Json_out.Obj (("ph", Json_out.Str "C") :: common)
+  in
+  let body = List.map event_json events in
+  let meta =
+    Json_out.Obj
+      [
+        ("name", Json_out.Str "process_name");
+        ("ph", Json_out.Str "M");
+        ("pid", Json_out.Int 1);
+        ("args", Json_out.Obj [ ("name", Json_out.Str process_name) ]);
+      ]
+    :: List.rev_map
+         (fun (subsystem, tid) ->
+           Json_out.Obj
+             [
+               ("name", Json_out.Str "thread_name");
+               ("ph", Json_out.Str "M");
+               ("pid", Json_out.Int 1);
+               ("tid", Json_out.Int tid);
+               ("args", Json_out.Obj [ ("name", Json_out.Str subsystem) ]);
+             ])
+         !order
+  in
+  Json_out.Obj
+    [
+      ("traceEvents", Json_out.List (meta @ body));
+      ("displayTimeUnit", Json_out.Str "ns");
+    ]
+
+let chrome_trace_string ?process_name events =
+  Json_out.to_string (chrome_trace ?process_name events)
+
+(* ----------------------------- JSONL ----------------------------- *)
+
+let event_json (e : Event.t) =
+  let phase_fields =
+    match e.Event.phase with
+    | Event.Instant -> [ ("phase", Json_out.Str "instant") ]
+    | Event.Complete dur ->
+        [ ("phase", Json_out.Str "complete"); ("dur_ns", Json_out.Float dur) ]
+    | Event.Counter -> [ ("phase", Json_out.Str "counter") ]
+  in
+  Json_out.Obj
+    ([
+       ("ts_ns", Json_out.Float e.Event.ts_ns);
+       ("cat", Json_out.Str (Event.category_name e.Event.cat));
+       ("subsystem", Json_out.Str e.Event.subsystem);
+       ("name", Json_out.Str e.Event.name);
+     ]
+    @ phase_fields
+    @ [ ("args", args_json e.Event.args) ])
+
+(** One JSON object per line. *)
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json_out.add buf (event_json e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* ------------------------- metrics report ------------------------ *)
+
+(** Flat metrics as one [{"key": k, "value": v}] object per line —
+    the shape the bench trajectory tooling ingests. *)
+let metrics_jsonl pairs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (k, v) ->
+      Json_out.add buf (Json_out.Obj [ ("key", Json_out.Str k); ("value", Json_out.Float v) ]);
+      Buffer.add_char buf '\n')
+    pairs;
+  Buffer.contents buf
+
+(** Flat metrics as a single JSON object. *)
+let metrics_json pairs = Json_out.Obj (List.map (fun (k, v) -> (k, Json_out.Float v)) pairs)
+
+(* ------------------------------ files ---------------------------- *)
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

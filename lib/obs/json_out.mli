@@ -1,0 +1,14 @@
+(** Minimal dependency-free JSON serialiser.  Non-finite floats
+    serialise as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val add : Buffer.t -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,117 @@
+(** Metrics registry: named counters, gauges and log-scale histograms,
+    registered per subsystem.
+
+    A registry is a plain value — experiments and the CLI build one,
+    point subsystems at it (or harvest component stats into it), and
+    flatten it into the machine-readable report behind
+    [BENCH_sentry.json].  Keys are ["subsystem/name"]; histogram keys
+    fan out into [.../count], [.../mean], [.../p50], [.../p95],
+    [.../p99] and [.../max] via [Sentry_util.Stats]. *)
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable samples : float array;
+  mutable n : int;
+  buckets : int array; (* log2-scale occupancy, bucket i covers [2^i, 2^(i+1)) *)
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { table : (string, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let key ~subsystem name = subsystem ^ "/" ^ name
+
+let register t ~subsystem name make describe =
+  let k = key ~subsystem name in
+  match Hashtbl.find_opt t.table k with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      ignore describe;
+      Hashtbl.add t.table k i;
+      i
+
+let counter t ~subsystem name =
+  match register t ~subsystem name (fun () -> C { count = 0 }) "counter" with
+  | C c -> c
+  | G _ | H _ -> invalid_arg ("Metrics.counter: " ^ key ~subsystem name ^ " is not a counter")
+
+let gauge t ~subsystem name =
+  match register t ~subsystem name (fun () -> G { value = 0.0 }) "gauge" with
+  | G g -> g
+  | C _ | H _ -> invalid_arg ("Metrics.gauge: " ^ key ~subsystem name ^ " is not a gauge")
+
+let num_buckets = 64
+
+let histogram t ~subsystem name =
+  match
+    register t ~subsystem name
+      (fun () -> H { samples = Array.make 16 0.0; n = 0; buckets = Array.make num_buckets 0 })
+      "histogram"
+  with
+  | H h -> h
+  | C _ | G _ -> invalid_arg ("Metrics.histogram: " ^ key ~subsystem name ^ " is not a histogram")
+
+let inc ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+(** Log-scale bucket for a (non-negative) observation: floor(log2 v),
+    clamped; values below 1 land in bucket 0. *)
+let bucket_of v =
+  if v < 2.0 then 0
+  else min (num_buckets - 1) (int_of_float (Float.log2 v))
+
+let observe h v =
+  if h.n = Array.length h.samples then begin
+    let bigger = Array.make (2 * h.n) 0.0 in
+    Array.blit h.samples 0 bigger 0 h.n;
+    h.samples <- bigger
+  end;
+  h.samples.(h.n) <- v;
+  h.n <- h.n + 1;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let observations h = Array.sub h.samples 0 h.n
+
+(** Occupied log2 buckets as [(lower_bound, count)] pairs. *)
+let bucket_counts h =
+  List.filteri (fun _ (_, n) -> n > 0)
+    (List.init num_buckets (fun i -> ((if i = 0 then 0.0 else Float.pow 2.0 (float_of_int i)), h.buckets.(i))))
+
+let hist_percentile h p =
+  if h.n = 0 then 0.0 else Sentry_util.Stats.percentile p (observations h)
+
+(** Flatten into sorted [(key, value)] pairs. *)
+let flat t =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun k i ->
+      match i with
+      | C c -> rows := (k, float_of_int c.count) :: !rows
+      | G g -> rows := (k, g.value) :: !rows
+      | H h ->
+          rows := (k ^ "/count", float_of_int h.n) :: !rows;
+          if h.n > 0 then begin
+            let s = Sentry_util.Stats.summarize (observations h) in
+            rows :=
+              (k ^ "/mean", s.Sentry_util.Stats.mean)
+              :: (k ^ "/p50", hist_percentile h 50.0)
+              :: (k ^ "/p95", hist_percentile h 95.0)
+              :: (k ^ "/p99", hist_percentile h 99.0)
+              :: (k ^ "/max", s.Sentry_util.Stats.max)
+              :: !rows
+          end)
+    t.table;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+(** Bulk-harvest scalar readings as gauges. *)
+let set_many t ~subsystem pairs =
+  List.iter (fun (name, v) -> set (gauge t ~subsystem name) v) pairs

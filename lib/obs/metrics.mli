@@ -1,0 +1,40 @@
+(** Registry of named counters, gauges and log-scale histograms,
+    keyed by ["subsystem/name"]. *)
+
+type counter
+type gauge
+type histogram
+type t
+
+val create : unit -> t
+
+(** Register-or-fetch.  @raise Invalid_argument if the key exists
+    with a different instrument kind. *)
+val counter : t -> subsystem:string -> string -> counter
+
+val gauge : t -> subsystem:string -> string -> gauge
+val histogram : t -> subsystem:string -> string -> histogram
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Record one observation (also bumps its floor-log2 bucket). *)
+val observe : histogram -> float -> unit
+
+(** Raw observations, in insertion order. *)
+val observations : histogram -> float array
+
+(** Occupied log2 buckets as [(lower_bound, count)]. *)
+val bucket_counts : histogram -> (float * int) list
+
+(** Nearest-rank percentile over the observations (0 when empty). *)
+val hist_percentile : histogram -> float -> float
+
+(** Sorted [(key, value)] pairs; histograms fan out into
+    [/count], [/mean], [/p50], [/p95], [/p99], [/max]. *)
+val flat : t -> (string * float) list
+
+(** Bulk-harvest scalar readings as gauges under one subsystem. *)
+val set_many : t -> subsystem:string -> (string * float) list -> unit

@@ -1,0 +1,109 @@
+(** The global trace recorder: a bounded ring buffer of [Event.t].
+
+    Mirrors the [Config.track_taint] pattern: nothing is allocated and
+    the hot-path guard is a single physical-equality test until
+    [start] is called.  Emitters write
+
+    {[
+      if Trace.on () then
+        Trace.emit ~ts:(Clock.now clock) ~cat:Event.Bus ~subsystem:"soc.bus" "read" ~args:[...]
+    ]}
+
+    so the disabled path neither allocates the argument list nor
+    builds the event.
+
+    On overflow the ring keeps the {e newest} events (oldest are
+    overwritten) and counts drops — a trace of a long run always ends
+    with the most recent window plus an honest drop counter. *)
+
+type t = {
+  buf : Event.t option array;
+  capacity : int;
+  mutable total : int; (* events ever emitted into this recorder *)
+  counts : int array; (* per-category emission counts (never dropped) *)
+  mutable now : unit -> float; (* simulated-time source for clockless emitters *)
+}
+
+let default_capacity = 1 lsl 16
+
+let current : t option ref = ref None
+
+let on () = !current <> None
+
+let start ?(capacity = default_capacity) ?(now = fun () -> 0.0) () =
+  if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
+  current :=
+    Some
+      {
+        buf = Array.make capacity None;
+        capacity;
+        total = 0;
+        counts = Array.make Event.num_categories 0;
+        now;
+      }
+
+(** Idempotent [start]: keeps an already-running recorder (and its
+    events) instead of replacing it. *)
+let ensure ?capacity ?now () = if not (on ()) then start ?capacity ?now ()
+
+let stop () = current := None
+
+let set_time_source f = match !current with Some t -> t.now <- f | None -> ()
+
+let now () = match !current with Some t -> t.now () | None -> 0.0
+
+let emit ?ts ~cat ~subsystem ?(phase = Event.Instant) ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let ts_ns = match ts with Some ts -> ts | None -> t.now () in
+      let e = { Event.ts_ns; cat; subsystem; name; phase; args } in
+      t.buf.(t.total mod t.capacity) <- Some e;
+      t.total <- t.total + 1;
+      let i = Event.category_index cat in
+      t.counts.(i) <- t.counts.(i) + 1
+
+(** Emit a span given its boundaries (simulated ns). *)
+let span ?(args = []) ~cat ~subsystem ~start_ns ~end_ns name =
+  emit ~ts:start_ns ~cat ~subsystem ~phase:(Event.Complete (end_ns -. start_ns)) ~args name
+
+type stats = { emitted : int; dropped : int; capacity : int }
+
+let stats () =
+  match !current with
+  | None -> { emitted = 0; dropped = 0; capacity = 0 }
+  | Some t ->
+      { emitted = t.total; dropped = max 0 (t.total - t.capacity); capacity = t.capacity }
+
+(** Retained events, oldest first. *)
+let events () =
+  match !current with
+  | None -> []
+  | Some t ->
+      let n = min t.total t.capacity in
+      let first = if t.total <= t.capacity then 0 else t.total mod t.capacity in
+      List.init n (fun i ->
+          match t.buf.((first + i) mod t.capacity) with
+          | Some e -> e
+          | None -> assert false)
+
+(** Per-category emission counts (includes dropped events). *)
+let category_counts () =
+  match !current with
+  | None -> []
+  | Some t ->
+      List.filter_map
+        (fun c ->
+          let n = t.counts.(Event.category_index c) in
+          if n = 0 then None else Some (c, n))
+        Event.categories
+
+(** Drop every retained event and reset the counters, keeping the
+    recorder enabled. *)
+let clear () =
+  match !current with
+  | None -> ()
+  | Some t ->
+      Array.fill t.buf 0 t.capacity None;
+      t.total <- 0;
+      Array.fill t.counts 0 Event.num_categories 0

@@ -1,0 +1,57 @@
+(** Global bounded-ring trace recorder.  Off (and allocation-free on
+    the instrumented paths) until [start]. *)
+
+(** Is a recorder active?  The hot-path guard: emitters must check
+    this before building argument lists. *)
+val on : unit -> bool
+
+(** [start ?capacity ?now ()] installs a fresh recorder.  [now] is the
+    simulated-time source used when an emitter has no clock at hand
+    (see [set_time_source]).  Default capacity: 65536 events. *)
+val start : ?capacity:int -> ?now:(unit -> float) -> unit -> unit
+
+(** [ensure] is [start] unless a recorder is already active. *)
+val ensure : ?capacity:int -> ?now:(unit -> float) -> unit -> unit
+
+(** Uninstall the recorder (events are discarded). *)
+val stop : unit -> unit
+
+(** Point clockless emitters at the booted machine's simulated clock. *)
+val set_time_source : (unit -> float) -> unit
+
+(** Current simulated time per the time source (0 when off). *)
+val now : unit -> float
+
+(** Record one event.  [ts] defaults to the time source; no-op when
+    the recorder is off. *)
+val emit :
+  ?ts:float ->
+  cat:Event.category ->
+  subsystem:string ->
+  ?phase:Event.phase ->
+  ?args:(string * Event.arg) list ->
+  string ->
+  unit
+
+(** Record a [Complete] span from its simulated boundaries. *)
+val span :
+  ?args:(string * Event.arg) list ->
+  cat:Event.category ->
+  subsystem:string ->
+  start_ns:float ->
+  end_ns:float ->
+  string ->
+  unit
+
+type stats = { emitted : int; dropped : int; capacity : int }
+
+val stats : unit -> stats
+
+(** Retained events, oldest first (newest [capacity] survive overflow). *)
+val events : unit -> Event.t list
+
+(** Per-category emission counts, including dropped events. *)
+val category_counts : unit -> (Event.category * int) list
+
+(** Reset the ring and counters without uninstalling the recorder. *)
+val clear : unit -> unit

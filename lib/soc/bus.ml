@@ -49,6 +49,8 @@ let monitored t = t.monitors <> []
     copy} taken at record time: callers are free to reuse or mutate
     their buffer afterwards without retroactively altering any
     monitor's view of what crossed the bus. *)
+let initiator_name = function `Cpu -> "cpu" | `L2 -> "l2" | `Dma -> "dma"
+
 let record t ~initiator ?(taint = Taint.Public) op addr data =
   t.transactions <- t.transactions + 1;
   let n = Bytes.length data in
@@ -56,6 +58,16 @@ let record t ~initiator ?(taint = Taint.Public) op addr data =
   | Read -> t.bytes_read <- t.bytes_read + n
   | Write -> t.bytes_written <- t.bytes_written + n);
   Energy.charge t.energy ~category:"bus" (float_of_int n *. Calib.dram_byte_j);
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit ~ts:(Clock.now t.clock) ~cat:Sentry_obs.Event.Bus ~subsystem:"soc.bus"
+      (match op with Read -> "read" | Write -> "write")
+      ~args:
+        [
+          ("addr", Sentry_obs.Event.Int addr);
+          ("bytes", Sentry_obs.Event.Int n);
+          ("initiator", Sentry_obs.Event.Str (initiator_name initiator));
+          ("taint", Sentry_obs.Event.Str (Taint.to_string taint));
+        ];
   if t.monitors <> [] then begin
     let txn =
       { op; addr; data = Bytes.copy data; taint; time_ns = Clock.now t.clock; initiator }

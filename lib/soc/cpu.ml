@@ -67,6 +67,10 @@ let enable_irqs t =
   if not t.irqs_enabled then begin
     let window = Clock.elapsed t.clock ~since:t.irq_disabled_at in
     if window > t.max_irq_window_ns then t.max_irq_window_ns <- window;
+    (* the masked window renders as one span from disable to enable *)
+    if Sentry_obs.Trace.on () then
+      Sentry_obs.Trace.emit ~ts:t.irq_disabled_at ~cat:Sentry_obs.Event.Irq ~subsystem:"soc.cpu"
+        ~phase:(Sentry_obs.Event.Complete window) "irqs-masked";
     t.irqs_enabled <- true
   end
 

@@ -39,6 +39,25 @@ let charge t len =
   Clock.advance t.clock (float_of_int len *. Calib.dma_byte_ns);
   Energy.charge t.energy ~category:"dma" (float_of_int len *. Calib.onsoc_byte_j)
 
+let trace t ?args name =
+  Sentry_obs.Trace.emit ~ts:(Clock.now t.clock) ~cat:Sentry_obs.Event.Dma ~subsystem:"soc.dma"
+    ?args name
+
+let trace_xfer t name ~addr ~len ~target =
+  if Sentry_obs.Trace.on () then
+    trace t name
+      ~args:
+        [
+          ("addr", Sentry_obs.Event.Int addr);
+          ("bytes", Sentry_obs.Event.Int len);
+          ("target", Sentry_obs.Event.Str (match target with `Dram -> "dram" | `Iram -> "iram"));
+        ]
+
+let trace_denied t ~addr ~len =
+  if Sentry_obs.Trace.on () then
+    trace t "denied"
+      ~args:[ ("addr", Sentry_obs.Event.Int addr); ("bytes", Sentry_obs.Event.Int len) ]
+
 let target t addr len =
   if Dram.contains t.dram addr && Dram.contains t.dram (addr + len - 1) then Some `Dram
   else if Iram.contains t.iram addr && Iram.contains t.iram (addr + len - 1) then Some `Iram
@@ -48,16 +67,21 @@ let target t addr len =
     Sees DRAM as it is, stale or not (never the cache's view), and
     iRAM unless TrustZone denies the window. *)
 let read t ~addr ~len =
-  if not (Trustzone.dma_allowed t.tz ~addr ~len) then Error Denied
+  if not (Trustzone.dma_allowed t.tz ~addr ~len) then begin
+    trace_denied t ~addr ~len;
+    Error Denied
+  end
   else
     match target t addr len with
     | None -> Error Bad_address
     | Some `Dram ->
         charge t len;
+        trace_xfer t "device-read" ~addr ~len ~target:`Dram;
         notify_read t ~addr ~len ~taint:(Dram.taint_range t.dram addr len);
         Ok (Dram.read t.dram ~initiator:`Dma addr len)
     | Some `Iram ->
         charge t len;
+        trace_xfer t "device-read" ~addr ~len ~target:`Iram;
         notify_read t ~addr ~len ~taint:(Iram.taint_range t.iram addr len);
         (* iRAM DMA stays on-SoC: no bus transaction, but the data
            still leaves through the peripheral. *)
@@ -67,15 +91,20 @@ let read t ~addr ~len =
     network buffer, or a code-injection attempt). *)
 let write t ~addr b =
   let len = Bytes.length b in
-  if not (Trustzone.dma_allowed t.tz ~addr ~len) then Error Denied
+  if not (Trustzone.dma_allowed t.tz ~addr ~len) then begin
+    trace_denied t ~addr ~len;
+    Error Denied
+  end
   else
     match target t addr len with
     | None -> Error Bad_address
     | Some `Dram ->
         charge t len;
+        trace_xfer t "device-write" ~addr ~len ~target:`Dram;
         (* Device-sourced data is public as far as Sentry knows. *)
         Ok (Dram.write t.dram ~initiator:`Dma addr b)
     | Some `Iram ->
         charge t len;
+        trace_xfer t "device-write" ~addr ~len ~target:`Iram;
         Bytes.blit b 0 (Iram.raw t.iram) (addr - (Iram.region t.iram).Memmap.base) len;
         Ok (Iram.set_taint t.iram addr len Taint.Public)

@@ -105,6 +105,9 @@ let snapshot t = Bytes.copy t.data
     per 64-byte row, as real modules ground alternate rows). *)
 let power_cycle t ~off_s =
   let p = Calib.dram_survival ~power_off_s:off_s in
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Mem ~subsystem:"soc.dram" "power-cycle"
+      ~args:[ ("off_s", Sentry_obs.Event.Float off_s); ("survival_p", Sentry_obs.Event.Float p) ];
   if p < 1.0 then begin
     let n = Bytes.length t.data in
     let row_ground row = if row land 1 = 0 then '\x00' else '\xff' in

@@ -62,15 +62,23 @@ let charge t len =
   Clock.advance t.clock (float_of_int lines *. Calib.iram_line_ns);
   Energy.charge t.energy ~category:"iram" (float_of_int len *. Calib.onsoc_byte_j)
 
+let trace t name ~addr ~len =
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit ~ts:(Clock.now t.clock) ~cat:Sentry_obs.Event.Mem ~subsystem:"soc.iram"
+      name
+      ~args:[ ("addr", Sentry_obs.Event.Int addr); ("bytes", Sentry_obs.Event.Int len) ]
+
 let read t addr len =
   check t addr len;
   charge t len;
+  trace t "read" ~addr ~len;
   Bytes.sub t.data (Memmap.offset t.region addr) len
 
 let write t ?(level = Taint.Public) addr b =
   let len = Bytes.length b in
   check t addr len;
   charge t len;
+  trace t "write" ~addr ~len;
   Bytes.blit b 0 t.data (Memmap.offset t.region addr) len;
   set_taint t addr len level;
   (* Clobbering the firmware scratch area takes the platform down. *)
@@ -89,6 +97,7 @@ let snapshot t = Bytes.copy t.data
     post-boot observable content is all-zero — exactly the paper's
     Table 2 measurement. *)
 let firmware_clear t =
+  trace t "firmware-clear" ~addr:t.region.Memmap.base ~len:(Bytes.length t.data);
   Bytes_util.zero t.data;
   (match t.shadow with
   | Some s -> Taint.fill s 0 (Bytes.length s) Taint.Public

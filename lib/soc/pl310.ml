@@ -54,6 +54,14 @@ let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
+(* Trace emission; every call site is guarded by [Trace.on] so the
+   disabled path costs one global test and allocates nothing. *)
+let obs = "soc.l2"
+
+let trace t ?ts ?phase ?args name =
+  let ts = match ts with Some ts -> ts | None -> Clock.now t.clock in
+  Sentry_obs.Trace.emit ~ts ~cat:Sentry_obs.Event.Cache ~subsystem:obs ?phase ?args name
+
 let create ?(ways = 8) ?(way_size = 128 * Sentry_util.Units.kib) ?(line_size = 32) ~dram
     ~clock ~energy () =
   let sets = way_size / line_size in
@@ -117,7 +125,11 @@ let lockdown t = t.lockdown
     bit means the corresponding way allocates no new lines. *)
 let set_lockdown t mask =
   Clock.advance t.clock Calib.pl310_op_ns;
-  t.lockdown <- mask land ((1 lsl t.ways) - 1)
+  let masked = mask land ((1 lsl t.ways) - 1) in
+  if Sentry_obs.Trace.on () && masked <> t.lockdown then
+    trace t "way-lockdown"
+      ~args:[ ("old_mask", Sentry_obs.Event.Int t.lockdown); ("new_mask", Sentry_obs.Event.Int masked) ];
+  t.lockdown <- masked
 
 let flush_mask t = t.flush_mask
 
@@ -159,8 +171,17 @@ let write_back t w set =
     Clock.advance t.clock Calib.dram_line_ns;
     l.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1;
+    let locked = t.lockdown land (1 lsl w) <> 0 in
+    if Sentry_obs.Trace.on () then
+      trace t "line-writeback"
+        ~args:
+          [
+            ("way", Sentry_obs.Event.Int w);
+            ("addr", Sentry_obs.Event.Int addr);
+            ("locked", Sentry_obs.Event.Bool locked);
+          ];
     match t.on_writeback with
-    | Some f -> f ~way:w ~addr ~locked:(t.lockdown land (1 lsl w) <> 0)
+    | Some f -> f ~way:w ~addr ~locked
     | None -> ()
   end
 
@@ -209,6 +230,9 @@ let fill t addr =
       l.dirty <- false;
       l.tag <- tag;
       Clock.advance t.clock (Calib.l2_hit_line_ns +. Calib.dram_line_ns);
+      if Sentry_obs.Trace.on () then
+        trace t "line-fill"
+          ~args:[ ("way", Sentry_obs.Event.Int w); ("addr", Sentry_obs.Event.Int base) ];
       Some w
 
 (* ----------------------- CPU access path ------------------------- *)
@@ -240,6 +264,9 @@ let access_chunk t addr ~write ~taint buf buf_off len =
       | None ->
           (* allocation impossible: uncached DRAM access *)
           t.stats.bypasses <- t.stats.bypasses + 1;
+          if Sentry_obs.Trace.on () then
+            trace t "bypass"
+              ~args:[ ("addr", Sentry_obs.Event.Int addr); ("write", Sentry_obs.Event.Bool write) ];
           Clock.advance t.clock Calib.dram_line_ns;
           if write then
             Dram.write t.dram ~initiator:`Cpu ~level:taint addr (Bytes.sub buf buf_off len)
@@ -306,6 +333,9 @@ let iter_resident t f =
 (* ---------------------- maintenance ops -------------------------- *)
 
 let clean_invalidate_way t w =
+  (* flushing a locked way is the §4.2 hazard: record it loudly *)
+  if Sentry_obs.Trace.on () && t.lockdown land (1 lsl w) <> 0 then
+    trace t "locked-way-flush" ~args:[ ("way", Sentry_obs.Event.Int w) ];
   for set = 0 to t.sets - 1 do
     write_back t w set;
     t.lines.(w).(set).valid <- false
@@ -316,9 +346,14 @@ let clean_invalidate_way t w =
     invalidates every way {e not} excluded by the flush mask, and
     leaves the lockdown register alone. *)
 let flush_masked t =
+  let start_ns = Clock.now t.clock in
   for w = 0 to t.ways - 1 do
     if t.flush_mask land (1 lsl w) = 0 then clean_invalidate_way t w
-  done
+  done;
+  if Sentry_obs.Trace.on () then
+    trace t "flush-masked" ~ts:start_ns
+      ~phase:(Sentry_obs.Event.Complete (Clock.now t.clock -. start_ns))
+      ~args:[ ("skip_mask", Sentry_obs.Event.Int t.flush_mask) ]
 
 (** [flush_all_stock t] — the stock kernel's full clean+invalidate.
     As the paper's hardware validation found (§4.2), this {e does}
@@ -326,9 +361,19 @@ let flush_masked t =
     running it with secrets in a locked way leaks them to DRAM.
     Sentry replaces every call site of this with [flush_masked]. *)
 let flush_all_stock t =
+  let start_ns = Clock.now t.clock in
   for w = 0 to t.ways - 1 do
     clean_invalidate_way t w
   done;
+  if Sentry_obs.Trace.on () then begin
+    trace t "flush-all-stock" ~ts:start_ns
+      ~phase:(Sentry_obs.Event.Complete (Clock.now t.clock -. start_ns))
+      ~args:[ ("dropped_lockdown", Sentry_obs.Event.Int t.lockdown) ];
+    if t.lockdown <> 0 then
+      trace t "way-lockdown"
+        ~args:
+          [ ("old_mask", Sentry_obs.Event.Int t.lockdown); ("new_mask", Sentry_obs.Event.Int 0) ]
+  end;
   t.lockdown <- 0
 
 (** Per-line maintenance used by DMA coherence code.  Honours the

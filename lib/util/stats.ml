@@ -12,6 +12,12 @@ type summary = {
   max : float;
 }
 
+(* NaN-safe extrema: [Float.compare] is a total order (NaN sorts below
+   every number), unlike [min]/[max] which propagate NaN asymmetrically
+   depending on argument order. *)
+let fmin a b = if Float.compare a b <= 0 then a else b
+let fmax a b = if Float.compare a b >= 0 then a else b
+
 let summarize xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: empty series";
@@ -21,8 +27,8 @@ let summarize xs =
     Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs
     /. float_of_int n
   in
-  let mn = Array.fold_left min xs.(0) xs in
-  let mx = Array.fold_left max xs.(0) xs in
+  let mn = Array.fold_left fmin xs.(0) xs in
+  let mx = Array.fold_left fmax xs.(0) xs in
   { n; mean; stddev = sqrt var; min = mn; max = mx }
 
 (** [repeat ~trials f] runs [f trial_index] and summarizes the results. *)
@@ -33,7 +39,7 @@ let percentile p xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty series";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   sorted.(max 0 (min (n - 1) (rank - 1)))
 

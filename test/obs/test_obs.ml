@@ -1,0 +1,433 @@
+(** Observability-layer tests: ring semantics, metrics reductions,
+    exporter output shape (checked with a small standalone JSON
+    parser) and end-to-end trace determinism over the canned
+    scenarios. *)
+
+open Sentry_obs
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ----------------------- a tiny JSON parser ----------------------- *)
+
+(* Enough JSON to validate exporter output without a json dependency:
+   objects, arrays, strings (with escapes), numbers, booleans, null. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some x when x = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some ('"' | '\\' | '/') ->
+                Buffer.add_char b s.[!pos];
+                advance ();
+                go ()
+            | Some 'n' ->
+                Buffer.add_char b '\n';
+                advance ();
+                go ()
+            | Some 't' ->
+                Buffer.add_char b '\t';
+                advance ();
+                go ()
+            | Some ('b' | 'f' | 'r') ->
+                advance ();
+                go ()
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  advance ()
+                done;
+                Buffer.add_char b '?';
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "empty input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (
+            advance ();
+            Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or }"
+            in
+            Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (
+            advance ();
+            Arr [])
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ]"
+            in
+            Arr (elems [])
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+let with_fresh_trace ?capacity f =
+  Trace.start ?capacity ();
+  Fun.protect ~finally:Trace.stop f
+
+(* ------------------------------ trace ----------------------------- *)
+
+let emit_n n =
+  for i = 0 to n - 1 do
+    Trace.emit
+      ~ts:(float_of_int i)
+      ~cat:Event.Bus ~subsystem:"soc.bus"
+      ~args:[ ("i", Event.Int i) ]
+      "tick"
+  done
+
+let test_trace_off_is_silent () =
+  Trace.stop ();
+  checkb "off" false (Trace.on ());
+  Trace.emit ~cat:Event.Bus ~subsystem:"soc.bus" "ignored";
+  checki "no events" 0 (List.length (Trace.events ()));
+  let s = Trace.stats () in
+  checki "emitted" 0 s.Trace.emitted;
+  checki "capacity" 0 s.Trace.capacity
+
+let test_trace_records_in_order () =
+  with_fresh_trace (fun () ->
+      emit_n 5;
+      let evs = Trace.events () in
+      checki "count" 5 (List.length evs);
+      List.iteri
+        (fun i (e : Event.t) ->
+          checkf "ordered ts" (float_of_int i) e.Event.ts_ns;
+          Alcotest.(check string) "subsystem" "soc.bus" e.Event.subsystem)
+        evs)
+
+let test_ring_overflow_keeps_newest () =
+  with_fresh_trace ~capacity:8 (fun () ->
+      emit_n 20;
+      let s = Trace.stats () in
+      checki "emitted" 20 s.Trace.emitted;
+      checki "dropped" 12 s.Trace.dropped;
+      let evs = Trace.events () in
+      checki "retained = capacity" 8 (List.length evs);
+      (* newest 8 survive: ts 12..19, oldest first *)
+      List.iteri
+        (fun i (e : Event.t) -> checkf "newest window" (float_of_int (12 + i)) e.Event.ts_ns)
+        evs;
+      (* per-category counts include dropped events *)
+      match Trace.category_counts () with
+      | [ (Event.Bus, n) ] -> checki "category total" 20 n
+      | _ -> Alcotest.fail "expected only Bus counts")
+
+let test_trace_clear_keeps_recorder () =
+  with_fresh_trace (fun () ->
+      emit_n 3;
+      Trace.clear ();
+      checkb "still on" true (Trace.on ());
+      checki "empty" 0 (List.length (Trace.events ())))
+
+let test_span_duration () =
+  with_fresh_trace (fun () ->
+      Trace.span ~cat:Event.Crypto ~subsystem:"crypto.perf" ~start_ns:100.0 ~end_ns:350.0
+        "op";
+      match Trace.events () with
+      | [ e ] -> (
+          checkf "start" 100.0 e.Event.ts_ns;
+          match e.Event.phase with
+          | Event.Complete d -> checkf "duration" 250.0 d
+          | _ -> Alcotest.fail "expected Complete")
+      | _ -> Alcotest.fail "expected one event")
+
+(* ----------------------------- metrics ---------------------------- *)
+
+let test_metrics_counter_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~subsystem:"t" "hits" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  checki "counter" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge m ~subsystem:"t" "level" in
+  Metrics.set g 2.5;
+  checkf "gauge" 2.5 (Metrics.gauge_value g);
+  let flat = Metrics.flat m in
+  checkf "flat counter" 5.0 (List.assoc "t/hits" flat);
+  checkf "flat gauge" 2.5 (List.assoc "t/level" flat)
+
+let test_metrics_histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"t" "lat" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let flat = Metrics.flat m in
+  checkf "count" 100.0 (List.assoc "t/lat/count" flat);
+  checkf "mean" 50.5 (List.assoc "t/lat/mean" flat);
+  checkf "p50" 50.0 (List.assoc "t/lat/p50" flat);
+  checkf "p95" 95.0 (List.assoc "t/lat/p95" flat);
+  checkf "p99" 99.0 (List.assoc "t/lat/p99" flat);
+  checkf "max" 100.0 (List.assoc "t/lat/max" flat)
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m ~subsystem:"t" "x");
+  checkb "clash raises" true
+    (try
+       ignore (Metrics.gauge m ~subsystem:"t" "x");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------- exporters --------------------------- *)
+
+let sample_events =
+  [
+    {
+      Event.ts_ns = 1000.0;
+      cat = Event.Lock;
+      subsystem = "core.lock_state";
+      name = "lock-transition";
+      phase = Event.Instant;
+      args = [ ("from", Event.Str "unlocked"); ("to", Event.Str "locking") ];
+    };
+    {
+      Event.ts_ns = 2000.0;
+      cat = Event.Crypto;
+      subsystem = "crypto.perf";
+      name = "aes-charge";
+      phase = Event.Complete 512.0;
+      args = [ ("bytes", Event.Int 4096); ("ok", Event.Bool true) ];
+    };
+  ]
+
+let test_chrome_trace_shape () =
+  let doc = Json.parse (Export.chrome_trace_string sample_events) in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  checkb "displayTimeUnit" true (Json.member "displayTimeUnit" doc = Some (Json.Str "ns"));
+  (* metadata names the process and one lane per subsystem *)
+  let phases =
+    List.filter_map (fun e -> Json.member "ph" e) events
+    |> List.map (function Json.Str s -> s | _ -> Alcotest.fail "ph not a string")
+  in
+  checkb "has metadata" true (List.mem "M" phases);
+  checkb "has instant" true (List.mem "i" phases);
+  checkb "has span" true (List.mem "X" phases);
+  List.iter
+    (fun e ->
+      checkb "every event has a name" true (Json.member "name" e <> None);
+      checkb "every event has a pid" true (Json.member "pid" e <> None);
+      match Json.member "ph" e with
+      | Some (Json.Str "X") ->
+          (* spans carry microsecond dur: 512 ns = 0.512 us *)
+          checkb "span dur" true (Json.member "dur" e = Some (Json.Num 0.512));
+          checkb "span ts in us" true (Json.member "ts" e = Some (Json.Num 2.0))
+      | _ -> ())
+    events
+
+let test_jsonl_parses_per_line () =
+  let lines =
+    Export.jsonl sample_events |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let o = Json.parse line in
+      checkb "cat" true (Json.member "cat" o <> None);
+      checkb "ts_ns" true (Json.member "ts_ns" o <> None))
+    lines
+
+let test_metrics_jsonl () =
+  let lines =
+    Export.metrics_jsonl [ ("a/b", 1.5); ("c/d", infinity) ]
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "two lines" 2 (List.length lines);
+  (match Json.parse (List.nth lines 0) with
+  | o ->
+      checkb "key" true (Json.member "key" o = Some (Json.Str "a/b"));
+      checkb "value" true (Json.member "value" o = Some (Json.Num 1.5)));
+  (* non-finite floats must not corrupt the JSON *)
+  checkb "inf is null" true (Json.member "value" (Json.parse (List.nth lines 1)) = Some Json.Null)
+
+(* ------------------------- end-to-end runs ------------------------ *)
+
+let run_scenario ?seed name platform =
+  Trace.start ();
+  let r = Sentry_core.Trace_scenario.run ?seed name platform in
+  let evs = Trace.events () in
+  let flat = Sentry_core.Obs_report.flat r.Sentry_core.Trace_scenario.sentry in
+  Trace.stop ();
+  (evs, flat)
+
+let test_scenario_deterministic () =
+  let a, _ = run_scenario Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  let b, _ = run_scenario Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  checki "same length" (List.length a) (List.length b);
+  checkb "identical event streams" true (a = b)
+
+let test_scenario_platform_sensitivity () =
+  let a, _ = run_scenario Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  let b, _ = run_scenario Sentry_core.Trace_scenario.Lock_cycle `Nexus4 in
+  (* no cache locking and no background paging on the nexus4: the
+     streams must reflect the platform, not just the scenario script *)
+  checkb "streams differ" true (a <> b)
+
+let required_names =
+  [ "lock-transition"; "page-fault"; "aes-charge"; "device-read"; "read" ]
+
+let test_scenario_covers_required_events () =
+  List.iter
+    (fun platform ->
+      let evs, _ = run_scenario Sentry_core.Trace_scenario.Lock_cycle platform in
+      let names = List.map (fun (e : Event.t) -> e.Event.name) evs in
+      List.iter
+        (fun n -> checkb (Printf.sprintf "%s present" n) true (List.mem n names))
+        required_names)
+    [ `Tegra3; `Nexus4; `Future ]
+
+let test_scenario_metrics_report () =
+  let _, flat = run_scenario Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  checkb "bus transactions" true (List.assoc "soc.bus/transactions" flat > 0.0);
+  checkb "locks counted" true (List.assoc "core.lock_state/locks" flat = 1.0);
+  checkb "events recorded" true (List.assoc "obs.trace/events_emitted" flat > 0.0);
+  (* keys are sorted for stable, diffable reports *)
+  let keys = List.map fst flat in
+  checkb "sorted keys" true (keys = List.sort compare keys)
+
+let test_chrome_export_of_scenario_parses () =
+  let evs, _ = run_scenario Sentry_core.Trace_scenario.Dm_crypt_io `Tegra3 in
+  match Json.parse (Export.chrome_trace_string evs) with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "chrome trace must be a JSON object"
+
+let () =
+  Alcotest.run "sentry_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "off is silent" `Quick test_trace_off_is_silent;
+          Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "overflow keeps newest" `Quick test_ring_overflow_keeps_newest;
+          Alcotest.test_case "clear keeps recorder" `Quick test_trace_clear_keeps_recorder;
+          Alcotest.test_case "span duration" `Quick test_span_duration;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram_percentiles;
+          Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+          Alcotest.test_case "jsonl per line" `Quick test_jsonl_parses_per_line;
+          Alcotest.test_case "metrics jsonl" `Quick test_metrics_jsonl;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "platform sensitivity" `Quick test_scenario_platform_sensitivity;
+          Alcotest.test_case "covers required events" `Quick test_scenario_covers_required_events;
+          Alcotest.test_case "metrics report" `Quick test_scenario_metrics_report;
+          Alcotest.test_case "chrome export parses" `Quick test_chrome_export_of_scenario_parses;
+        ] );
+    ]

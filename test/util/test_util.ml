@@ -178,6 +178,38 @@ let test_stats_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty series") (fun () ->
       ignore (Stats.summarize [||]))
 
+let test_stats_single_element () =
+  let s = Stats.summarize [| 42.0 |] in
+  checki "n" 1 s.Stats.n;
+  Alcotest.(check (float 1e-12)) "mean" 42.0 s.Stats.mean;
+  Alcotest.(check (float 1e-12)) "stddev" 0.0 s.Stats.stddev;
+  Alcotest.(check (float 1e-12)) "min" 42.0 s.Stats.min;
+  Alcotest.(check (float 1e-12)) "max" 42.0 s.Stats.max;
+  Alcotest.(check (float 1e-12)) "p50" 42.0 (Stats.percentile 50.0 [| 42.0 |])
+
+let test_stats_all_equal () =
+  let xs = Array.make 7 5.5 in
+  Alcotest.(check (float 1e-12)) "p0" 5.5 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-12)) "p50" 5.5 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-12)) "p100" 5.5 (Stats.percentile 100.0 xs)
+
+let test_stats_percentile_extremes () =
+  let xs = [| 9.0; 1.0; 5.0; 3.0; 7.0 |] in
+  Alcotest.(check (float 1e-12)) "p0 is min" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-12)) "p100 is max" 9.0 (Stats.percentile 100.0 xs)
+
+(* Float.compare gives a total order (NaN before every real), so a
+   stray NaN cannot poison the sort or flip the extrema fold based on
+   argument order: high percentiles and max stay real numbers. *)
+let test_stats_nan_safety () =
+  let xs = [| 3.0; Float.nan; 1.0; 2.0 |] in
+  checkb "p0 is the NaN (ordered first)" true (Float.is_nan (Stats.percentile 0.0 xs));
+  Alcotest.(check (float 1e-12)) "p50 real" 1.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-12)) "p100 real" 3.0 (Stats.percentile 100.0 xs);
+  let s = Stats.summarize xs in
+  checkb "min is the NaN (ordered first)" true (Float.is_nan s.Stats.min);
+  Alcotest.(check (float 1e-12)) "max real" 3.0 s.Stats.max
+
 (* ------------------------------ Units ---------------------------- *)
 
 let test_units_pp () =
@@ -298,6 +330,10 @@ let () =
           Alcotest.test_case "repeat" `Quick test_stats_repeat;
           Alcotest.test_case "overhead" `Quick test_stats_overhead;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "single element" `Quick test_stats_single_element;
+          Alcotest.test_case "all equal" `Quick test_stats_all_equal;
+          Alcotest.test_case "percentile extremes" `Quick test_stats_percentile_extremes;
+          Alcotest.test_case "NaN safety" `Quick test_stats_nan_safety;
         ] );
       ( "units",
         [
