@@ -43,6 +43,25 @@ let run_selected ~csv ids =
 
 (* ------------------------- machine-readable ---------------------- *)
 
+let find_or_die id =
+  match Sentry_experiments.Experiments.find id with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "unknown experiment %S (try --list)\n" id;
+      exit 1
+
+(* One timed run with its host GC cost: wall-clock seconds plus the
+   minor/major words the run allocated.  The GC numbers are what the
+   zero-allocation fast path is accountable to; the simulated outputs
+   themselves are independent of them by construction. *)
+let time_once run =
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  ignore (run ());
+  let dt = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  (dt, gc1.Gc.minor_words -. gc0.Gc.minor_words, gc1.Gc.major_words -. gc0.Gc.major_words)
+
 (* BENCH_sentry.json: wall-clock summaries per experiment plus the key
    simulator counters from one traced lock-cycle, under a versioned
    schema so downstream tooling can evolve. *)
@@ -50,28 +69,23 @@ let run_json ~path ~trials ids =
   let entries =
     match ids with
     | [] -> Sentry_experiments.Experiments.all
-    | ids ->
-        List.map
-          (fun id ->
-            match Sentry_experiments.Experiments.find id with
-            | Some e -> e
-            | None ->
-                Printf.eprintf "unknown experiment %S (try --list)\n" id;
-                exit 1)
-          ids
+    | ids -> List.map find_or_die ids
   in
   let open Sentry_obs in
   let experiment (e : Sentry_experiments.Experiments.entry) =
+    let minor = ref 0.0 and major = ref 0.0 in
     let times =
       Array.init trials (fun _ ->
-          let t0 = Unix.gettimeofday () in
-          ignore (e.Sentry_experiments.Experiments.run ());
-          Unix.gettimeofday () -. t0)
+          let dt, dminor, dmajor = time_once e.Sentry_experiments.Experiments.run in
+          minor := !minor +. dminor;
+          major := !major +. dmajor;
+          dt)
     in
     let s = Sentry_util.Stats.summarize times in
-    Printf.printf "  %-11s %d trials, mean %.3fs ± %.3fs\n%!"
+    Printf.printf "  %-11s %d trials, mean %.3fs ± %.3fs, %.2e minor words/trial\n%!"
       e.Sentry_experiments.Experiments.id trials s.Sentry_util.Stats.mean
-      s.Sentry_util.Stats.stddev;
+      s.Sentry_util.Stats.stddev
+      (!minor /. float_of_int trials);
     Json_out.Obj
       [
         ("id", Json_out.Str e.Sentry_experiments.Experiments.id);
@@ -81,6 +95,8 @@ let run_json ~path ~trials ids =
         ("stddev_s", Json_out.Float s.Sentry_util.Stats.stddev);
         ("min_s", Json_out.Float s.Sentry_util.Stats.min);
         ("max_s", Json_out.Float s.Sentry_util.Stats.max);
+        ("gc_minor_words_mean", Json_out.Float (!minor /. float_of_int trials));
+        ("gc_major_words_mean", Json_out.Float (!major /. float_of_int trials));
       ]
   in
   Printf.printf "bench --json: %d experiment(s), %d trial(s) each\n%!"
@@ -107,6 +123,107 @@ let run_json ~path ~trials ids =
   Export.write_file ~path (Json_out.to_string doc ^ "\n");
   Printf.printf "wrote %s\n" path
 
+(* --------------------------- regression diff --------------------- *)
+
+(* [bench --compare FILE] re-times the experiments recorded in a
+   committed snapshot and reports which drifted beyond tolerance.
+   Wall clock is environment sensitive (CI runners differ from dev
+   machines), so the diff is warn-only: it never fails the build, it
+   makes a slowdown visible in the log next to the run that caused
+   it. *)
+(* Defaults to the snapshot's own trial count: several experiments
+   cache work behind [Lazy.t], so a per-experiment mean is only
+   comparable between runs that forced the same number of trials. *)
+let run_compare ~path ~trials ~tolerance ids =
+  let open Sentry_obs in
+  let doc =
+    let text =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "cannot read snapshot: %s\n" msg;
+        exit 1
+    in
+    try Json_in.parse text
+    with Json_in.Parse_error msg ->
+      Printf.eprintf "%s: unparseable snapshot (%s)\n" path msg;
+      exit 1
+  in
+  let snapshot =
+    match Option.bind (Json_in.member "experiments" doc) Json_in.to_list with
+    | Some exps ->
+        List.filter_map
+          (fun e ->
+            match
+              ( Option.bind (Json_in.member "id" e) Json_in.to_string,
+                Option.bind (Json_in.member "mean_s" e) Json_in.to_float )
+            with
+            | Some id, Some mean -> Some (id, mean)
+            | _ -> None)
+          exps
+    | None ->
+        Printf.eprintf "%s: no \"experiments\" array (expected schema sentry-bench/v1)\n" path;
+        exit 1
+  in
+  let trials =
+    match trials with
+    | Some n -> n
+    | None -> (
+        match Option.bind (Json_in.member "trials" doc) Json_in.to_float with
+        | Some n -> int_of_float n
+        | None -> 3)
+  in
+  let selected =
+    match ids with
+    | [] -> snapshot
+    | ids ->
+        List.iter
+          (fun id ->
+            ignore (find_or_die id);
+            if not (List.mem_assoc id snapshot) then
+              Printf.eprintf "note: %S is not in %s; skipping\n" id path)
+          ids;
+        List.filter (fun (id, _) -> List.mem id ids) snapshot
+  in
+  Printf.printf "bench --compare: %d experiment(s) vs %s, %d trial(s) each, tolerance %.0f%%\n"
+    (List.length selected) path trials (tolerance *. 100.0);
+  Printf.printf "  %-11s %12s %12s %7s\n%!" "id" "snapshot" "fresh min" "ratio";
+  (* sub-tolerance absolute drift on the microsecond experiments is
+     scheduler noise, not regression *)
+  let abs_floor_s = 0.05 in
+  let drifted =
+    List.filter
+      (fun (id, snap_mean) ->
+        match Sentry_experiments.Experiments.find id with
+        | None ->
+            Printf.printf "  %-11s %11.3fs %12s\n%!" id snap_mean "(gone)";
+            false
+        | Some e ->
+            let times =
+              Array.init trials (fun _ ->
+                  let dt, _, _ = time_once e.Sentry_experiments.Experiments.run in
+                  dt)
+            in
+            (* best-of-N: the min is the noise-robust timing statistic —
+               transient machine load inflates the mean, never deflates
+               the min — so a warning here means the code itself slowed *)
+            let fresh = (Sentry_util.Stats.summarize times).Sentry_util.Stats.min in
+            let ratio = if snap_mean > 0.0 then fresh /. snap_mean else Float.infinity in
+            let slower =
+              fresh -. snap_mean > abs_floor_s && fresh > snap_mean *. (1.0 +. tolerance)
+            in
+            Printf.printf "  %-11s %11.3fs %11.3fs %6.2fx%s\n%!" id snap_mean fresh ratio
+              (if slower then "  WARN: slower than snapshot" else "");
+            slower)
+      selected
+  in
+  (match drifted with
+  | [] -> Printf.printf "all within tolerance of %s\n" path
+  | ds ->
+      Printf.printf "%d experiment(s) slower than the snapshot beyond tolerance: %s\n"
+        (List.length ds)
+        (String.concat ", " (List.map fst ds));
+      Printf.printf "(warn-only: wall clock varies across machines; refresh with --json if real)\n")
+
 open Cmdliner
 
 let ids =
@@ -126,19 +243,39 @@ let json_flag =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let trials_flag =
-  let doc = "Wall-clock trials per experiment in --json mode." in
-  Arg.(value & opt int 3 & info [ "trials" ] ~docv:"N" ~doc)
+  let doc =
+    "Wall-clock trials per experiment in --json and --compare modes (default: 3 for --json; the \
+     snapshot's own trial count for --compare)."
+  in
+  Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
 
-let main list_it csv json trials ids =
+let compare_flag =
+  let doc =
+    "Re-time the experiments recorded in the snapshot $(docv) and warn about regressions beyond \
+     --tolerance. Never fails: wall clock is environment sensitive."
+  in
+  Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
+
+let tolerance_flag =
+  let doc = "Relative slowdown tolerated by --compare before warning (fraction, e.g. 0.3)." in
+  Arg.(value & opt float 0.3 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+
+let main list_it csv json compare tolerance trials ids =
   if list_it then list_experiments ()
   else
-    match json with
-    | Some path -> run_json ~path ~trials ids
-    | None -> ( match ids with [] -> run_all () | ids -> run_selected ~csv ids)
+    match (json, compare) with
+    | Some _, Some _ ->
+        prerr_endline "--json and --compare are mutually exclusive";
+        exit 1
+    | Some path, None -> run_json ~path ~trials:(Option.value trials ~default:3) ids
+    | None, Some path -> run_compare ~path ~trials ~tolerance ids
+    | None, None -> ( match ids with [] -> run_all () | ids -> run_selected ~csv ids)
 
 let cmd =
   let doc = "regenerate the Sentry paper's tables and figures" in
   Cmd.v (Cmd.info "sentry-bench" ~doc)
-    Term.(const main $ list_flag $ csv_flag $ json_flag $ trials_flag $ ids)
+    Term.(
+      const main $ list_flag $ csv_flag $ json_flag $ compare_flag $ tolerance_flag $ trials_flag
+      $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -109,6 +109,20 @@ let collect sentry =
           ("energy_j", s.Decrypt_on_unlock.energy_j);
         ]
   | None -> ());
+  (* Host-side GC pressure.  Unlike every other subsystem these gauges
+     describe the simulator process, not the simulated SoC: they are
+     wall-clock-world readings, excluded from the bit-identity
+     contracts the differential tests enforce, and exist so the bench
+     harness can watch allocation on the lock/unlock fast path. *)
+  let gc = Gc.quick_stat () in
+  set m ~subsystem:"host.gc"
+    [
+      ("minor_words", gc.Gc.minor_words);
+      ("major_words", gc.Gc.major_words);
+      ("promoted_words", gc.Gc.promoted_words);
+      ("minor_collections", f gc.Gc.minor_collections);
+      ("major_collections", f gc.Gc.major_collections);
+    ];
   let ts = Trace.stats () in
   set m ~subsystem:"obs.trace"
     (("events_emitted", f ts.Trace.emitted)

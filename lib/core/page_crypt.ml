@@ -14,12 +14,20 @@ type t = {
   machine : Machine.t;
   aes : Aes_on_soc.t;
   essiv : Essiv.t;
+  page_buf : Bytes.t; (* reused staging buffer for the frame paths *)
   mutable bytes_encrypted : int;
   mutable bytes_decrypted : int;
 }
 
 let create machine ~aes ~volatile_key =
-  { machine; aes; essiv = Essiv.create ~key:volatile_key; bytes_encrypted = 0; bytes_decrypted = 0 }
+  {
+    machine;
+    aes;
+    essiv = Essiv.create ~key:volatile_key;
+    page_buf = Bytes.create Page.size;
+    bytes_encrypted = 0;
+    bytes_decrypted = 0;
+  }
 
 (** IV for page [vpn] of process [pid]. *)
 let iv t ~pid ~vpn = Essiv.iv t.essiv ~sector:((pid lsl 24) lxor vpn)
@@ -51,18 +59,24 @@ let trace_frame t name ~pid ~vpn ~frame =
 
 let encrypt_frame t ~pid ~vpn ~frame =
   trace_frame t "encrypt-frame" ~pid ~vpn ~frame;
-  let plain = Machine.read t.machine frame Page.size in
-  let ct = encrypt_bytes t ~pid ~vpn plain in
-  Machine.with_taint t.machine Taint.Ciphertext (fun () -> Machine.write t.machine frame ct)
+  Machine.read_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
+  t.bytes_encrypted <- t.bytes_encrypted + Page.size;
+  (* in place over the staging buffer: read, transform, write back *)
+  Aes_on_soc.bulk_into t.aes ~dir:`Encrypt ~iv:(iv t ~pid ~vpn) ~src:t.page_buf ~src_off:0
+    ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
+  Machine.with_taint t.machine Taint.Ciphertext (fun () ->
+      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
 
 (** Decrypt a frame in place (lazy unlock path); the recovered bytes
     are secret cleartext again. *)
 let decrypt_frame t ~pid ~vpn ~frame =
   trace_frame t "decrypt-frame" ~pid ~vpn ~frame;
-  let ct = Machine.read t.machine frame Page.size in
-  let plain = decrypt_bytes t ~pid ~vpn ct in
+  Machine.read_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
+  t.bytes_decrypted <- t.bytes_decrypted + Page.size;
+  Aes_on_soc.bulk_into t.aes ~dir:`Decrypt ~iv:(iv t ~pid ~vpn) ~src:t.page_buf ~src_off:0
+    ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
   Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
-      Machine.write t.machine frame plain)
+      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

@@ -1,10 +1,15 @@
 (** Fast native AES (the "generic OpenSSL AES" of the paper).
 
-    Word-oriented implementation over the single packed round tables
-    of [Aes_tables].  This is the bulk-data path used for the actual
+    Word-oriented implementation over the rotated round tables of
+    [Aes_tables].  This is the bulk-data path used for the actual
     byte transformations in the simulator; the security-relevant
     instrumented twin lives in [Aes_block] and is cross-checked
     against this one.
+
+    The round state is held in scalar locals (never arrays), so one
+    block transform performs no heap allocation — the lock/unlock
+    pipeline pushes hundreds of thousands of blocks through here and
+    every word of garbage would be multiplied by that count.
 
     State convention (FIPS-197): input byte [i] is state row
     [i mod 4], column [i / 4]; a column is one 32-bit word, row 0 in
@@ -14,94 +19,127 @@ type key = Aes_key.t
 
 let expand = Aes_key.expand
 
-let mask = 0xffffffff
-let ror8 w = ((w lsr 8) lor ((w land 0xff) lsl 24)) land mask
-let ror16 w = ror8 (ror8 w)
-let ror24 w = ror8 (ror16 w)
-
 let get_word b off =
-  (Char.code (Bytes.get b off) lsl 24)
-  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
-  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
-  lor Char.code (Bytes.get b (off + 3))
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
 
 let set_word b off w =
-  Bytes.set b off (Char.chr ((w lsr 24) land 0xff));
-  Bytes.set b (off + 1) (Char.chr ((w lsr 16) land 0xff));
-  Bytes.set b (off + 2) (Char.chr ((w lsr 8) land 0xff));
-  Bytes.set b (off + 3) (Char.chr (w land 0xff))
+  Bytes.unsafe_set b off (Char.unsafe_chr ((w lsr 24) land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (w land 0xff))
+
+let check_block b off =
+  if off < 0 || off + 16 > Bytes.length b then invalid_arg "Aes: block out of range"
+
+(* Round tables bound once at module level; the round helpers below
+   are top-level functions taking all state as arguments, so a block
+   transform makes only saturated direct calls — no closures, hence
+   no heap allocation. *)
+let te0 = Aes_tables.te_words
+let te1 = Aes_tables.te_words_r8
+let te2 = Aes_tables.te_words_r16
+let te3 = Aes_tables.te_words_r24
+let sbox = Aes_tables.sbox
+let td0 = Aes_tables.td_words
+let td1 = Aes_tables.td_words_r8
+let td2 = Aes_tables.td_words_r16
+let td3 = Aes_tables.td_words_r24
+let isbox = Aes_tables.inv_sbox
+
+(* One column of an inner encryption round: table lookups merge
+   SubBytes + ShiftRows + MixColumns. *)
+let[@inline] enc_mix rk r4 i a b c d =
+  Array.unsafe_get te0 ((a lsr 24) land 0xff)
+  lxor Array.unsafe_get te1 ((b lsr 16) land 0xff)
+  lxor Array.unsafe_get te2 ((c lsr 8) land 0xff)
+  lxor Array.unsafe_get te3 (d land 0xff)
+  lxor Array.unsafe_get rk (r4 + i)
+
+(* One column of the final round: SubBytes + ShiftRows + AddRoundKey,
+   no MixColumns. *)
+let[@inline] enc_last rk nr4 i a b c d =
+  (Array.unsafe_get sbox ((a lsr 24) land 0xff) lsl 24)
+  lor (Array.unsafe_get sbox ((b lsr 16) land 0xff) lsl 16)
+  lor (Array.unsafe_get sbox ((c lsr 8) land 0xff) lsl 8)
+  lor Array.unsafe_get sbox (d land 0xff)
+  lxor Array.unsafe_get rk (nr4 + i)
+
+let rec enc_rounds rk nr dst dst_off round s0 s1 s2 s3 =
+  if round = nr then begin
+    let nr4 = 4 * nr in
+    set_word dst dst_off (enc_last rk nr4 0 s0 s1 s2 s3);
+    set_word dst (dst_off + 4) (enc_last rk nr4 1 s1 s2 s3 s0);
+    set_word dst (dst_off + 8) (enc_last rk nr4 2 s2 s3 s0 s1);
+    set_word dst (dst_off + 12) (enc_last rk nr4 3 s3 s0 s1 s2)
+  end
+  else begin
+    let r4 = 4 * round in
+    enc_rounds rk nr dst dst_off (round + 1) (enc_mix rk r4 0 s0 s1 s2 s3)
+      (enc_mix rk r4 1 s1 s2 s3 s0) (enc_mix rk r4 2 s2 s3 s0 s1) (enc_mix rk r4 3 s3 s0 s1 s2)
+  end
 
 (** [encrypt_block k src src_off dst dst_off] transforms one 16-byte
     block.  [src] and [dst] may alias. *)
 let encrypt_block (k : key) src src_off dst dst_off =
-  let te = Aes_tables.te_words and sbox = Aes_tables.sbox in
+  check_block src src_off;
+  check_block dst dst_off;
   let rk = k.Aes_key.words in
-  let s = Array.make 4 0 and t = Array.make 4 0 in
-  for c = 0 to 3 do
-    s.(c) <- get_word src (src_off + (4 * c)) lxor rk.(c)
-  done;
-  for round = 1 to k.Aes_key.nr - 1 do
-    for c = 0 to 3 do
-      t.(c) <-
-        te.((s.(c) lsr 24) land 0xff)
-        lxor ror8 te.((s.((c + 1) land 3) lsr 16) land 0xff)
-        lxor ror16 te.((s.((c + 2) land 3) lsr 8) land 0xff)
-        lxor ror24 te.(s.((c + 3) land 3) land 0xff)
-        lxor rk.((4 * round) + c)
-    done;
-    Array.blit t 0 s 0 4
-  done;
-  (* Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns. *)
-  let nr = k.Aes_key.nr in
-  for c = 0 to 3 do
-    let w =
-      (sbox.((s.(c) lsr 24) land 0xff) lsl 24)
-      lor (sbox.((s.((c + 1) land 3) lsr 16) land 0xff) lsl 16)
-      lor (sbox.((s.((c + 2) land 3) lsr 8) land 0xff) lsl 8)
-      lor sbox.(s.((c + 3) land 3) land 0xff)
-    in
-    t.(c) <- w lxor rk.((4 * nr) + c)
-  done;
-  for c = 0 to 3 do
-    set_word dst (dst_off + (4 * c)) t.(c)
-  done
+  enc_rounds rk k.Aes_key.nr dst dst_off 1
+    (get_word src src_off lxor Array.unsafe_get rk 0)
+    (get_word src (src_off + 4) lxor Array.unsafe_get rk 1)
+    (get_word src (src_off + 8) lxor Array.unsafe_get rk 2)
+    (get_word src (src_off + 12) lxor Array.unsafe_get rk 3)
+
+(* InvShiftRows + InvSubBytes for one column, drawing bytes from
+   columns (i, i+3, i+2, i+1) mod 4. *)
+let[@inline] dec_shift_sub a b c d =
+  (Array.unsafe_get isbox ((a lsr 24) land 0xff) lsl 24)
+  lor (Array.unsafe_get isbox ((b lsr 16) land 0xff) lsl 16)
+  lor (Array.unsafe_get isbox ((c lsr 8) land 0xff) lsl 8)
+  lor Array.unsafe_get isbox (d land 0xff)
+
+(* AddRoundKey + InvMixColumns for one column. *)
+let[@inline] dec_mix rk r4 i t =
+  let w = t lxor Array.unsafe_get rk (r4 + i) in
+  Array.unsafe_get td0 ((w lsr 24) land 0xff)
+  lxor Array.unsafe_get td1 ((w lsr 16) land 0xff)
+  lxor Array.unsafe_get td2 ((w lsr 8) land 0xff)
+  lxor Array.unsafe_get td3 (w land 0xff)
+
+let rec dec_rounds rk dst dst_off round s0 s1 s2 s3 =
+  let t0 = dec_shift_sub s0 s3 s2 s1
+  and t1 = dec_shift_sub s1 s0 s3 s2
+  and t2 = dec_shift_sub s2 s1 s0 s3
+  and t3 = dec_shift_sub s3 s2 s1 s0 in
+  if round = 0 then begin
+    set_word dst dst_off (t0 lxor Array.unsafe_get rk 0);
+    set_word dst (dst_off + 4) (t1 lxor Array.unsafe_get rk 1);
+    set_word dst (dst_off + 8) (t2 lxor Array.unsafe_get rk 2);
+    set_word dst (dst_off + 12) (t3 lxor Array.unsafe_get rk 3)
+  end
+  else begin
+    let r4 = 4 * round in
+    dec_rounds rk dst dst_off (round - 1) (dec_mix rk r4 0 t0) (dec_mix rk r4 1 t1)
+      (dec_mix rk r4 2 t2) (dec_mix rk r4 3 t3)
+  end
 
 (** Inverse cipher in the direct order: InvShiftRows, InvSubBytes,
     AddRoundKey, InvMixColumns.  Uses the same (encryption) schedule
     applied backwards — no separate decryption schedule is stored. *)
 let decrypt_block (k : key) src src_off dst dst_off =
-  let td = Aes_tables.td_words and isbox = Aes_tables.inv_sbox in
+  check_block src src_off;
+  check_block dst dst_off;
   let rk = k.Aes_key.words in
   let nr = k.Aes_key.nr in
-  let s = Array.make 4 0 and t = Array.make 4 0 in
-  for c = 0 to 3 do
-    s.(c) <- get_word src (src_off + (4 * c)) lxor rk.((4 * nr) + c)
-  done;
-  let inv_shift_sub () =
-    for c = 0 to 3 do
-      t.(c) <-
-        (isbox.((s.(c) lsr 24) land 0xff) lsl 24)
-        lor (isbox.((s.((c + 3) land 3) lsr 16) land 0xff) lsl 16)
-        lor (isbox.((s.((c + 2) land 3) lsr 8) land 0xff) lsl 8)
-        lor isbox.(s.((c + 1) land 3) land 0xff)
-    done;
-    Array.blit t 0 s 0 4
-  in
-  for round = nr - 1 downto 1 do
-    inv_shift_sub ();
-    for c = 0 to 3 do
-      let w = s.(c) lxor rk.((4 * round) + c) in
-      s.(c) <-
-        td.((w lsr 24) land 0xff)
-        lxor ror8 td.((w lsr 16) land 0xff)
-        lxor ror16 td.((w lsr 8) land 0xff)
-        lxor ror24 td.(w land 0xff)
-    done
-  done;
-  inv_shift_sub ();
-  for c = 0 to 3 do
-    set_word dst (dst_off + (4 * c)) (s.(c) lxor rk.(c))
-  done
+  let nr4 = 4 * nr in
+  dec_rounds rk dst dst_off (nr - 1)
+    (get_word src src_off lxor Array.unsafe_get rk nr4)
+    (get_word src (src_off + 4) lxor Array.unsafe_get rk (nr4 + 1))
+    (get_word src (src_off + 8) lxor Array.unsafe_get rk (nr4 + 2))
+    (get_word src (src_off + 12) lxor Array.unsafe_get rk (nr4 + 3))
 
 let block_size = 16
 

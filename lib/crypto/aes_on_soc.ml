@@ -22,7 +22,9 @@ type t = {
   storage : storage;
   base : int;
   mutable block : Aes_block.t;
-  mutable fast_key : Aes.key; (* host-side twin for the bulk path *)
+  mutable fast_cipher : Mode.cipher; (* host-side twin for the bulk path *)
+  scratch : Mode.scratch; (* reusable CBC chaining buffers *)
+  chain : Bytes.t; (* batch-to-batch chaining block for [transform] *)
   variant : Perf.variant;
 }
 
@@ -48,7 +50,16 @@ let create machine ~storage ~base ~key =
     | In_iram | In_pinned -> Perf.Onsoc_iram (* SRAM-class timing *)
     | In_locked_l2 -> Perf.Onsoc_locked_l2
   in
-  { machine; storage; base; block; fast_key = Aes.expand key; variant }
+  {
+    machine;
+    storage;
+    base;
+    block;
+    fast_cipher = Mode.of_key (Aes.expand key);
+    scratch = Mode.make_scratch ();
+    chain = Bytes.create 16;
+    variant;
+  }
 
 let context_bytes t = Aes_block.context_size t.block.Aes_block.size
 
@@ -72,69 +83,79 @@ let transform t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
   if n mod 16 <> 0 then invalid_arg "Aes_on_soc.transform: not block aligned";
   Aes_block.set_iv t.block iv;
   let cipher = Aes_block.cipher t.block in
-  let out =
-    (* Process in IRQ-bracketed batches; each batch reloads sensitive
-       registers and zeroes them on exit. *)
-    let result = Bytes.create n in
-    let nblocks = n / 16 in
-    let pos = ref 0 in
-    let chain = ref (Bytes.copy iv) in
-    while !pos < nblocks do
-      let batch = min irq_batch_blocks (nblocks - !pos) in
-      let slice = Bytes.sub data (!pos * 16) (batch * 16) in
-      let transformed =
-        with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
-            match dir with
-            | `Encrypt -> Mode.cbc_encrypt cipher ~iv:!chain slice
-            | `Decrypt -> Mode.cbc_decrypt cipher ~iv:!chain slice)
-      in
-      Bytes.blit transformed 0 result (!pos * 16) (batch * 16);
-      (chain :=
-         match dir with
-         | `Encrypt -> Bytes.sub transformed ((batch - 1) * 16) 16
-         | `Decrypt -> Bytes.sub slice ((batch - 1) * 16) 16);
-      pos := !pos + batch
-    done;
-    result
-  in
-  out
+  (* Process in IRQ-bracketed batches; each batch reloads sensitive
+     registers and zeroes them on exit.  Batches index straight into
+     [data]/[result] — no per-batch slices. *)
+  let result = Bytes.create n in
+  let nblocks = n / 16 in
+  let pos = ref 0 in
+  Bytes.blit iv 0 t.chain 0 16;
+  while !pos < nblocks do
+    let batch = min irq_batch_blocks (nblocks - !pos) in
+    let off = !pos * 16 and len = batch * 16 in
+    with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+        match dir with
+        | `Encrypt ->
+            Mode.cbc_encrypt_into ~scratch:t.scratch cipher ~iv:t.chain ~src:data ~src_off:off
+              ~dst:result ~dst_off:off ~len
+        | `Decrypt ->
+            Mode.cbc_decrypt_into ~scratch:t.scratch cipher ~iv:t.chain ~src:data ~src_off:off
+              ~dst:result ~dst_off:off ~len);
+    (* next batch chains off the last ciphertext block just handled *)
+    (match dir with
+    | `Encrypt -> Bytes.blit result (off + len - 16) t.chain 0 16
+    | `Decrypt -> Bytes.blit data (off + len - 16) t.chain 0 16);
+    pos := !pos + batch
+  done;
+  result
 
 let encrypt t ~iv data = transform t ~dir:`Encrypt ~iv data
 let decrypt t ~iv data = transform t ~dir:`Decrypt ~iv data
 
-(** Fast-path bulk operations for the paging engine: transform with
-    the native cipher (bit-identical result to the instrumented one)
-    and charge the modeled on-SoC cost.  Register/IRQ discipline is
-    still exercised. *)
-let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
-  let c = Mode.of_key t.fast_key in
+(** Fast-path bulk transform for the paging engine, scatter-gather
+    flavour: transform the [len]-byte view of [src] into [dst]
+    ([src]/[dst] may alias for in-place work) with the cached native
+    cipher (bit-identical result to the instrumented path) and charge
+    the modeled on-SoC cost.  Register/IRQ discipline is still
+    exercised; no allocation. *)
+let bulk_into t ~(dir : [ `Encrypt | `Decrypt ]) ~iv ~src ~src_off ~dst ~dst_off ~len =
+  if Bytes.length iv <> 16 then invalid_arg "Aes_on_soc.bulk_into: bad IV";
   let start_ns = Clock.now (Machine.clock t.machine) in
-  let out =
-    with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
-        (* the modeled transform time elapses inside the bracket: this is
-           exactly the window interrupts stay masked (§6.2) *)
-        Perf.charge t.machine t.variant ~bytes:(Bytes.length data);
-        match dir with
-        | `Encrypt -> Mode.cbc_encrypt c ~iv data
-        | `Decrypt -> Mode.cbc_decrypt c ~iv data)
-  in
+  with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+      (* the modeled transform time elapses inside the bracket: this is
+         exactly the window interrupts stay masked (§6.2) *)
+      Perf.charge t.machine t.variant ~bytes:len;
+      match dir with
+      | `Encrypt ->
+          Mode.cbc_encrypt_into ~scratch:t.scratch t.fast_cipher ~iv ~src ~src_off ~dst ~dst_off
+            ~len
+      | `Decrypt ->
+          Mode.cbc_decrypt_into ~scratch:t.scratch t.fast_cipher ~iv ~src ~src_off ~dst ~dst_off
+            ~len);
   if Sentry_obs.Trace.on () then
     Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.aes_on_soc" ~start_ns
       ~end_ns:(Clock.now (Machine.clock t.machine))
       ~args:
         [
           ("storage", Sentry_obs.Event.Str (storage_name t.storage));
-          ("bytes", Sentry_obs.Event.Int (Bytes.length data));
+          ("bytes", Sentry_obs.Event.Int len);
         ]
-      (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt");
+      (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt")
+
+(** Allocating wrapper over [bulk_into]; identical cost and trace. *)
+let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  bulk_into t ~dir ~iv ~src:data ~src_off:0 ~dst:out ~dst_off:0 ~len:n;
   out
 
-(** Re-key: rewrites the on-SoC context and the bulk twin together. *)
+(** Re-key: rewrites the on-SoC context and the cached bulk-path
+    cipher together, so [bulk]/[bulk_into] never run a stale key. *)
 let set_key t key =
   t.block <-
     Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
         Aes_block.init t.block.Aes_block.acc ~key);
-  t.fast_key <- Aes.expand key
+  t.fast_cipher <- Mode.of_key (Aes.expand key)
 
 (** Register with a [Crypto_api] {e above} the generic cipher and any
     accelerator driver, so legacy Crypto-API users (dm-crypt) pick up

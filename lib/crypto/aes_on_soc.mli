@@ -36,6 +36,22 @@ val decrypt : t -> iv:Bytes.t -> Bytes.t -> Bytes.t
     modeled on-SoC cost charged inside the IRQ bracket. *)
 val bulk : t -> dir:[ `Encrypt | `Decrypt ] -> iv:Bytes.t -> Bytes.t -> Bytes.t
 
+(** Scatter-gather bulk path: transform the [len]-byte view of [src]
+    at [src_off] into [dst] at [dst_off] ([src]/[dst] may alias for
+    in-place work) with the cached cipher and reusable scratch — no
+    allocation.  [bulk] is implemented on top; identical cost and
+    trace. *)
+val bulk_into :
+  t ->
+  dir:[ `Encrypt | `Decrypt ] ->
+  iv:Bytes.t ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
 (** Re-key: rewrites the on-SoC context and the bulk twin together. *)
 val set_key : t -> Bytes.t -> unit
 

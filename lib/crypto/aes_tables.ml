@@ -44,6 +44,20 @@ let pack (b0, b1, b2, b3) = (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
 let te_words = Array.init 256 (fun x -> pack (te_entry x))
 let td_words = Array.init 256 (fun x -> pack (td_entry x))
 
+(* Byte-rotated copies of the round tables.  A textbook T-table round
+   computes [te x], [ror8 (te y)], [ror16 (te z)], [ror24 (te w)]; the
+   fast cipher trades 1 KB per rotation for doing no rotation work in
+   the inner loop.  Derived, never secret — exactly as
+   access-protected as the base tables they alias. *)
+let ror8 w = ((w lsr 8) lor ((w land 0xff) lsl 24)) land 0xffffffff
+
+let te_words_r8 = Array.map ror8 te_words
+let te_words_r16 = Array.map ror8 te_words_r8
+let te_words_r24 = Array.map ror8 te_words_r16
+let td_words_r8 = Array.map ror8 td_words
+let td_words_r16 = Array.map ror8 td_words_r8
+let td_words_r24 = Array.map ror8 td_words_r16
+
 (** Serialised forms used to place the tables in simulated memory for
     the instrumented cipher.  Entry [x] occupies bytes [4x..4x+3]. *)
 let serialize_table entry =

@@ -22,6 +22,17 @@ val te_words : int array
 
 val td_words : int array
 
+(** Byte-rotated copies of [te_words]/[td_words] (by 8, 16 and 24
+    bits) so the fast cipher's inner loop is pure table lookups with
+    no rotation work.  Derived at startup; never secret. *)
+val te_words_r8 : int array
+
+val te_words_r16 : int array
+val te_words_r24 : int array
+val td_words_r8 : int array
+val td_words_r16 : int array
+val td_words_r24 : int array
+
 (** Serialised forms placed in (simulated) memory by the instrumented
     cipher; entry [x] occupies bytes [4x..4x+3]. *)
 val te_bytes : Bytes.t

@@ -10,6 +10,51 @@ val of_key : Aes.key -> cipher
 
 val block : int
 
+(** {2 Scatter-gather ([_into]) transforms}
+
+    Zero-allocation bulk path: transform [len] bytes from [src] at
+    [src_off] into [dst] at [dst_off].  [src] and [dst] may be the
+    same buffer at the same offset (in-place).  The allocating entry
+    points below are wrappers over these; both produce bit-identical
+    bytes. *)
+
+type scratch
+
+(** Reusable CBC chaining buffers; one per long-lived cipher owner
+    avoids two allocations per call.  Omitting [?scratch] allocates a
+    fresh one. *)
+val make_scratch : unit -> scratch
+
+val ecb_encrypt_into :
+  cipher -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+
+val ecb_decrypt_into :
+  cipher -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+
+val cbc_encrypt_into :
+  ?scratch:scratch ->
+  cipher ->
+  iv:Bytes.t ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
+val cbc_decrypt_into :
+  ?scratch:scratch ->
+  cipher ->
+  iv:Bytes.t ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
+(** {2 Allocating transforms} *)
+
 val ecb_encrypt : cipher -> Bytes.t -> Bytes.t
 val ecb_decrypt : cipher -> Bytes.t -> Bytes.t
 

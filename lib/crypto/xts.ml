@@ -45,23 +45,33 @@ let gf128_mul_x t =
   done;
   if !carry = 1 then Bytes.set t 0 (Char.chr (Char.code (Bytes.get t 0) lxor 0x87))
 
-let transform (k : key) ~(dir : [ `Encrypt | `Decrypt ]) ~tweak data =
-  let n = Bytes.length data in
-  if n mod 16 <> 0 then invalid_arg "Xts: data must be a multiple of 16 bytes";
+(** Scatter-gather transform: [len] bytes from [src] at [src_off]
+    into [dst] at [dst_off]; [src] and [dst] may alias (in-place).
+    Bit-identical to the allocating wrappers below, which are
+    implemented on top of it. *)
+let transform_into (k : key) ~(dir : [ `Encrypt | `Decrypt ]) ~tweak ~src ~src_off ~dst
+    ~dst_off ~len =
+  if len mod 16 <> 0 then invalid_arg "Xts: data must be a multiple of 16 bytes";
   if Bytes.length tweak <> 16 then invalid_arg "Xts: tweak must be 16 bytes";
+  if src_off < 0 || src_off + len > Bytes.length src then invalid_arg "Xts: bad src range";
+  if dst_off < 0 || dst_off + len > Bytes.length dst then invalid_arg "Xts: bad dst range";
   let t = Aes.encrypt_block_copy k.k2 tweak in
-  let out = Bytes.create n in
   let buf = Bytes.create 16 in
-  for j = 0 to (n / 16) - 1 do
-    Bytes.blit data (16 * j) buf 0 16;
+  for j = 0 to (len / 16) - 1 do
+    Bytes.blit src (src_off + (16 * j)) buf 0 16;
     Sentry_util.Bytes_util.xor_into ~src:t ~dst:buf;
     (match dir with
     | `Encrypt -> Aes.encrypt_block k.k1 buf 0 buf 0
     | `Decrypt -> Aes.decrypt_block k.k1 buf 0 buf 0);
     Sentry_util.Bytes_util.xor_into ~src:t ~dst:buf;
-    Bytes.blit buf 0 out (16 * j) 16;
+    Bytes.blit buf 0 dst (dst_off + (16 * j)) 16;
     gf128_mul_x t
-  done;
+  done
+
+let transform (k : key) ~(dir : [ `Encrypt | `Decrypt ]) ~tweak data =
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  transform_into k ~dir ~tweak ~src:data ~src_off:0 ~dst:out ~dst_off:0 ~len:n;
   out
 
 let encrypt k ~tweak data = transform k ~dir:`Encrypt ~tweak data

@@ -11,6 +11,21 @@ val expand : Bytes.t -> key
 (** The plain64 tweak block for a data-unit number. *)
 val tweak_of_sector : int -> Bytes.t
 
+(** Scatter-gather transform of [len] bytes from [src]/[src_off] into
+    [dst]/[dst_off]; the buffers may alias (in-place).  The allocating
+    wrappers below are implemented on top and produce bit-identical
+    bytes. *)
+val transform_into :
+  key ->
+  dir:[ `Encrypt | `Decrypt ] ->
+  tweak:Bytes.t ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
 (** @raise Invalid_argument unless data is a multiple of 16 bytes and
     the tweak is 16 bytes (same for [decrypt]). *)
 val encrypt : key -> tweak:Bytes.t -> Bytes.t -> Bytes.t

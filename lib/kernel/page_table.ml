@@ -26,6 +26,11 @@ let create () = { entries = Hashtbl.create 64 }
 
 let find t ~vpn = Hashtbl.find_opt t.entries vpn
 
+(** [find_exn t ~vpn] — exception-style twin of [find] for the
+    translation fast path: no [Some] allocation per hit.
+    @raise Not_found when [vpn] is unmapped. *)
+let find_exn t ~vpn = Hashtbl.find t.entries vpn
+
 let set t ~vpn pte = Hashtbl.replace t.entries vpn pte
 
 let remove t ~vpn = Hashtbl.remove t.entries vpn

@@ -19,6 +19,11 @@ type t
 
 val create : unit -> t
 val find : t -> vpn:int -> pte option
+
+(** Exception-style twin of [find] for the translation fast path (no
+    [Some] allocation per hit).
+    @raise Not_found when [vpn] is unmapped. *)
+val find_exn : t -> vpn:int -> pte
 val set : t -> vpn:int -> pte -> unit
 val remove : t -> vpn:int -> unit
 val iter : t -> (int -> pte -> unit) -> unit

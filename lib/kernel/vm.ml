@@ -24,9 +24,9 @@ let reset_fault_handler t = t.handler <- default_handler
 
 let pte_of t proc vaddr =
   ignore t;
-  match Page_table.find (Address_space.table proc.Process.aspace) ~vpn:(Page.vpn_of vaddr) with
-  | Some pte -> pte
-  | None -> raise (Segfault { pid = proc.Process.pid; vaddr })
+  match Page_table.find_exn (Address_space.table proc.Process.aspace) ~vpn:(Page.vpn_of vaddr) with
+  | pte -> pte
+  | exception Not_found -> raise (Segfault { pid = proc.Process.pid; vaddr })
 
 (** Fire the fault path for [pte] if it would trap. *)
 let maybe_fault t proc ~vaddr pte =
@@ -74,18 +74,20 @@ let iter_pages vaddr len f =
     remaining := !remaining - chunk
   done
 
-(** [read t proc ~vaddr ~len] — a user-mode read through the MMU. *)
+(** [read t proc ~vaddr ~len] — a user-mode read through the MMU.
+    Each page's bytes land straight in the result buffer via the
+    machine's scatter-gather path: no per-page staging copies. *)
 let read t proc ~vaddr ~len =
   let out = Bytes.create len in
   iter_pages vaddr len (fun va off chunk ->
       let pa = translate t proc va in
-      let b = Machine.read t.machine pa chunk in
-      Bytes.blit b 0 out off chunk);
+      Machine.read_into t.machine pa out ~off ~len:chunk);
   out
 
 (** [write t proc ~vaddr b] — a user-mode write through the MMU.
     Stores by a sensitive process carry secret-cleartext taint: the
-    paper's unit of protection is the app, not individual buffers. *)
+    paper's unit of protection is the app, not individual buffers.
+    Each page is stored as a view of [b] — no per-page [Bytes.sub]. *)
 let write t proc ~vaddr b =
   let level =
     if proc.Process.sensitive then Taint.Secret_cleartext else Machine.ambient_taint t.machine
@@ -93,7 +95,7 @@ let write t proc ~vaddr b =
   Machine.with_taint t.machine level (fun () ->
       iter_pages vaddr (Bytes.length b) (fun va off chunk ->
           let pa = translate t proc va in
-          Machine.write t.machine pa (Bytes.sub b off chunk)))
+          Machine.write_from t.machine pa b ~off ~len:chunk))
 
 (** [touch t proc ~vaddr] — minimal access used by trace replay. *)
 let touch t proc ~vaddr = ignore (translate t proc vaddr)

@@ -1,0 +1,29 @@
+(** Minimal dependency-free JSON parser — the read-side counterpart of
+    {!Json_out}.  Covers the subset the repo's own tooling emits:
+    objects, arrays, strings with the common escapes, numbers,
+    booleans and null.  Used by [bench --compare] to read a committed
+    [BENCH_sentry.json] snapshot back in. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [parse s] parses one JSON document.  @raise Parse_error on
+    malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** [member k j] is the value bound to key [k] when [j] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+(** Typed projections; [None] on a shape mismatch. *)
+val to_float : t -> float option
+
+val to_string : t -> string option
+val to_list : t -> t list option

@@ -22,7 +22,7 @@ type transaction = {
 
 type t = {
   clock : Clock.t;
-  energy : Energy.t;
+  meter : Energy.meter; (* pre-resolved "bus" energy cell *)
   mutable monitors : (transaction -> unit) list;
   mutable transactions : int; (* total count, always maintained *)
   mutable bytes_read : int;
@@ -30,7 +30,14 @@ type t = {
 }
 
 let create ~clock ~energy =
-  { clock; energy; monitors = []; transactions = 0; bytes_read = 0; bytes_written = 0 }
+  {
+    clock;
+    meter = Energy.meter energy ~category:"bus";
+    monitors = [];
+    transactions = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
 
 (** [attach_monitor t f] registers a probe called on every transaction.
     Returns a detach function. *)
@@ -51,29 +58,37 @@ let monitored t = t.monitors <> []
     monitor's view of what crossed the bus. *)
 let initiator_name = function `Cpu -> "cpu" | `L2 -> "l2" | `Dma -> "dma"
 
-let record t ~initiator ?(taint = Taint.Public) op addr data =
+(** [record_view t ~initiator ?taint op addr buf ~off ~len] — like
+    [record], but the transaction's bytes are described as a view into
+    [buf] rather than a standalone buffer, so the unmonitored,
+    untraced fast path allocates nothing.  When a monitor {e is}
+    attached, the delivered [data] is still a defensive snapshot taken
+    here, preserving the aliasing contract of [record]. *)
+let record_view t ~initiator ~taint op addr buf ~off ~len =
   t.transactions <- t.transactions + 1;
-  let n = Bytes.length data in
   (match op with
-  | Read -> t.bytes_read <- t.bytes_read + n
-  | Write -> t.bytes_written <- t.bytes_written + n);
-  Energy.charge t.energy ~category:"bus" (float_of_int n *. Calib.dram_byte_j);
+  | Read -> t.bytes_read <- t.bytes_read + len
+  | Write -> t.bytes_written <- t.bytes_written + len);
+  Energy.meter_charge_bytes t.meter ~per_byte_j:Calib.dram_byte_j len;
   if Sentry_obs.Trace.on () then
     Sentry_obs.Trace.emit ~ts:(Clock.now t.clock) ~cat:Sentry_obs.Event.Bus ~subsystem:"soc.bus"
       (match op with Read -> "read" | Write -> "write")
       ~args:
         [
           ("addr", Sentry_obs.Event.Int addr);
-          ("bytes", Sentry_obs.Event.Int n);
+          ("bytes", Sentry_obs.Event.Int len);
           ("initiator", Sentry_obs.Event.Str (initiator_name initiator));
           ("taint", Sentry_obs.Event.Str (Taint.to_string taint));
         ];
   if t.monitors <> [] then begin
     let txn =
-      { op; addr; data = Bytes.copy data; taint; time_ns = Clock.now t.clock; initiator }
+      { op; addr; data = Bytes.sub buf off len; taint; time_ns = Clock.now t.clock; initiator }
     in
     List.iter (fun f -> f txn) t.monitors
   end
+
+let record t ~initiator ?(taint = Taint.Public) op addr data =
+  record_view t ~initiator ~taint op addr data ~off:0 ~len:(Bytes.length data)
 
 let stats t = (t.transactions, t.bytes_read, t.bytes_written)
 

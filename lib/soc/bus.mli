@@ -35,6 +35,23 @@ val monitored : t -> bool
 val record :
   t -> initiator:[ `Cpu | `Dma | `L2 ] -> ?taint:Taint.level -> op -> int -> Bytes.t -> unit
 
+(** Like [record], but the transaction's bytes are the [len]-byte view
+    of [buf] at [off]: the unmonitored, untraced path allocates
+    nothing, while an attached monitor still receives a defensive
+    snapshot taken at record time.  [taint] is required (pass
+    [Taint.Public] when untracked) so the per-line fast path never
+    wraps it in an option.  [record] is implemented on top. *)
+val record_view :
+  t ->
+  initiator:[ `Cpu | `Dma | `L2 ] ->
+  taint:Taint.level ->
+  op ->
+  int ->
+  Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+
 (** (transaction count, bytes read, bytes written). *)
 val stats : t -> int * int * int
 

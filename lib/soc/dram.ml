@@ -64,33 +64,53 @@ let check t addr len =
   if not (contains t addr && (len = 0 || contains t (addr + len - 1))) then
     invalid_arg (Printf.sprintf "Dram: access out of range 0x%x+%d" addr len)
 
+(** [read_into t ~initiator addr buf ~off ~len] fetches bytes over the
+    bus straight into [buf] at [off] — the scatter-gather fast path:
+    no intermediate buffer is allocated, and the recorded bus
+    transaction carries bit-identical bytes, taint and energy to the
+    allocating [read]. *)
+let read_into t ~initiator addr buf ~off ~len =
+  check t addr len;
+  let src_off = Memmap.offset t.region addr in
+  Bytes.blit t.data src_off buf off len;
+  Bus.record_view t.bus ~initiator ~taint:(taint_range t addr len) Bus.Read addr buf ~off ~len
+
 (** [read t ~initiator addr len] fetches bytes over the bus. *)
 let read t ~initiator addr len =
-  check t addr len;
-  let off = Memmap.offset t.region addr in
-  let b = Bytes.sub t.data off len in
-  Bus.record t.bus ~initiator ~taint:(taint_range t addr len) Bus.Read addr b;
+  let b = Bytes.create len in
+  read_into t ~initiator addr b ~off:0 ~len;
   b
 
-(** [write t ~initiator ?level ?taint addr b] stores bytes over the
-    bus.  The written range's taint comes from [taint] (a per-byte
-    shadow, e.g. an evicted cache line's) when given, else uniformly
-    from [level] (default [Public]). *)
-let write t ~initiator ?(level = Taint.Public) ?taint addr b =
-  let len = Bytes.length b in
+(** [write_from t ~initiator ?level ?taint addr buf ~off ~len] stores
+    the [len]-byte view of [buf] at [off] over the bus; the written
+    range's shadow comes from [taint] (per-byte labels) when given,
+    else uniformly from [level] (default [Public]).  The allocating
+    [write] is implemented on top. *)
+let write_from t ~initiator ?(level = Taint.Public) ?taint addr buf ~off ~len =
   check t addr len;
-  let off = Memmap.offset t.region addr in
-  Bytes.blit b 0 t.data off len;
+  let dst_off = Memmap.offset t.region addr in
+  Bytes.blit buf off t.data dst_off len;
   let txn_taint =
     match t.shadow with
     | None -> Taint.Public
     | Some s ->
         (match taint with
-        | Some tb -> Bytes.blit tb 0 s off len
-        | None -> Taint.fill s off len level);
-        Taint.max_range s off len
+        | Some tb -> Bytes.blit tb 0 s dst_off len
+        | None -> Taint.fill s dst_off len level);
+        Taint.max_range s dst_off len
   in
-  Bus.record t.bus ~initiator ~taint:txn_taint Bus.Write addr b
+  Bus.record_view t.bus ~initiator ~taint:txn_taint Bus.Write addr buf ~off ~len
+
+let write t ~initiator ?level ?taint addr b =
+  write_from t ~initiator ?level ?taint addr b ~off:0 ~len:(Bytes.length b)
+
+(** Copy the shadow labels behind a physical range into [dst] at
+    [dst_off] (all-[Public] when tracking is off): the allocation-free
+    twin of [shadow_of_range] for the L2 line-fill path. *)
+let blit_shadow_into t addr len dst dst_off =
+  match t.shadow with
+  | None -> Taint.fill dst dst_off len Taint.Public
+  | Some s -> Bytes.blit s (Memmap.offset t.region addr) dst dst_off len
 
 (** Direct backing-store access for attack tooling and test assertions
     (no bus traffic — this is "desoldering the chip", not a CPU read). *)

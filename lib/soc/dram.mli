@@ -15,6 +15,12 @@ val contains : t -> int -> bool
     accesses and DMA). *)
 val read : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> int -> Bytes.t
 
+(** Scatter-gather fetch straight into [buf] at [off]: no intermediate
+    buffer; bus transaction, taint and energy bit-identical to [read]
+    (which is implemented on top). *)
+val read_into :
+  t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> Bytes.t -> off:int -> len:int -> unit
+
 (** [write t ~initiator ?level ?taint addr b] — the written range's
     shadow comes from [taint] (per-byte labels, e.g. an evicted cache
     line's) when given, else uniformly from [level] (default
@@ -28,6 +34,19 @@ val write :
   Bytes.t ->
   unit
 
+(** Scatter-gather store of the [len]-byte view of [buf] at [off];
+    [write] is implemented on top. *)
+val write_from :
+  t ->
+  initiator:[ `Cpu | `Dma | `L2 ] ->
+  ?level:Taint.level ->
+  ?taint:Bytes.t ->
+  int ->
+  Bytes.t ->
+  off:int ->
+  len:int ->
+  unit
+
 (** Lazily allocate the taint shadow (no-op when already enabled). *)
 val enable_taint : t -> unit
 
@@ -38,6 +57,11 @@ val taint_range : t -> int -> int -> Taint.level
 
 (** Copy of the shadow labels behind a physical range. *)
 val shadow_of_range : t -> int -> int -> Bytes.t
+
+(** Copy the shadow labels behind a range into [dst] at [dst_off]
+    (all-[Public] when tracking is off) — the allocation-free twin of
+    [shadow_of_range]. *)
+val blit_shadow_into : t -> int -> int -> Bytes.t -> int -> unit
 
 (** Uniformly relabel a physical range. *)
 val set_taint : t -> int -> int -> Taint.level -> unit

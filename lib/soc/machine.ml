@@ -66,6 +66,7 @@ type t = {
   dma : Dma.t;
   cpu : Cpu.t;
   pinned : Pinned_mem.t option;
+  byte_scratch : Bytes.t; (* 1-byte buffer backing read_byte/write_byte *)
   mutable boots : int;
   mutable ambient_taint : Taint.level; (* label applied to CPU stores *)
 }
@@ -101,6 +102,7 @@ let create ?(seed = 0x5e17) conf =
     dma;
     cpu;
     pinned;
+    byte_scratch = Bytes.create 1;
     boots = 1;
     ambient_taint = Taint.Public;
   }
@@ -168,23 +170,37 @@ let taint_of t addr len =
 
 exception Bus_fault of int
 
-(** Cached CPU read of [len] bytes at physical [addr]. *)
-let read t addr len =
-  if in_dram t addr then Pl310.read t.l2 addr len
-  else if in_iram t addr then Iram.read t.iram addr len
+(** Cached CPU read straight into the caller's buffer: identical
+    accounting to [read] (which is implemented on top), no
+    allocation. *)
+let read_into t addr buf ~off ~len =
+  if in_dram t addr then Pl310.read_into t.l2 addr buf ~off ~len
+  else if in_iram t addr then Iram.read_into t.iram addr buf ~off ~len
   else
     match t.pinned with
-    | Some p when Pinned_mem.contains p addr -> Pinned_mem.read p addr len
+    | Some p when Pinned_mem.contains p addr -> Pinned_mem.read_into p addr buf ~off ~len
+    | Some _ | None -> raise (Bus_fault addr)
+
+(** Cached CPU read of [len] bytes at physical [addr]. *)
+let read t addr len =
+  let b = Bytes.create len in
+  read_into t addr b ~off:0 ~len;
+  b
+
+(** Cached CPU write of the [len]-byte view of [buf] at [off]; bytes
+    are labelled with the ambient taint.  [write] is implemented on
+    top. *)
+let write_from t addr buf ~off ~len =
+  if in_dram t addr then Pl310.write_from t.l2 ~taint:t.ambient_taint addr buf ~off ~len
+  else if in_iram t addr then Iram.write_from t.iram ~level:t.ambient_taint addr buf ~off ~len
+  else
+    match t.pinned with
+    | Some p when Pinned_mem.contains p addr ->
+        Pinned_mem.write_from p ~level:t.ambient_taint addr buf ~off ~len
     | Some _ | None -> raise (Bus_fault addr)
 
 (** Cached CPU write; bytes are labelled with the ambient taint. *)
-let write t addr b =
-  if in_dram t addr then Pl310.write t.l2 ~taint:t.ambient_taint addr b
-  else if in_iram t addr then Iram.write t.iram ~level:t.ambient_taint addr b
-  else
-    match t.pinned with
-    | Some p when Pinned_mem.contains p addr -> Pinned_mem.write p ~level:t.ambient_taint addr b
-    | Some _ | None -> raise (Bus_fault addr)
+let write t addr b = write_from t addr b ~off:0 ~len:(Bytes.length b)
 
 (** Uncached CPU access: goes straight to DRAM over the bus (device
     memory attribute / explicitly uncached mapping). *)
@@ -216,8 +232,15 @@ let write_raw t addr b =
   end
   else write t addr b
 
-let read_byte t addr = Bytes.get (read t addr 1) 0
-let write_byte t addr c = write t addr (Bytes.make 1 c)
+(* Single-byte accessors reuse the machine's one-byte scratch buffer
+   instead of allocating per call. *)
+let read_byte t addr =
+  read_into t addr t.byte_scratch ~off:0 ~len:1;
+  Bytes.get t.byte_scratch 0
+
+let write_byte t addr c =
+  Bytes.set t.byte_scratch 0 c;
+  write_from t addr t.byte_scratch ~off:0 ~len:1
 
 (** Charge pure compute time (no memory traffic). *)
 let compute t ~ns = Clock.advance t.clock ns

@@ -82,6 +82,14 @@ val read : t -> int -> int -> Bytes.t
 
 val write : t -> int -> Bytes.t -> unit
 
+(** Scatter-gather variants: [read_into] fills [buf] at [off],
+    [write_from] stores the [len]-byte view of [buf] at [off].  The
+    allocating pair above is implemented on top and charges
+    identically. *)
+val read_into : t -> int -> Bytes.t -> off:int -> len:int -> unit
+
+val write_from : t -> int -> Bytes.t -> off:int -> len:int -> unit
+
 (** Uncached CPU access: straight to DRAM over the bus. *)
 val read_uncached : t -> int -> int -> Bytes.t
 

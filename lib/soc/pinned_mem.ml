@@ -57,19 +57,29 @@ let charge t len =
   Clock.advance t.clock (float_of_int lines *. Calib.iram_line_ns);
   Energy.charge t.energy ~category:"pinned" (float_of_int len *. Calib.onsoc_byte_j)
 
-let read t addr len =
+(** Scatter-gather read straight into [buf] at [off]: identical
+    charge to [read] (implemented on top), no allocation. *)
+let read_into t addr buf ~off ~len =
   check t addr len;
   charge t len;
-  Bytes.sub t.data (Memmap.offset t.region addr) len
+  Bytes.blit t.data (Memmap.offset t.region addr) buf off len
 
-let write t ?(level = Taint.Public) addr b =
-  let len = Bytes.length b in
+let read t addr len =
+  let b = Bytes.create len in
+  read_into t addr b ~off:0 ~len;
+  b
+
+(** Scatter-gather write of the [len]-byte view of [buf] at [off];
+    [write] is implemented on top. *)
+let write_from t ?(level = Taint.Public) addr buf ~off ~len =
   check t addr len;
   charge t len;
-  Bytes.blit b 0 t.data (Memmap.offset t.region addr) len;
+  Bytes.blit buf off t.data (Memmap.offset t.region addr) len;
   match t.shadow with
   | Some s -> Taint.fill s (Memmap.offset t.region addr) len level
   | None -> ()
+
+let write t ?level addr b = write_from t ?level addr b ~off:0 ~len:(Bytes.length b)
 
 (** Immutable boot-ROM behaviour: erased on {e every} boot, warm or
     cold — there is no firmware to replace or skip. *)

@@ -13,6 +13,12 @@ val contains : t -> int -> bool
 val read : t -> int -> int -> Bytes.t
 val write : t -> ?level:Taint.level -> int -> Bytes.t -> unit
 
+(** Scatter-gather variants; the allocating pair is implemented on
+    top and charges identically. *)
+val read_into : t -> int -> Bytes.t -> off:int -> len:int -> unit
+
+val write_from : t -> ?level:Taint.level -> int -> Bytes.t -> off:int -> len:int -> unit
+
 (** Lazily allocate the taint shadow. *)
 val enable_taint : t -> unit
 

@@ -35,16 +35,20 @@ type stats = {
 type t = {
   dram : Dram.t;
   clock : Clock.t;
-  energy : Energy.t;
   ways : int;
   way_size : int;
   line_size : int;
   sets : int;
   set_shift : int; (* log2 line_size *)
+  tag_shift : int; (* set_shift + log2 sets: address bits above the set index *)
+  fill_ns : float; (* per-line fill latency, precomputed so the miss
+                      path passes an already-boxed float to the clock *)
+  meter : Energy.meter; (* pre-resolved "l2" energy cell *)
   lines : line array array; (* way -> set *)
   mutable lockdown : int; (* bit w set: way w receives no allocations *)
   mutable flush_mask : int; (* bit w set: maintenance ops skip way w *)
   rr : int array; (* per-set round-robin victim pointer *)
+  last_way : int array; (* per-set last-hit-way memo (lookup hint only) *)
   stats : stats;
   mutable shadows : Bytes.t array array option; (* way -> set -> per-byte line taint *)
   mutable on_writeback : (way:int -> addr:int -> locked:bool -> unit) option;
@@ -68,12 +72,14 @@ let create ?(ways = 8) ?(way_size = 128 * Sentry_util.Units.kib) ?(line_size = 3
   {
     dram;
     clock;
-    energy;
     ways;
     way_size;
     line_size;
     sets;
     set_shift = log2 line_size;
+    tag_shift = log2 line_size + log2 sets;
+    fill_ns = Calib.l2_hit_line_ns +. Calib.dram_line_ns;
+    meter = Energy.meter energy ~category:"l2";
     lines =
       Array.init ways (fun _ ->
           Array.init sets (fun _ ->
@@ -81,6 +87,7 @@ let create ?(ways = 8) ?(way_size = 128 * Sentry_util.Units.kib) ?(line_size = 3
     lockdown = 0;
     flush_mask = 0;
     rr = Array.make sets 0;
+    last_way = Array.make sets 0;
     stats = { hits = 0; misses = 0; writebacks = 0; bypasses = 0 };
     shadows = None;
     on_writeback = None;
@@ -114,7 +121,7 @@ let size t = t.ways * t.way_size
 let stats t = t.stats
 
 let set_of_addr t addr = (addr lsr t.set_shift) land (t.sets - 1)
-let tag_of_addr t addr = addr lsr (t.set_shift + log2 t.sets)
+let tag_of_addr t addr = addr lsr t.tag_shift
 let line_base t addr = addr land lnot (t.line_size - 1)
 
 (* ---------------- lockdown & flush-mask registers ---------------- *)
@@ -139,18 +146,35 @@ let set_flush_mask t mask = t.flush_mask <- mask land ((1 lsl t.ways) - 1)
 
 (* --------------------------- lookup ------------------------------ *)
 
+(* The way currently holding [addr]'s line, or -1: the allocation-free
+   inner lookup.  A per-set last-hit-way memo short-circuits the 8-way
+   scan — a page-granule access walks the same sets line after line,
+   so the memoed way hits almost always.  The memo is only a hint; the
+   tag/valid check still decides, so a stale entry costs one extra
+   probe, never a wrong answer, and the simulated hit charge is the
+   same whichever way the line is found in. *)
+let rec scan_ways t set tag w =
+  if w = t.ways then -1
+  else
+    let l = t.lines.(w).(set) in
+    if l.valid && l.tag = tag then begin
+      t.last_way.(set) <- w;
+      w
+    end
+    else scan_ways t set tag (w + 1)
+
+let lookup_way t addr =
+  let set = set_of_addr t addr and tag = tag_of_addr t addr in
+  let m = t.last_way.(set) in
+  let lm = t.lines.(m).(set) in
+  if lm.valid && lm.tag = tag then m else scan_ways t set tag 0
+
 (** [lookup t addr] finds the way currently holding [addr]'s line. *)
 let lookup t addr =
-  let set = set_of_addr t addr and tag = tag_of_addr t addr in
-  let rec go w =
-    if w = t.ways then None
-    else
-      let l = t.lines.(w).(set) in
-      if l.valid && l.tag = tag then Some w else go (w + 1)
-  in
-  go 0
+  let w = lookup_way t addr in
+  if w < 0 then None else Some w
 
-let resident t addr = Option.is_some (lookup t addr)
+let resident t addr = lookup_way t addr >= 0
 
 (** Way that holds [addr], if any — exposed for tests validating the
     warming protocol. *)
@@ -159,15 +183,21 @@ let way_of t addr = lookup t addr
 let charge_hit t =
   t.stats.hits <- t.stats.hits + 1;
   Clock.advance t.clock Calib.l2_hit_line_ns;
-  Energy.charge t.energy ~category:"l2" (float_of_int t.line_size *. Calib.onsoc_byte_j)
+  Energy.meter_charge_bytes t.meter ~per_byte_j:Calib.onsoc_byte_j t.line_size
 
 let write_back t w set =
   let l = t.lines.(w).(set) in
   if l.valid && l.dirty then begin
-    let addr =
-      (l.tag lsl (t.set_shift + log2 t.sets)) lor (set lsl t.set_shift)
-    in
-    Dram.write t.dram ~initiator:`L2 ?taint:(line_shadow t w set) addr (Bytes.copy l.data);
+    let addr = (l.tag lsl t.tag_shift) lor (set lsl t.set_shift) in
+    (* [l.data] is passed as a view, not copied: [Dram.write_from]
+       blits it into the backing store immediately and the bus layer
+       snapshots it for any attached monitor, so later mutation of the
+       line cannot alias either one (regression-tested). *)
+    (match t.shadows with
+    | Some s ->
+        Dram.write_from t.dram ~initiator:`L2 ~taint:s.(w).(set) addr l.data ~off:0
+          ~len:t.line_size
+    | None -> Dram.write_from t.dram ~initiator:`L2 addr l.data ~off:0 ~len:t.line_size);
     Clock.advance t.clock Calib.dram_line_ns;
     l.dirty <- false;
     t.stats.writebacks <- t.stats.writebacks + 1;
@@ -185,94 +215,103 @@ let write_back t w set =
     | None -> ()
   end
 
-(** Pick a victim way for allocation in [set], honouring lockdown.
-    Invalid lines in unlocked ways are preferred; otherwise round-robin
-    over unlocked ways.  [None] when every way is locked. *)
-let victim_way t set =
-  let unlocked w = t.lockdown land (1 lsl w) = 0 in
-  let rec find_invalid w =
-    if w = t.ways then None
-    else if unlocked w && not t.lines.(w).(set).valid then Some w
-    else find_invalid (w + 1)
-  in
-  match find_invalid 0 with
-  | Some w -> Some w
-  | None ->
-      let n_unlocked = ref 0 in
-      for w = 0 to t.ways - 1 do
-        if unlocked w then incr n_unlocked
-      done;
-      if !n_unlocked = 0 then None
-      else begin
-        (* advance round-robin pointer to the next unlocked way *)
-        let rec next w = if unlocked (w mod t.ways) then w mod t.ways else next (w + 1) in
-        let w = next t.rr.(set) in
-        t.rr.(set) <- (w + 1) mod t.ways;
-        Some w
-      end
+(* Victim-selection helpers are top-level (not per-call closures) so
+   the miss path allocates nothing. *)
+let unlocked t w = t.lockdown land (1 lsl w) = 0
 
-(** Allocate (fill) the line containing [addr]; returns the way, or
-    [None] when allocation is impossible (fully locked cache). *)
-let fill t addr =
+let rec find_invalid t set w =
+  if w = t.ways then -1
+  else if unlocked t w && not t.lines.(w).(set).valid then w
+  else find_invalid t set (w + 1)
+
+let rec count_unlocked t w acc =
+  if w = t.ways then acc else count_unlocked t (w + 1) (if unlocked t w then acc + 1 else acc)
+
+let rec next_unlocked t w = if unlocked t (w mod t.ways) then w mod t.ways else next_unlocked t (w + 1)
+
+(* Pick a victim way for allocation in [set], honouring lockdown, or
+   -1 when every way is locked.  Invalid lines in unlocked ways are
+   preferred; otherwise round-robin over unlocked ways. *)
+let victim_way t set =
+  let w = find_invalid t set 0 in
+  if w >= 0 then w
+  else if count_unlocked t 0 0 = 0 then -1
+  else begin
+    (* advance round-robin pointer to the next unlocked way *)
+    let w = next_unlocked t t.rr.(set) in
+    t.rr.(set) <- (w + 1) mod t.ways;
+    w
+  end
+
+(* Allocate (fill) the line containing [addr]; returns the way, or
+   -1 when allocation is impossible (fully locked cache). *)
+let fill_way t addr =
   let set = set_of_addr t addr and tag = tag_of_addr t addr in
-  match victim_way t set with
-  | None -> None
-  | Some w ->
-      let l = t.lines.(w).(set) in
-      write_back t w set;
-      let base = line_base t addr in
-      let fresh = Dram.read t.dram ~initiator:`L2 base t.line_size in
-      Bytes.blit fresh 0 l.data 0 t.line_size;
-      (match line_shadow t w set with
-      | Some sh -> Bytes.blit (Dram.shadow_of_range t.dram base t.line_size) 0 sh 0 t.line_size
-      | None -> ());
-      l.valid <- true;
-      l.dirty <- false;
-      l.tag <- tag;
-      Clock.advance t.clock (Calib.l2_hit_line_ns +. Calib.dram_line_ns);
-      if Sentry_obs.Trace.on () then
-        trace t "line-fill"
-          ~args:[ ("way", Sentry_obs.Event.Int w); ("addr", Sentry_obs.Event.Int base) ];
-      Some w
+  let w = victim_way t set in
+  if w < 0 then -1
+  else begin
+    let l = t.lines.(w).(set) in
+    write_back t w set;
+    let base = line_base t addr in
+    Dram.read_into t.dram ~initiator:`L2 base l.data ~off:0 ~len:t.line_size;
+    (match t.shadows with
+    | Some s -> Dram.blit_shadow_into t.dram base t.line_size s.(w).(set) 0
+    | None -> ());
+    l.valid <- true;
+    l.dirty <- false;
+    l.tag <- tag;
+    t.last_way.(set) <- w;
+    Clock.advance t.clock t.fill_ns;
+    if Sentry_obs.Trace.on () then
+      trace t "line-fill"
+        ~args:[ ("way", Sentry_obs.Event.Int w); ("addr", Sentry_obs.Event.Int base) ];
+    w
+  end
 
 (* ----------------------- CPU access path ------------------------- *)
 
-(* One line-granule access: [off] is the offset inside the line,
-   [len] stays within the line.  [taint] labels written bytes. *)
-let access_chunk t addr ~write ~taint buf buf_off len =
+(* Move [len] bytes between the caller's buffer and the line resident
+   in way [w]: top-level (not a per-access closure) so the hot path
+   allocates nothing. *)
+let store_chunk t addr ~write ~taint buf buf_off len w =
   let off_in_line = addr land (t.line_size - 1) in
-  let store_into w =
-    let set = set_of_addr t addr in
-    let l = t.lines.(w).(set) in
-    if write then begin
-      Bytes.blit buf buf_off l.data off_in_line len;
-      (match line_shadow t w set with
-      | Some sh -> Taint.fill sh off_in_line len taint
-      | None -> ());
-      l.dirty <- true
+  let set = set_of_addr t addr in
+  let l = t.lines.(w).(set) in
+  if write then begin
+    Bytes.blit buf buf_off l.data off_in_line len;
+    (match t.shadows with
+    | Some s -> Taint.fill s.(w).(set) off_in_line len taint
+    | None -> ());
+    l.dirty <- true
+  end
+  else Bytes.blit l.data off_in_line buf buf_off len
+
+(* One line-granule access: [off] is the offset inside the line,
+   [len] stays within the line.  [taint] labels written bytes.
+   Allocation-free: data moves by direct blit between the caller's
+   buffer and the line array (or DRAM view on a bypass). *)
+let access_chunk t addr ~write ~taint buf buf_off len =
+  let w = lookup_way t addr in
+  if w >= 0 then begin
+    charge_hit t;
+    store_chunk t addr ~write ~taint buf buf_off len w
+  end
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    let w = fill_way t addr in
+    if w >= 0 then store_chunk t addr ~write ~taint buf buf_off len w
+    else begin
+      (* allocation impossible: uncached DRAM access *)
+      t.stats.bypasses <- t.stats.bypasses + 1;
+      if Sentry_obs.Trace.on () then
+        trace t "bypass"
+          ~args:[ ("addr", Sentry_obs.Event.Int addr); ("write", Sentry_obs.Event.Bool write) ];
+      Clock.advance t.clock Calib.dram_line_ns;
+      if write then
+        Dram.write_from t.dram ~initiator:`Cpu ~level:taint addr buf ~off:buf_off ~len
+      else Dram.read_into t.dram ~initiator:`Cpu addr buf ~off:buf_off ~len
     end
-    else Bytes.blit l.data off_in_line buf buf_off len
-  in
-  match lookup t addr with
-  | Some w ->
-      charge_hit t;
-      store_into w
-  | None -> (
-      t.stats.misses <- t.stats.misses + 1;
-      match fill t addr with
-      | Some w -> store_into w
-      | None ->
-          (* allocation impossible: uncached DRAM access *)
-          t.stats.bypasses <- t.stats.bypasses + 1;
-          if Sentry_obs.Trace.on () then
-            trace t "bypass"
-              ~args:[ ("addr", Sentry_obs.Event.Int addr); ("write", Sentry_obs.Event.Bool write) ];
-          Clock.advance t.clock Calib.dram_line_ns;
-          if write then
-            Dram.write t.dram ~initiator:`Cpu ~level:taint addr (Bytes.sub buf buf_off len)
-          else
-            let b = Dram.read t.dram ~initiator:`Cpu addr len in
-            Bytes.blit b 0 buf buf_off len)
+  end
 
 let iter_chunks t addr len f =
   let pos = ref addr and remaining = ref len and done_ = ref 0 in
@@ -285,17 +324,44 @@ let iter_chunks t addr len f =
     remaining := !remaining - chunk
   done
 
+let check_view name buf ~off ~len =
+  if len < 0 || off < 0 || off + len > Bytes.length buf then
+    invalid_arg (Printf.sprintf "Pl310.%s: bad view off=%d len=%d buf=%d" name off len (Bytes.length buf))
+
+(* Line-granule walk of [len] bytes from [addr], moving data to/from
+   [buf]: the top-level twin of [iter_chunks] for the CPU fast path —
+   no closure, no ref cells, so a whole walk allocates nothing. *)
+let rec rw_chunks t addr ~write ~taint buf buf_off len =
+  if len > 0 then begin
+    let off_in_line = addr land (t.line_size - 1) in
+    let chunk = min len (t.line_size - off_in_line) in
+    access_chunk t addr ~write ~taint buf buf_off chunk;
+    rw_chunks t (addr + chunk) ~write ~taint buf (buf_off + chunk) (len - chunk)
+  end
+
+(** [read_into t addr buf ~off ~len] performs a cached CPU read
+    straight into the caller's buffer: identical clock/energy/stats
+    to [read] (which is implemented on top), no allocation. *)
+let read_into t addr buf ~off ~len =
+  check_view "read_into" buf ~off ~len;
+  rw_chunks t addr ~write:false ~taint:Taint.Public buf off len
+
 (** [read t addr len] performs a cached CPU read. *)
 let read t addr len =
   let out = Bytes.create len in
-  iter_chunks t addr len (fun a o n ->
-      access_chunk t a ~write:false ~taint:Taint.Public out o n);
+  read_into t addr out ~off:0 ~len;
   out
+
+(** [write_from t ?taint addr buf ~off ~len] performs a cached CPU
+    write (write-allocate) of the [len]-byte view of [buf] at [off];
+    [write] is implemented on top. *)
+let write_from t ?(taint = Taint.Public) addr buf ~off ~len =
+  check_view "write_from" buf ~off ~len;
+  rw_chunks t addr ~write:true ~taint buf off len
 
 (** [write t ?taint addr b] performs a cached CPU write
     (write-allocate), labelling the written bytes [taint]. *)
-let write t ?(taint = Taint.Public) addr b =
-  iter_chunks t addr (Bytes.length b) (fun a o n -> access_chunk t a ~write:true ~taint b o n)
+let write t ?taint addr b = write_from t ?taint addr b ~off:0 ~len:(Bytes.length b)
 
 (** Taint join over a physical range as the CPU sees it: resident
     lines' shadows where cached, DRAM's shadow elsewhere. *)
@@ -325,7 +391,7 @@ let iter_resident t f =
     for set = 0 to t.sets - 1 do
       let l = t.lines.(w).(set) in
       if l.valid then
-        let addr = (l.tag lsl (t.set_shift + log2 t.sets)) lor (set lsl t.set_shift) in
+        let addr = (l.tag lsl t.tag_shift) lor (set lsl t.set_shift) in
         f ~way:w ~addr l.data
     done
   done

@@ -1,12 +1,20 @@
 (** Byte-buffer helpers shared by the simulator and the attack tools. *)
 
-(** [fill_pattern b pat] tiles [pat] across the whole of [b]. *)
+(** [fill_pattern b pat] tiles [pat] across the whole of [b].  Seeds
+    one copy of [pat], then doubles the filled prefix with [blit] —
+    bytes are identical to the naive per-byte tiling, without the
+    per-byte division over multi-megabyte workload regions. *)
 let fill_pattern b pat =
   let pn = Bytes.length pat in
   if pn = 0 then invalid_arg "Bytes_util.fill_pattern: empty pattern";
   let n = Bytes.length b in
-  for i = 0 to n - 1 do
-    Bytes.unsafe_set b i (Bytes.unsafe_get pat (i mod pn))
+  let head = min pn n in
+  Bytes.blit pat 0 b 0 head;
+  let filled = ref head in
+  while !filled < n do
+    let chunk = min !filled (n - !filled) in
+    Bytes.blit b 0 b !filled chunk;
+    filled := !filled + chunk
   done
 
 (** [count_pattern b pat] counts non-overlapping, pattern-aligned
