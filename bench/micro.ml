@@ -65,6 +65,7 @@ let t_l2_hit, t_l2_miss =
 (* Table 2: remanence decay over 64 KB *)
 let t_remanence =
   let machine = Machine.create (Machine.tegra3 ~dram_size:(2 * Units.mib) ()) in
+  Dram.set_powered (Machine.dram machine) false;
   Test.make ~name:"table2/power-cycle-2MB"
     (Staged.stage (fun () -> Dram.power_cycle (Machine.dram machine) ~off_s:0.5))
 

@@ -234,6 +234,87 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const trace $ scenario $ platform $ chrome $ jsonl $ metrics $ capacity $ list_categories)
 
+(* ----------------------------- faults ---------------------------- *)
+
+let faults plan_name platform variant list_plans =
+  let open Sentry_analysis in
+  if list_plans then
+    List.iter
+      (fun (name, plan) -> Printf.printf "  %-22s %s\n" name (Sentry_faults.Plan.describe plan))
+      Fault_scenario.plans
+  else begin
+    let platform = platform_of_string platform in
+    let variant =
+      match variant with
+      | "warm" -> Sentry_attacks.Cold_boot.Os_reboot
+      | "reflash" -> Sentry_attacks.Cold_boot.Device_reflash
+      | "reset" -> Sentry_attacks.Cold_boot.Two_second_reset
+      | v ->
+          Printf.eprintf "unknown cold-boot variant %S (warm|reflash|reset)\n" v;
+          exit 1
+    in
+    let plans =
+      if plan_name = "all" then Fault_scenario.plans
+      else
+        match Fault_scenario.find_plan plan_name with
+        | Some p -> [ (plan_name, p) ]
+        | None ->
+            Printf.eprintf "unknown plan %S (all|%s)\n" plan_name
+              (String.concat "|" Fault_scenario.plan_names);
+            exit 1
+    in
+    let ok =
+      List.for_all
+        (fun (name, plan) ->
+          let o = Fault_scenario.run ~platform ~variant plan in
+          Printf.printf "plan %s: %s\n" name (Sentry_faults.Plan.describe plan);
+          List.iter
+            (fun (r : Sentry_faults.Injector.record) ->
+              Printf.printf "  fired %s at %s (arrival %d)\n"
+                (Sentry_faults.Fault.name r.Sentry_faults.Injector.kind)
+                r.Sentry_faults.Injector.point r.Sentry_faults.Injector.occurrence)
+            o.Fault_scenario.fired;
+          if o.Fault_scenario.fired = [] then print_endline "  (no trigger fired)";
+          (match o.Fault_scenario.recovery with
+          | Some r ->
+              Printf.printf "  recovery: %s, %d pages fixed%s%s\n"
+                (match r.Sentry.resumed with
+                | Sentry.Resumed_lock -> "lock rolled forward"
+                | Sentry.Rolled_back_unlock -> "unlock rolled back")
+                r.Sentry.pages_fixed
+                (if r.Sentry.rekeyed then ", volatile key regenerated" else "")
+                (if r.Sentry.journal_entry <> None then " (journal survived)" else "")
+          | None ->
+              if o.Fault_scenario.crashed then print_endline "  recovery: none ran"
+              else print_endline "  no crash: lock completed normally");
+          List.iter
+            (fun v -> Printf.printf "  VIOLATION %s\n" (Checker.violation_to_string v))
+            o.Fault_scenario.violations;
+          Printf.printf "  locked=%b inconsistencies=%d secret_recovered=%b -> %s\n" o.Fault_scenario.locked
+            o.Fault_scenario.inconsistencies o.Fault_scenario.secret_recovered
+            (if Fault_scenario.survived o then "SURVIVED" else "FAILED");
+          Fault_scenario.survived o)
+        plans
+    in
+    if not ok then exit 1
+  end
+
+let faults_cmd =
+  let doc = "replay a fault-injection plan against the lock pipeline and report the verdict" in
+  let plan =
+    Arg.(value & opt string "power-loss-mid-lock"
+         & info [ "plan" ] ~docv:"PLAN" ~doc:"canned plan name, or 'all' (see --list)")
+  in
+  let platform =
+    Arg.(value & opt string "nexus4" & info [ "platform" ] ~docv:"PLATFORM" ~doc:"tegra3|nexus4|future")
+  in
+  let variant =
+    Arg.(value & opt string "reset"
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"cold-boot attack mounted after recovery: warm|reflash|reset")
+  in
+  let list_plans = Arg.(value & flag & info [ "list" ] ~doc:"print the canned plans, then exit") in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ plan $ platform $ variant $ list_plans)
+
 (* ----------------------------- attack ---------------------------- *)
 
 let attack variant protect =
@@ -282,4 +363,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sentry-cli" ~doc)
-          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd ]))
+          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd ]))

@@ -210,6 +210,70 @@ module Root_key_confined = struct
   let to_string f = Printf.sprintf "%s root key found in %s at 0x%08x" f.key f.where f.addr
 end
 
+(** While locked, [Lock_state], the PTE [encrypted]/[young] bits and
+    scheduler parking must agree — the invariant an interrupted lock
+    walk breaks and [Sentry.recover] restores.  "No cleartext after an
+    interrupted lock": every present page of a should-encrypt region
+    is ciphertext with its young bit clear (unless resident in locked
+    cache via the background pager), and every non-background
+    sensitive process is parked un-schedulable. *)
+module Locked_state_consistent = struct
+  type t =
+    | Cleartext_page of { pid : int; vpn : int }
+    | Stale_young of { pid : int; vpn : int }
+    | Not_parked of { pid : int; pname : string }
+
+  let name = "locked-state-consistent"
+
+  (** The pure audit, independent of the event stream — the fault
+      suite calls this directly after recovery. *)
+  let audit sentry =
+    let sys = Sentry.system sentry in
+    let bg = Sentry.background_processes sentry in
+    Sentry.sensitive_processes sentry
+    |> List.concat_map (fun (proc : Process.t) ->
+           let pid = proc.Process.pid in
+           let page_findings =
+             Address_space.regions proc.Process.aspace
+             |> List.concat_map (fun region ->
+                    if not (Share_policy.should_encrypt ~all_procs:sys.System.procs region)
+                    then []
+                    else
+                      Address_space.region_ptes proc.Process.aspace region
+                      |> List.filter_map (fun (vpn, pte) ->
+                             if not pte.Page_table.present then None
+                             else if pte.Page_table.backing <> None then
+                               (* resident in a locked-cache page: the
+                                  cleartext never reaches DRAM *)
+                               None
+                             else if not pte.Page_table.encrypted then
+                               Some (Cleartext_page { pid; vpn })
+                             else if pte.Page_table.young then Some (Stale_young { pid; vpn })
+                             else None))
+           in
+           let parked =
+             if
+               List.memq proc bg
+               || (not (List.memq proc sys.System.procs))
+               || proc.Process.state = Process.Locked_out
+             then []
+             else [ Not_parked { pid; pname = proc.Process.name } ]
+           in
+           page_findings @ parked)
+
+  let check sentry event = if locked_event sentry event then audit sentry else []
+
+  let is_problematic _ = true
+
+  let to_string = function
+    | Cleartext_page { pid; vpn } ->
+        Printf.sprintf "pid %d page %d is cleartext in DRAM while locked" pid vpn
+    | Stale_young { pid; vpn } ->
+        Printf.sprintf "pid %d page %d has a stale young bit while locked" pid vpn
+    | Not_parked { pid; pname } ->
+        Printf.sprintf "sensitive process %s (pid %d) still schedulable while locked" pname pid
+end
+
 (** Every built-in rule, in evaluation order. *)
 let all : packed list =
   [
@@ -220,6 +284,7 @@ let all : packed list =
     Packed (module Freed_pages_zeroed);
     Packed (module Dma_window_excludes_iram);
     Packed (module Root_key_confined);
+    Packed (module Locked_state_consistent);
   ]
 
 let names = List.map packed_name all

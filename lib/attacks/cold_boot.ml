@@ -21,29 +21,44 @@ let reboot_of_variant = function
   | Device_reflash -> Machine.Reflash
   | Two_second_reset -> Machine.Hard_reset 2.0
 
-(** [mount machine variant] — force the reset, then image DRAM and
-    iRAM.  Destructive: the machine really reboots. *)
-let mount machine variant =
+type image = { dram : Memdump.t; iram : Memdump.t }
+
+(** [image machine variant] — force the reset {e once}, then dump both
+    memories.  Destructive (the machine really reboots), but every
+    subsequent question — key scan, secret search — is answered
+    against this one image, the way a real attacker works.  The
+    two-dump [mount] and the [recover_keys]/[succeeds] one-shots below
+    are wrappers; calling two of them mounts two attacks on two
+    {e different} machine states (each reset decays DRAM further), a
+    footgun the image API exists to remove. *)
+let image machine variant =
   Machine.reboot machine (reboot_of_variant variant);
   let dram = Machine.dram machine in
   let iram = Machine.iram machine in
-  let dram_dump =
-    Memdump.of_bytes ~label:"DRAM" ~base:(Dram.region dram).Memmap.base (Dram.snapshot dram)
-  in
-  let iram_dump =
-    Memdump.of_bytes ~label:"iRAM" ~base:(Iram.region iram).Memmap.base (Iram.snapshot iram)
-  in
-  (dram_dump, iram_dump)
+  {
+    dram = Memdump.of_bytes ~label:"DRAM" ~base:(Dram.region dram).Memmap.base (Dram.snapshot dram);
+    iram = Memdump.of_bytes ~label:"iRAM" ~base:(Iram.region iram).Memmap.base (Iram.snapshot iram);
+  }
+
+(** Scan an already-captured image for AES key schedules. *)
+let keys_of_image img = Key_finder.keys img.dram @ Key_finder.keys img.iram
+
+(** Is [secret] findable in an already-captured image?  Matching
+    tolerates ~15% decayed bytes, as real cold-boot tooling
+    error-corrects. *)
+let secret_in_image img ~secret =
+  Memdump.contains_fuzzy img.dram secret ~min_match:0.85
+  || Memdump.contains_fuzzy img.iram secret ~min_match:0.85
+
+(** [mount machine variant] — force the reset, then image DRAM and
+    iRAM.  Destructive: the machine really reboots. *)
+let mount machine variant =
+  let img = image machine variant in
+  (img.dram, img.iram)
 
 (** Full attack: image memory and scan for AES key schedules. *)
-let recover_keys machine variant =
-  let dram_dump, iram_dump = mount machine variant in
-  Key_finder.keys dram_dump @ Key_finder.keys iram_dump
+let recover_keys machine variant = keys_of_image (image machine variant)
 
 (** [succeeds machine variant ~secret] — can the attacker find
-    [secret] anywhere after the reset?  Matching tolerates ~15%
-    decayed bytes, as real cold-boot tooling error-corrects. *)
-let succeeds machine variant ~secret =
-  let dram_dump, iram_dump = mount machine variant in
-  Memdump.contains_fuzzy dram_dump secret ~min_match:0.85
-  || Memdump.contains_fuzzy iram_dump secret ~min_match:0.85
+    [secret] anywhere after the reset? *)
+let succeeds machine variant ~secret = secret_in_image (image machine variant) ~secret

@@ -8,12 +8,29 @@ type variant = Os_reboot | Device_reflash | Two_second_reset
 val variant_name : variant -> string
 val reboot_of_variant : variant -> Machine.reboot
 
-(** Force the reset and image DRAM and iRAM.  Destructive. *)
+type image = { dram : Memdump.t; iram : Memdump.t }
+
+(** Force the reset {e once} and dump both memories.  Destructive;
+    answer every question against the one image (each extra reset
+    decays DRAM further — the footgun this API removes). *)
+val image : Machine.t -> variant -> image
+
+(** Scan an already-captured image for AES key schedules. *)
+val keys_of_image : image -> Bytes.t list
+
+(** Is [secret] findable in an already-captured image?  Matching
+    tolerates ~15% decayed bytes (error-correcting tooling). *)
+val secret_in_image : image -> secret:Bytes.t -> bool
+
+(** Force the reset and image DRAM and iRAM.  Destructive.
+    Compatibility wrapper over [image]. *)
 val mount : Machine.t -> variant -> Memdump.t * Memdump.t
 
-(** Image memory and scan both dumps for AES key schedules. *)
+(** Image memory and scan both dumps for AES key schedules.
+    One-shot wrapper: mounts its own reset. *)
 val recover_keys : Machine.t -> variant -> Bytes.t list
 
-(** Can the attacker find [secret] after the reset?  Matching
-    tolerates ~15% decayed bytes (error-correcting tooling). *)
+(** Can the attacker find [secret] after the reset?  One-shot wrapper:
+    mounts its own reset — capture an [image] instead when asking more
+    than one question of the same machine state. *)
 val succeeds : Machine.t -> variant -> secret:Bytes.t -> bool

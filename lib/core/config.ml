@@ -13,6 +13,7 @@ type t = {
   max_pin_attempts : int; (* wrong PINs before deep-lock *)
   track_taint : bool; (* allocate shadow memory + tag secret flows *)
   trace : bool; (* record structured events in the observability ring *)
+  journal : bool; (* crash-consistency journal for lock/unlock walks *)
 }
 
 let default_tegra3 =
@@ -25,6 +26,7 @@ let default_tegra3 =
     max_pin_attempts = 5;
     track_taint = false;
     trace = false;
+    journal = false;
   }
 
 (* The Nexus 4 prototype cannot enable cache locking (locked
@@ -40,6 +42,7 @@ let default_nexus4 =
     max_pin_attempts = 5;
     track_taint = false;
     trace = false;
+    journal = false;
   }
 
 (* The §10 future platform: pinned on-SoC memory for keys and the AES

@@ -27,6 +27,11 @@ type t = {
       (** start the global observability recorder at install and point
           its time source at the machine clock (off by default: hot
           paths pay one ref test and record nothing) *)
+  journal : bool;
+      (** allocate a small iRAM journal and record lock/unlock walk
+          progress through it, enabling [Sentry.recover] after a crash
+          (off by default: the extra on-SoC writes would perturb the
+          bit-identical observable contracts) *)
 }
 
 (** Tegra 3 defaults: locked-L2 storage, 4-way budget, 256 KB

@@ -25,35 +25,49 @@ let fault_handler pc : Vm.fault_handler =
   end;
   pte.Page_table.young <- true
 
-let decrypt_region pc proc (region : Address_space.region) =
+let decrypt_region ?journal pc proc (region : Address_space.region) =
   let pid = proc.Process.pid in
   let pages = ref 0 in
   List.iter
     (fun (vpn, pte) ->
       if pte.Page_table.present && pte.Page_table.encrypted then begin
-        Page_crypt.decrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
+        (* fail-secure ordering: clear the bit before the cleartext
+           lands, so a crash anywhere in this window makes the recovery
+           sweep re-encrypt the page.  The reverse order would leave a
+           cleartext frame whose PTE still claims ciphertext — invisible
+           to recovery. *)
         pte.Page_table.encrypted <- false;
+        Page_crypt.decrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
         pte.Page_table.young <- true;
-        incr pages
+        incr pages;
+        Option.iter (fun j -> Lock_journal.record j ~pid) journal
       end)
     (Address_space.region_ptes proc.Process.aspace region);
   !pages
 
 (** [run pc system ~sensitive] — the eager part of unlock: decrypt DMA
-    regions, re-admit processes, install the lazy handler. *)
-let run pc (system : System.t) ~sensitive =
+    regions, re-admit processes, install the lazy handler.  With
+    [?journal], eager progress is journaled so a crash mid-unlock can
+    be rolled back to fully-locked ([Sentry.recover] re-encrypts the
+    already-decrypted pages and aborts the unlock). *)
+let run ?journal pc (system : System.t) ~sensitive =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
   let energy0 = Energy.category (Machine.energy machine) "aes" in
   let dma_pages = ref 0 in
+  Option.iter
+    (fun j ->
+      let pid = match sensitive with p :: _ -> p.Process.pid | [] -> 0 in
+      Lock_journal.begin_pass j Lock_journal.Unlock_pass ~pid)
+    journal;
   List.iter
     (fun proc ->
       List.iter
         (fun region ->
           match region.Address_space.kind with
           | Address_space.Dma ->
-              dma_pages := !dma_pages + decrypt_region pc proc region;
+              dma_pages := !dma_pages + decrypt_region ?journal pc proc region;
               (* devices read these frames physically, bypassing the
                  cache: clean the decrypted lines out to DRAM (standard
                  pre-DMA coherence maintenance) *)
@@ -66,6 +80,7 @@ let run pc (system : System.t) ~sensitive =
         (Address_space.regions proc.Process.aspace);
       Sched.make_schedulable system.System.sched proc)
     sensitive;
+  Option.iter Lock_journal.commit journal;
   Vm.set_fault_handler system.System.vm (fault_handler pc);
   {
     dma_pages_eager = !dma_pages;

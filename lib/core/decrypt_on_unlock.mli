@@ -18,11 +18,14 @@ val fault_handler : Page_crypt.t -> Vm.fault_handler
 
 (** Decrypt every still-encrypted page of one region now; returns the
     page count. *)
-val decrypt_region : Page_crypt.t -> Process.t -> Address_space.region -> int
+val decrypt_region :
+  ?journal:Lock_journal.t -> Page_crypt.t -> Process.t -> Address_space.region -> int
 
 (** The standard (lazy) unlock: eager DMA decrypt + handler install +
-    re-admission to the scheduler. *)
-val run : Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
+    re-admission to the scheduler.  With [?journal], eager progress is
+    journaled so a crash mid-unlock can be rolled back ([Sentry.recover]
+    re-encrypts and aborts the unlock). *)
+val run : ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
 
 (** The eager-everything ablation: decrypt every page of every
     sensitive process at unlock time; returns total pages. *)

@@ -23,7 +23,7 @@ type stats = {
   energy_j : float;
 }
 
-let encrypt_process pc ~all_procs proc =
+let encrypt_process ?journal pc ~all_procs proc =
   let pid = proc.Process.pid in
   let aspace = proc.Process.aspace in
   let pages = ref 0 and skipped = ref 0 in
@@ -34,8 +34,13 @@ let encrypt_process pc ~all_procs proc =
           (fun (vpn, pte) ->
             if pte.Page_table.present && not pte.Page_table.encrypted then begin
               Page_crypt.encrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
+              (* ordering is fail-secure: ciphertext lands in memory,
+                 then the PTE flags, then the journal.  A crash in any
+                 gap at worst re-encrypts a page on recovery — never
+                 leaves cleartext believed encrypted. *)
               pte.Page_table.encrypted <- true;
-              incr pages
+              incr pages;
+              Option.iter (fun j -> Lock_journal.record j ~pid) journal
             end;
             pte.Page_table.young <- false)
           (Address_space.region_ptes aspace region)
@@ -44,8 +49,12 @@ let encrypt_process pc ~all_procs proc =
   (!pages, !skipped)
 
 (** [run pc system ~sensitive ~background] executes the full lock
-    sequence over the sensitive process set. *)
-let run pc (system : System.t) ~sensitive ~background =
+    sequence over the sensitive process set.  With [?journal], walk
+    progress is journaled per page and the pass committed at the end,
+    making an interrupted lock recoverable ([Sentry.recover]).  The
+    walk itself is idempotent (keyed off PTE [encrypted] bits), so
+    recovery simply re-runs it. *)
+let run ?journal pc (system : System.t) ~sensitive ~background =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
@@ -53,13 +62,22 @@ let run pc (system : System.t) ~sensitive ~background =
   (* freed-page barrier *)
   let zeroed = Zerod.drain system.System.zerod in
   let pages = ref 0 and skipped = ref 0 in
+  Option.iter
+    (fun j ->
+      let pid = match sensitive with p :: _ -> p.Process.pid | [] -> 0 in
+      Lock_journal.begin_pass j Lock_journal.Lock_pass ~pid)
+    journal;
   List.iter
     (fun proc ->
-      let p, s = encrypt_process pc ~all_procs:system.System.procs proc in
+      let p, s = encrypt_process ?journal pc ~all_procs:system.System.procs proc in
       pages := !pages + p;
       skipped := !skipped + s;
-      if not (background proc) then Sched.make_unschedulable system.System.sched proc)
+      (* the Locked_out guard makes parking idempotent for the
+         recovery re-run (make_unschedulable would double-push) *)
+      if (not (background proc)) && proc.Process.state <> Process.Locked_out then
+        Sched.make_unschedulable system.System.sched proc)
     sensitive;
+  Option.iter Lock_journal.commit journal;
   (* no plaintext may survive in unlocked cache ways *)
   Pl310.flush_masked (Machine.l2 machine);
   {

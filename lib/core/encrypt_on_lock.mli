@@ -14,8 +14,12 @@ type stats = {
 (** [run pc system ~sensitive ~background] executes the full lock
     sequence.  Processes for which [background] returns [true] stay
     schedulable (the encrypted-DRAM pager will serve them); the rest
-    are parked on the un-schedulable queue. *)
+    are parked on the un-schedulable queue.  With [?journal], walk
+    progress is journaled per encrypted page for crash recovery; the
+    walk is idempotent (keyed off PTE [encrypted] bits and guarded
+    parking), so recovery can simply re-run it. *)
 val run :
+  ?journal:Lock_journal.t ->
   Page_crypt.t ->
   System.t ->
   sensitive:Sentry_kernel.Process.t list ->

@@ -73,3 +73,7 @@ let free t addr =
 (** Every address handed out is above the firmware area — the
     invariant the tests pin down. *)
 let in_range t addr = addr >= t.base && addr < t.limit
+
+(** The free list as [(addr, size)] pairs, in list order — the
+    property tests assert address sortedness and accounting over it. *)
+let free_blocks t = List.map (fun b -> (b.addr, b.size)) t.free_list

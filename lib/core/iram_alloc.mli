@@ -27,3 +27,7 @@ val free : t -> int -> unit
 
 (** Is [addr] inside the allocator's range? *)
 val in_range : t -> int -> bool
+
+(** The free list as [(addr, size)] pairs, in list order (sorted by
+    address and fully coalesced — the property the tests pin down). *)
+val free_blocks : t -> (int * int) list

@@ -30,6 +30,16 @@ let create machine onsoc =
 (** Read the volatile key back from on-SoC storage. *)
 let volatile_key t = Machine.read t.machine t.volatile_addr key_len
 
+(** Generate a fresh volatile key and park it at the same on-SoC
+    address (crash recovery: the old key was lost with power).  Pages
+    encrypted under the old key stay garbage — that is the fail-secure
+    outcome; recovery re-encrypts under this key. *)
+let regenerate_volatile t =
+  let key = Key_derive.volatile_key t.machine in
+  Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
+      Machine.write t.machine t.volatile_addr key);
+  key
+
 (** Derive the persistent key from the boot password (TrustZone +
     fuse) and park it on-SoC. *)
 let unlock_persistent t ~password =

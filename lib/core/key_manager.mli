@@ -14,6 +14,10 @@ val create : Machine.t -> Onsoc.t -> t
 (** Read the volatile key back from on-SoC storage. *)
 val volatile_key : t -> Bytes.t
 
+(** Generate a fresh volatile key and park it at the same on-SoC
+    address (crash recovery after the old key was lost with power). *)
+val regenerate_volatile : t -> Bytes.t
+
 (** Derive the persistent key inside TrustZone (fuse secret + boot
     password) and park it on-SoC. *)
 val unlock_persistent : t -> password:string -> Bytes.t

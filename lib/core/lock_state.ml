@@ -101,4 +101,12 @@ let finish_unlock t =
       transition t Unlocked
   | s -> raise (Invalid_transition ("finish_unlock from " ^ state_name s))
 
+(** [abort_unlock t] — crash recovery rolled a half-decrypted unlock
+    back to fully-encrypted: return to [Locked] without counting an
+    unlock.  The user re-enters the PIN. *)
+let abort_unlock t =
+  match t.state with
+  | Unlocking -> transition t Locked
+  | s -> raise (Invalid_transition ("abort_unlock from " ^ state_name s))
+
 let counts t = (t.lock_count, t.unlock_count, t.failed_attempts)

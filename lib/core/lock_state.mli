@@ -27,6 +27,10 @@ val begin_unlock : t -> pin:string -> (unit, unlock_error) result
 (** Unlocking → Unlocked. *)
 val finish_unlock : t -> unit
 
+(** Unlocking → Locked, without counting an unlock: crash recovery
+    rolled a half-decrypted unlock back to fully-encrypted. *)
+val abort_unlock : t -> unit
+
 (** (locks completed, unlocks completed, consecutive failed PINs). *)
 val counts : t -> int * int * int
 

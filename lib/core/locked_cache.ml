@@ -73,9 +73,33 @@ let contains t addr =
 
 let all_ways_mask l2 = (1 lsl Pl310.ways l2) - 1
 
+(** The four-step pinning protocol for one way.  Must run inside the
+    secure world; appends [way] to [t.locked]. *)
+let pin_way t ~index ~way =
+  let l2 = Machine.l2 t.machine in
+  let region = region_of_way_index t index in
+  (* 1. flush entire cache (already-locked ways are excluded by the
+     flush mask, which equals the current lockdown set) *)
+  Pl310.flush_masked l2;
+  (* 2. enable only [way]: every other way locked for allocation *)
+  Pl310.set_lockdown l2 (all_ways_mask l2 lxor (1 lsl way));
+  (* 3. warm the way: write 0xFF over the whole region through the
+     cache; every line of every set allocates into [way] *)
+  let stride = 4 * Sentry_util.Units.kib in
+  let ff = Bytes.make stride '\xff' in
+  let off = ref 0 in
+  while !off < region.Memmap.size do
+    Machine.write t.machine (region.Memmap.base + !off) ff;
+    off := !off + stride
+  done;
+  (* 4. lock [way], re-enable the rest *)
+  let locked_mask = List.fold_left (fun m w -> m lor (1 lsl w)) (1 lsl way) t.locked in
+  Pl310.set_lockdown l2 locked_mask;
+  Pl310.set_flush_mask l2 locked_mask;
+  t.locked <- t.locked @ [ way ]
+
 (** Lock the next way and add its pages to the free pool. *)
 let lock_next_way t =
-  let l2 = Machine.l2 t.machine in
   let index = locked_ways t in
   if index >= t.max_ways then failwith "Locked_cache: way budget exhausted";
   (* Pick the lowest way number not yet locked. *)
@@ -86,30 +110,28 @@ let lock_next_way t =
   let region = region_of_way_index t index in
   Trustzone.with_secure_world (Machine.trustzone t.machine) (fun () ->
       Trustzone.check_coprocessor_access (Machine.trustzone t.machine);
-      (* 1. flush entire cache (already-locked ways are excluded by the
-         flush mask, which equals the current lockdown set) *)
-      Pl310.flush_masked l2;
-      (* 2. enable only [way]: every other way locked for allocation *)
-      Pl310.set_lockdown l2 (all_ways_mask l2 lxor (1 lsl way));
-      (* 3. warm the way: write 0xFF over the whole region through the
-         cache; every line of every set allocates into [way] *)
-      let stride = 4 * Sentry_util.Units.kib in
-      let ff = Bytes.make stride '\xff' in
-      let off = ref 0 in
-      while !off < region.Memmap.size do
-        Machine.write t.machine (region.Memmap.base + !off) ff;
-        off := !off + stride
-      done;
-      (* 4. lock [way], re-enable the rest *)
-      let locked_mask = List.fold_left (fun m w -> m lor (1 lsl w)) (1 lsl way) t.locked in
-      Pl310.set_lockdown l2 locked_mask;
-      Pl310.set_flush_mask l2 locked_mask);
-  t.locked <- t.locked @ [ way ];
+      pin_way t ~index ~way);
   (* hand out the region's pages *)
   let pages = region.Memmap.size / 4096 in
   for i = pages - 1 downto 0 do
     t.free_pages <- (region.Memmap.base + (i * 4096)) :: t.free_pages
   done
+
+(** Re-pin every locked way after a controller reset wiped the
+    lockdown registers (crash recovery: [Pl310.reset] drops lockdown
+    and invalidates, so every "locked" line is gone).  Replays the
+    four-step protocol per way in the original locking order; page
+    bookkeeping is untouched, but all cell contents are 0xFF afterwards
+    — callers must rewrite whatever the pages held. *)
+let relock t =
+  let l2 = Machine.l2 t.machine in
+  let ways = t.locked in
+  t.locked <- [];
+  Trustzone.with_secure_world (Machine.trustzone t.machine) (fun () ->
+      Trustzone.check_coprocessor_access (Machine.trustzone t.machine);
+      Pl310.set_lockdown l2 0;
+      Pl310.set_flush_mask l2 0;
+      List.iteri (fun index way -> pin_way t ~index ~way) ways)
 
 (** Unlock every locked way, erasing contents first (§4.5's two-step
     unlock). *)

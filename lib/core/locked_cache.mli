@@ -34,6 +34,12 @@ val contains : t -> int -> bool
 (** Lock the next way (flush-masked, warm, lock, update flush mask). *)
 val lock_next_way : t -> unit
 
+(** Re-pin every locked way after a controller reset wiped the
+    lockdown registers (crash recovery).  Page bookkeeping is kept,
+    but contents come back as 0xFF — callers rewrite what the pages
+    held. *)
+val relock : t -> unit
+
 (** Erase (0xFF) and unlock every locked way. *)
 val unlock_all : t -> unit
 

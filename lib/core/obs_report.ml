@@ -109,6 +109,19 @@ let collect sentry =
           ("energy_j", s.Decrypt_on_unlock.energy_j);
         ]
   | None -> ());
+  (match Sentry.last_recovery_stats sentry with
+  | Some r ->
+      set m ~subsystem:"core.recovery"
+        [
+          ( "resumed_lock",
+            match r.Sentry.resumed with Sentry.Resumed_lock -> 1. | Sentry.Rolled_back_unlock -> 0.
+          );
+          ("pages_fixed", f r.Sentry.pages_fixed);
+          ("rekeyed", if r.Sentry.rekeyed then 1. else 0.);
+          ("journal_survived", if r.Sentry.journal_entry <> None then 1. else 0.);
+          ("elapsed_ns", r.Sentry.elapsed_ns);
+        ]
+  | None -> ());
   (* Host-side GC pressure.  Unlike every other subsystem these gauges
      describe the simulator process, not the simulated SoC: they are
      wall-clock-world readings, excluded from the bit-identity

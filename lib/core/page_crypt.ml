@@ -13,7 +13,7 @@ open Sentry_kernel
 type t = {
   machine : Machine.t;
   aes : Aes_on_soc.t;
-  essiv : Essiv.t;
+  mutable essiv : Essiv.t; (* replaced when recovery re-keys after power loss *)
   page_buf : Bytes.t; (* reused staging buffer for the frame paths *)
   mutable bytes_encrypted : int;
   mutable bytes_decrypted : int;
@@ -28,6 +28,13 @@ let create machine ~aes ~volatile_key =
     bytes_encrypted = 0;
     bytes_decrypted = 0;
   }
+
+(** [rekey t ~volatile_key] — rebuild the per-page IV derivation under
+    a fresh volatile key (crash recovery: the old key died with the
+    power).  The AES context itself is re-keyed separately via
+    [Aes_on_soc.set_key]; this [t] (and every reference to it, e.g.
+    the background pager's) stays valid. *)
+let rekey t ~volatile_key = t.essiv <- Essiv.create ~key:volatile_key
 
 (** IV for page [vpn] of process [pid]. *)
 let iv t ~pid ~vpn = Essiv.iv t.essiv ~sector:((pid lsl 24) lxor vpn)
@@ -61,11 +68,17 @@ let encrypt_frame t ~pid ~vpn ~frame =
   trace_frame t "encrypt-frame" ~pid ~vpn ~frame;
   Machine.read_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
   t.bytes_encrypted <- t.bytes_encrypted + Page.size;
+  (* fault hook: a reset here dies mid-call — the frame is still
+     cleartext in memory (the staging buffer is not addressable) *)
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.frame_transform;
   (* in place over the staging buffer: read, transform, write back *)
   Aes_on_soc.bulk_into t.aes ~dir:`Encrypt ~iv:(iv t ~pid ~vpn) ~src:t.page_buf ~src_off:0
     ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
   Machine.with_taint t.machine Taint.Ciphertext (fun () ->
-      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
+      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
+  (* fault hook: power loss after the Nth encrypted page fires here —
+     ciphertext is in memory but the PTE has not been flagged yet *)
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_encrypted
 
 (** Decrypt a frame in place (lazy unlock path); the recovered bytes
     are secret cleartext again. *)
@@ -73,10 +86,12 @@ let decrypt_frame t ~pid ~vpn ~frame =
   trace_frame t "decrypt-frame" ~pid ~vpn ~frame;
   Machine.read_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
   t.bytes_decrypted <- t.bytes_decrypted + Page.size;
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.frame_transform;
   Aes_on_soc.bulk_into t.aes ~dir:`Decrypt ~iv:(iv t ~pid ~vpn) ~src:t.page_buf ~src_off:0
     ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
   Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
-      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
+      Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_decrypted
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

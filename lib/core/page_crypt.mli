@@ -7,6 +7,11 @@ type t
 
 val create : Machine.t -> aes:Sentry_crypto.Aes_on_soc.t -> volatile_key:Bytes.t -> t
 
+(** Rebuild the IV derivation under a fresh volatile key (crash
+    recovery after power loss); the [t] and every reference to it
+    stay valid.  Re-key the AES context separately. *)
+val rekey : t -> volatile_key:Bytes.t -> unit
+
 (** Deterministic IV for page [vpn] of process [pid]. *)
 val iv : t -> pid:int -> vpn:int -> Bytes.t
 

@@ -17,6 +17,16 @@
 
 open Sentry_kernel
 
+type resumed = Resumed_lock | Rolled_back_unlock
+
+type recovery_stats = {
+  resumed : resumed;
+  pages_fixed : int;  (** pages (re-)transformed by the recovery sweep *)
+  rekeyed : bool;  (** volatile key was lost and regenerated *)
+  journal_entry : Lock_journal.entry option;  (** what the journal said, if it survived *)
+  elapsed_ns : float;
+}
+
 type t = {
   system : System.t;
   config : Config.t;
@@ -26,10 +36,18 @@ type t = {
   pc : Page_crypt.t;
   lock_state : Lock_state.t;
   background : Background.t option;
+  journal : Lock_journal.t option;
+  (* Host-side check value for the parked volatile key: models the
+     kernel's knowledge of whether on-SoC key storage survived a
+     reboot (a real port would use a boot counter or key check block).
+     Never lives in simulated memory, so it is invisible to the
+     modeled attacks. *)
+  volatile_key_check : Bytes.t;
   mutable sensitive : Process.t list;
   mutable background_enabled : Process.t list;
   mutable last_lock : Encrypt_on_lock.stats option;
   mutable last_unlock : Decrypt_on_unlock.stats option;
+  mutable last_recovery : recovery_stats option;
 }
 
 let storage_of_config (config : Config.t) =
@@ -101,6 +119,25 @@ let install (system : System.t) (config : Config.t) =
              ~budget_bytes:config.Config.background_budget_bytes)
     | Onsoc.Locked_storage _ | Onsoc.Iram_storage _ | Onsoc.Pinned_storage _ -> None
   in
+  let journal =
+    if not config.Config.journal then None
+    else
+      (* The journal lives in iRAM (survives warm reboots; the
+         firmware clear wipes it on power loss, which recovery
+         tolerates).  On iRAM-storage platforms reuse the key
+         allocator so the record cannot overlap the keys; elsewhere
+         iRAM is otherwise unused by Sentry, so a fresh allocator over
+         it is safe.  Exhaustion is a graceful fallback to the
+         journal-less pipeline, not an error. *)
+      let alloc =
+        match onsoc with
+        | Onsoc.Iram_storage a -> a
+        | Onsoc.Locked_storage _ | Onsoc.Pinned_storage _ -> Iram_alloc.create machine
+      in
+      match Iram_alloc.alloc alloc ~bytes:Lock_journal.size_bytes with
+      | Some addr -> Some (Lock_journal.create machine ~addr)
+      | None -> None
+  in
   {
     system;
     config;
@@ -110,10 +147,13 @@ let install (system : System.t) (config : Config.t) =
     pc;
     lock_state = Lock_state.create ~pin:config.Config.pin ~max_attempts:config.Config.max_pin_attempts;
     background;
+    journal;
+    volatile_key_check = Bytes.copy volatile_key;
     sensitive = [];
     background_enabled = [];
     last_lock = None;
     last_unlock = None;
+    last_recovery = None;
   }
 
 let state t = Lock_state.state t.lock_state
@@ -137,17 +177,22 @@ let enable_background t proc =
 (** [lock t] — encrypt-on-lock.  Returns the lock-path statistics. *)
 let machine_now t = Sentry_soc.Clock.now (Sentry_soc.Machine.clock t.system.System.machine)
 
+(** Fault-handler wiring for the locked state: background paging where
+    enabled, otherwise faults on encrypted pages are hard stops. *)
+let install_locked_fault_handler t =
+  match t.background with
+  | Some bg when t.background_enabled <> [] ->
+      Vm.set_fault_handler t.system.System.vm (Background.fault_handler bg)
+  | Some _ | None -> Vm.reset_fault_handler t.system.System.vm
+
 let lock t =
   let start_ns = machine_now t in
   Lock_state.begin_lock t.lock_state;
   let stats =
-    Encrypt_on_lock.run t.pc t.system ~sensitive:t.sensitive
+    Encrypt_on_lock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
       ~background:(fun p -> List.memq p t.background_enabled)
   in
-  (match t.background with
-  | Some bg when t.background_enabled <> [] ->
-      Vm.set_fault_handler t.system.System.vm (Background.fault_handler bg)
-  | Some _ | None -> Vm.reset_fault_handler t.system.System.vm);
+  install_locked_fault_handler t;
   Lock_state.finish_lock t.lock_state;
   t.last_lock <- Some stats;
   if Sentry_obs.Trace.on () then
@@ -169,7 +214,7 @@ let unlock t ~pin =
   | Error e -> Error e
   | Ok () ->
       Option.iter Background.evict_all t.background;
-      let stats = Decrypt_on_unlock.run t.pc t.system ~sensitive:t.sensitive in
+      let stats = Decrypt_on_unlock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive in
       Lock_state.finish_unlock t.lock_state;
       t.last_unlock <- Some stats;
       if Sentry_obs.Trace.on () then
@@ -181,6 +226,95 @@ let unlock t ~pin =
             ]
           "decrypt-on-unlock";
       Ok stats
+
+(** Re-establish key material after a crash, if it was lost.  A warm
+    reboot preserves iRAM, so the parked volatile key reads back
+    intact and nothing happens.  After power loss (or on locked-L2
+    storage, any reboot — the controller reset dropped lockdown) the
+    readback mismatches the host-side check value: re-pin the locked
+    ways where applicable, regenerate the volatile key in place, and
+    re-key the AES context and the page cipher.  Pages encrypted under
+    the lost key stay garbage — fail-secure; recovery re-encrypts
+    cleartext remnants under the new key. *)
+let ensure_key t =
+  if Bytes.equal (Key_manager.volatile_key t.keys) t.volatile_key_check then false
+  else begin
+    (match t.onsoc with
+    | Onsoc.Locked_storage locked -> Locked_cache.relock locked
+    | Onsoc.Iram_storage _ | Onsoc.Pinned_storage _ -> ());
+    let key = Key_manager.regenerate_volatile t.keys in
+    Sentry_crypto.Aes_on_soc.set_key t.aes key;
+    Page_crypt.rekey t.pc ~volatile_key:key;
+    Bytes.blit key 0 t.volatile_key_check 0 (Bytes.length key);
+    true
+  end
+
+(** [recover t] — the boot/wake-time crash-recovery pass.  [None] when
+    the lock state machine is at rest (nothing was interrupted; any
+    stale journal record is cleared).  Mid-[Locking], the encryption
+    walk is completed (roll-forward); mid-[Unlocking], the
+    already-decrypted pages are re-encrypted and the unlock aborted
+    (roll-back to [Locked] — the user re-enters the PIN).  Both paths
+    are idempotent: the sweep is keyed off PTE [encrypted] bits and
+    parking is guarded, so recovering an already-consistent system is
+    a no-op walk. *)
+let recover t =
+  match Lock_state.state t.lock_state with
+  | Lock_state.Unlocked | Lock_state.Locked | Lock_state.Deep_locked ->
+      (* nothing in flight; drop any stale record (e.g. a crash after
+         the walk finished but before commit) *)
+      Option.iter
+        (fun j -> if Lock_journal.load j <> None then Lock_journal.commit j)
+        t.journal;
+      None
+  | (Lock_state.Locking | Lock_state.Unlocking) as interrupted ->
+      let start_ns = machine_now t in
+      let journal_entry = Option.bind t.journal Lock_journal.load in
+      let rekeyed = ensure_key t in
+      (* The sweep is the lock walk itself: every present, unencrypted
+         page of a should-encrypt region gets ciphertext — completing
+         an interrupted lock and un-doing an interrupted unlock alike. *)
+      let stats =
+        Encrypt_on_lock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
+          ~background:(fun p -> List.memq p t.background_enabled)
+      in
+      install_locked_fault_handler t;
+      let resumed =
+        match interrupted with
+        | Lock_state.Locking ->
+            Lock_state.finish_lock t.lock_state;
+            Resumed_lock
+        | _ ->
+            Lock_state.abort_unlock t.lock_state;
+            Rolled_back_unlock
+      in
+      let recovery =
+        {
+          resumed;
+          pages_fixed = stats.Encrypt_on_lock.pages_encrypted;
+          rekeyed;
+          journal_entry;
+          elapsed_ns = machine_now t -. start_ns;
+        }
+      in
+      t.last_recovery <- Some recovery;
+      if Sentry_obs.Trace.on () then
+        Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Recovery ~subsystem:"core.recovery"
+          ~start_ns ~end_ns:(machine_now t)
+          ~args:
+            [
+              ( "resumed",
+                Sentry_obs.Event.Str
+                  (match resumed with
+                  | Resumed_lock -> "lock"
+                  | Rolled_back_unlock -> "unlock-rollback") );
+              ("pages_fixed", Sentry_obs.Event.Int recovery.pages_fixed);
+              ("rekeyed", Sentry_obs.Event.Bool rekeyed);
+              ( "journal_survived",
+                Sentry_obs.Event.Bool (journal_entry <> None) );
+            ]
+          "crash-recovery";
+      Some recovery
 
 (** Eager-unlock ablation: decrypt everything at unlock time. *)
 let unlock_eager t ~pin =
@@ -203,3 +337,6 @@ let last_lock_stats t = t.last_lock
 let last_unlock_stats t = t.last_unlock
 let lock_state t = t.lock_state
 let sensitive_processes t = t.sensitive
+let background_processes t = t.background_enabled
+let journal_enabled t = t.journal <> None
+let last_recovery_stats t = t.last_recovery

@@ -48,6 +48,28 @@ val unlock : t -> pin:string -> (Decrypt_on_unlock.stats, Lock_state.unlock_erro
     count. *)
 val unlock_eager : t -> pin:string -> (int, Lock_state.unlock_error) result
 
+(** {2 Crash recovery} *)
+
+type resumed =
+  | Resumed_lock  (** an interrupted lock was rolled forward to Locked *)
+  | Rolled_back_unlock  (** an interrupted unlock was re-encrypted and aborted *)
+
+type recovery_stats = {
+  resumed : resumed;
+  pages_fixed : int;  (** pages (re-)encrypted by the recovery sweep *)
+  rekeyed : bool;  (** volatile key was lost with power and regenerated *)
+  journal_entry : Lock_journal.entry option;  (** what the journal said, if it survived *)
+  elapsed_ns : float;
+}
+
+(** [recover t] — the boot/wake-time crash-recovery pass.  [None] when
+    nothing was interrupted.  Mid-lock: completes the encryption walk
+    (roll-forward).  Mid-unlock: re-encrypts the already-decrypted
+    pages and aborts back to [Locked].  Regenerates the volatile key
+    (and re-pins locked L2 ways) when the crash lost them.  Idempotent:
+    the sweep is keyed off PTE [encrypted] bits. *)
+val recover : t -> recovery_stats option
+
 (** {2 Component access} *)
 
 val system : t -> System.t
@@ -63,3 +85,10 @@ val last_lock_stats : t -> Encrypt_on_lock.stats option
 val last_unlock_stats : t -> Decrypt_on_unlock.stats option
 val lock_state : t -> Lock_state.t
 val sensitive_processes : t -> Sentry_kernel.Process.t list
+val background_processes : t -> Sentry_kernel.Process.t list
+
+(** Is the crash-consistency journal active ([Config.journal] set and
+    iRAM had room for the record)? *)
+val journal_enabled : t -> bool
+
+val last_recovery_stats : t -> recovery_stats option

@@ -76,14 +76,15 @@ let wake_and_unlock t ~pin ~slept_s =
 
 (** A timer-driven background service cycle: wake on alarm, run [work]
     (e.g. a mail poll over the encrypted-DRAM pager), suspend again.
-    The device never leaves the locked state. *)
+    The device never leaves the locked state: re-suspension goes
+    through [suspend] — which is a pure state-machine step here, since
+    the device is still Locked and no second encrypt pass runs — and
+    happens even when [work] raises, so an aborted service cycle can
+    never strand the device awake with DRAM exposed. *)
 let background_service_cycle t ~slept_s work =
   wake t ~reason:Timer_alarm ~slept_s;
-  let result = work () in
-  (* re-suspend: everything already encrypted or on-SoC; the lock
-     state machine stays in Locked, so no second encrypt pass runs *)
-  t.suspended <- true;
-  t.suspend_count <- t.suspend_count + 1;
-  result
+  Fun.protect
+    ~finally:(fun () -> if not t.suspended then ignore (suspend t))
+    work
 
 let counts t = (t.suspend_count, t.wake_counts)

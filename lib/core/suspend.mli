@@ -29,7 +29,9 @@ val wake : t -> reason:wake_reason -> slept_s:float -> unit
 val wake_and_unlock :
   t -> pin:string -> slept_s:float -> (Decrypt_on_unlock.stats, Lock_state.unlock_error) result
 
-(** Timer wake → run [work] (still locked) → re-suspend. *)
+(** Timer wake → run [work] (still locked) → re-suspend.  Re-suspension
+    goes through [suspend] and runs even when [work] raises, so an
+    aborted service cycle never strands the device awake. *)
 val background_service_cycle : t -> slept_s:float -> (unit -> 'a) -> 'a
 
 (** (suspend count, wake counts per reason). *)

@@ -1,0 +1,158 @@
+(** The global fault-injection engine.
+
+    Modeled on [Sentry_obs.Trace]: a process-wide singleton so hook
+    points deep in the memory system need no plumbing.  Disarmed (the
+    default) a hook costs one ref read and allocates nothing, keeping
+    the lock-path allocation ceilings intact.
+
+    Armed with a [Plan], every [fire]/[poll] arrival at a hook point
+    bumps that point's occurrence counter and evaluates the plan's
+    triggers:
+
+    - {e interrupting} kinds ([Power_loss], [Reset], [Dma_error])
+      raise [Injected] from [fire]; [poll] returns [Dma_error] as a
+      value (for result-returning callers like the DMA engine) and
+      raises for the globally-fatal kinds;
+    - [Bit_flip n] invokes the installed corruption handler (the
+      machine-owning harness flips DRAM bits) and execution continues
+      — the fault is silent, as in real hardware.
+
+    Every firing is recorded (inspectable via [fired]) and emitted to
+    the trace ring under the [Fault] category. *)
+
+open Sentry_util
+
+type record = { point : string; kind : Fault.kind; occurrence : int }
+
+exception Injected of record
+
+type state = {
+  plan : Plan.t;
+  prng : Prng.t;
+  counts : (string, int ref) Hashtbl.t;
+  mutable fired : record list; (* newest first *)
+  mutable bit_flip_handler : (point:string -> bits:int -> unit) option;
+}
+
+let active : state option ref = ref None
+
+let arm plan =
+  active :=
+    Some
+      {
+        plan;
+        prng = Prng.create ~seed:plan.Plan.seed;
+        counts = Hashtbl.create 8;
+        fired = [];
+        bit_flip_handler = None;
+      }
+
+let disarm () = active := None
+let armed () = !active <> None
+let plan () = Option.map (fun st -> st.plan) !active
+
+(** [set_bit_flip_handler f] — installed by whoever owns the machine;
+    receives every [Bit_flip] firing.  Cleared by [arm]/[disarm]. *)
+let set_bit_flip_handler f =
+  match !active with
+  | Some st -> st.bit_flip_handler <- Some f
+  | None -> invalid_arg "Injector.set_bit_flip_handler: not armed"
+
+(** Firings so far, oldest first. *)
+let fired () = match !active with Some st -> List.rev st.fired | None -> []
+
+(** Arrivals seen at [point] (armed sessions only). *)
+let occurrences point =
+  match !active with
+  | Some st -> ( match Hashtbl.find_opt st.counts point with Some c -> !c | None -> 0)
+  | None -> 0
+
+let trace r =
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Fault ~subsystem:"faults.injector"
+      "fault-injected"
+      ~args:
+        [
+          ("point", Sentry_obs.Event.Str r.point);
+          ("kind", Sentry_obs.Event.Str (Fault.name r.kind));
+          ("occurrence", Sentry_obs.Event.Int r.occurrence);
+        ]
+
+let bump st point =
+  match Hashtbl.find_opt st.counts point with
+  | Some c ->
+      incr c;
+      !c
+  | None ->
+      Hashtbl.add st.counts point (ref 1);
+      1
+
+let matches st ~n (tr : Plan.trigger) =
+  match tr.Plan.at with
+  | Plan.Nth k -> n = k
+  | Plan.Every k -> k > 0 && n mod k = 0
+  | Plan.Prob p -> Prng.flip st.prng ~p
+
+(* Evaluate one arrival: record and apply every matching trigger;
+   return the first interrupting fault, if any. *)
+let eval st point =
+  let n = bump st point in
+  List.fold_left
+    (fun interrupting (tr : Plan.trigger) ->
+      if String.equal tr.Plan.point point && matches st ~n tr then begin
+        let r = { point; kind = tr.Plan.kind; occurrence = n } in
+        st.fired <- r :: st.fired;
+        trace r;
+        match tr.Plan.kind with
+        | Fault.Bit_flip bits ->
+            (match st.bit_flip_handler with Some f -> f ~point ~bits | None -> ());
+            interrupting
+        | Fault.Power_loss | Fault.Reset | Fault.Dma_error -> (
+            match interrupting with Some _ -> interrupting | None -> Some r)
+      end
+      else interrupting)
+    None st.plan.Plan.triggers
+
+(** [fire point] — a hook arrival that cannot report an error value:
+    interrupting faults propagate as [Injected]. *)
+let fire point =
+  match !active with
+  | None -> ()
+  | Some st -> ( match eval st point with None -> () | Some r -> raise (Injected r))
+
+(** [poll point] — a hook arrival whose caller returns [result]s (the
+    DMA engine): a matching [Dma_error] comes back as a value; the
+    globally-fatal kinds ([Power_loss], [Reset]) still raise. *)
+let poll point =
+  match !active with
+  | None -> None
+  | Some st -> (
+      match eval st point with
+      | None -> None
+      | Some ({ kind = Fault.Dma_error; _ } as r) -> Some r
+      | Some r -> raise (Injected r))
+
+(** Canonical hook-point names.  Hooks and plans must agree on these
+    strings; keeping them here prevents drift. *)
+module Points = struct
+  let page_encrypted = "page_crypt.encrypt_frame"
+  (* after the ciphertext reached memory, before the PTE flags it *)
+
+  let page_decrypted = "page_crypt.decrypt_frame"
+  let frame_transform = "page_crypt.frame_transform" (* mid-call, before write-back *)
+  let dm_crypt_sector = "dm_crypt.sector"
+  let dma_read = "dma.read"
+  let dma_write = "dma.write"
+  let machine_write = "machine.write"
+
+  let all =
+    [
+      page_encrypted;
+      page_decrypted;
+      frame_transform;
+      dm_crypt_sector;
+      dma_read;
+      dma_write;
+      machine_write;
+    ]
+end

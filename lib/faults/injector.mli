@@ -1,0 +1,44 @@
+(** Global fault-injection engine: arm a [Plan], and hook points
+    threaded through the memory/crypto stack fire its triggers.
+    Disarmed, a hook is one ref read and allocates nothing. *)
+
+type record = { point : string; kind : Fault.kind; occurrence : int }
+
+exception Injected of record
+
+val arm : Plan.t -> unit
+val disarm : unit -> unit
+val armed : unit -> bool
+
+(** The armed plan, if any. *)
+val plan : unit -> Plan.t option
+
+(** Install the [Bit_flip] corruption handler (the machine-owning
+    harness flips DRAM bits).  Cleared by [arm]/[disarm].
+    @raise Invalid_argument when not armed. *)
+val set_bit_flip_handler : (point:string -> bits:int -> unit) -> unit
+
+(** Firings so far, oldest first (empty when disarmed). *)
+val fired : unit -> record list
+
+(** Arrivals seen at a point this armed session. *)
+val occurrences : string -> int
+
+(** Hook arrival; interrupting faults raise [Injected]. *)
+val fire : string -> unit
+
+(** Hook arrival for result-returning callers: [Dma_error] comes back
+    as a value, globally-fatal kinds still raise [Injected]. *)
+val poll : string -> record option
+
+(** Canonical hook-point names (hooks and plans must agree). *)
+module Points : sig
+  val page_encrypted : string
+  val page_decrypted : string
+  val frame_transform : string
+  val dm_crypt_sector : string
+  val dma_read : string
+  val dma_write : string
+  val machine_write : string
+  val all : string list
+end

@@ -1,0 +1,34 @@
+(** Deterministic fault plans.
+
+    A plan is a named set of triggers: each trigger watches one hook
+    point and fires its fault on a scripted occurrence ([Nth],
+    [Every]) or with a PRNG-drawn probability ([Prob], seeded from the
+    plan so replays are bit-identical).  Plans are pure data — the
+    [Injector] interprets them. *)
+
+type occurrence =
+  | Nth of int  (** fire on exactly the k-th arrival at the point (1-based) *)
+  | Every of int  (** fire on every k-th arrival *)
+  | Prob of float  (** fire with probability p per arrival (plan-seeded PRNG) *)
+
+type trigger = { point : string; kind : Fault.kind; at : occurrence }
+
+type t = { name : string; seed : int; triggers : trigger list }
+
+let make ?(seed = 0xfa17) ~name triggers = { name; seed; triggers }
+
+let trigger ~point ~kind ~at = { point; kind; at }
+
+let occurrence_to_string = function
+  | Nth k -> Printf.sprintf "nth=%d" k
+  | Every k -> Printf.sprintf "every=%d" k
+  | Prob p -> Printf.sprintf "p=%g" p
+
+let pp_trigger ppf tr =
+  Fmt.pf ppf "%s @ %s (%s)" (Fault.name tr.kind) tr.point (occurrence_to_string tr.at)
+
+let pp ppf t =
+  Fmt.pf ppf "plan %s (seed 0x%x):" t.name t.seed;
+  List.iter (fun tr -> Fmt.pf ppf "@ %a;" pp_trigger tr) t.triggers
+
+let describe t = Fmt.str "%a" pp t

@@ -61,6 +61,9 @@ let trace_sector t name idx f =
   else f ()
 
 let read_sector t idx =
+  (* fault hook: a reset mid-sector leaves the sector unread; the
+     on-disk image is untouched (sector ops are atomic at the target) *)
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.dm_crypt_sector;
   trace_sector t "decrypt-sector" idx (fun () ->
       let ct = Blockio.read t.lower ~off:(idx * sector) ~len:sector in
       t.sectors_decrypted <- t.sectors_decrypted + 1;
@@ -68,6 +71,9 @@ let read_sector t idx =
 
 let write_sector t idx plain =
   assert (Bytes.length plain = sector);
+  (* fault hook fires before the transform: an interrupted write
+     reaches the lower target either fully encrypted or not at all *)
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.dm_crypt_sector;
   trace_sector t "encrypt-sector" idx (fun () ->
       t.sectors_encrypted <- t.sectors_encrypted + 1;
       let ct = t.cipher.Crypto_api.encrypt ~iv:(iv_for t idx) plain in

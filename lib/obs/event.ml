@@ -20,8 +20,11 @@ type category =
   | Lock (* screen-lock state transitions *)
   | Taint (* secret-flow checker violations *)
   | Mem (* iRAM/DRAM/buffer-cache events outside the paths above *)
+  | Fault (* injected faults: power loss, resets, DMA errors, bit flips *)
+  | Recovery (* crash-recovery passes over interrupted lock/unlock walks *)
 
-let categories = [ Cache; Bus; Dma; Irq; Sched; Pagefault; Crypto; Zerod; Lock; Taint; Mem ]
+let categories =
+  [ Cache; Bus; Dma; Irq; Sched; Pagefault; Crypto; Zerod; Lock; Taint; Mem; Fault; Recovery ]
 
 let category_name = function
   | Cache -> "cache"
@@ -35,6 +38,8 @@ let category_name = function
   | Lock -> "lock"
   | Taint -> "taint"
   | Mem -> "mem"
+  | Fault -> "fault"
+  | Recovery -> "recovery"
 
 let category_of_name s = List.find_opt (fun c -> category_name c = s) categories
 
@@ -50,6 +55,8 @@ let category_index = function
   | Lock -> 8
   | Taint -> 9
   | Mem -> 10
+  | Fault -> 11
+  | Recovery -> 12
 
 let num_categories = List.length categories
 
@@ -76,6 +83,9 @@ let known_subsystems =
     "core.sentry";
     "core.page_crypt";
     "core.background";
+    "core.lock_journal";
+    "core.recovery";
+    "faults.injector";
     "analysis.engine";
   ]
 

@@ -13,6 +13,8 @@ type category =
   | Lock
   | Taint
   | Mem
+  | Fault  (** injected faults: power loss, resets, DMA errors, bit flips *)
+  | Recovery  (** crash-recovery passes over interrupted lock/unlock walks *)
 
 val categories : category list
 val category_name : category -> string

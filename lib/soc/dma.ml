@@ -10,7 +10,7 @@
     interface to dump memory of a PIN-locked device.  The only
     hardware defence is TrustZone's deny list. *)
 
-type error = Denied | Bad_address
+type error = Denied | Bad_address | Faulted
 
 type t = {
   dram : Dram.t;
@@ -58,6 +58,17 @@ let trace_denied t ~addr ~len =
     trace t "denied"
       ~args:[ ("addr", Sentry_obs.Event.Int addr); ("bytes", Sentry_obs.Event.Int len) ]
 
+(* Injected transfer fault: the engine aborts with a bus error before
+   any byte moves (no charge, no data). *)
+let faulted t point ~addr ~len =
+  match Sentry_faults.Injector.poll point with
+  | None -> false
+  | Some _ ->
+      if Sentry_obs.Trace.on () then
+        trace t "transfer-fault"
+          ~args:[ ("addr", Sentry_obs.Event.Int addr); ("bytes", Sentry_obs.Event.Int len) ];
+      true
+
 let target t addr len =
   if Dram.contains t.dram addr && Dram.contains t.dram (addr + len - 1) then Some `Dram
   else if Iram.contains t.iram addr && Iram.contains t.iram (addr + len - 1) then Some `Iram
@@ -71,6 +82,7 @@ let read t ~addr ~len =
     trace_denied t ~addr ~len;
     Error Denied
   end
+  else if faulted t Sentry_faults.Injector.Points.dma_read ~addr ~len then Error Faulted
   else
     match target t addr len with
     | None -> Error Bad_address
@@ -95,6 +107,7 @@ let write t ~addr b =
     trace_denied t ~addr ~len;
     Error Denied
   end
+  else if faulted t Sentry_faults.Injector.Points.dma_write ~addr ~len then Error Faulted
   else
     match target t addr len with
     | None -> Error Bad_address

@@ -3,7 +3,10 @@
     list — the substrate of both legitimate device I/O and the §3.1
     DMA attack. *)
 
-type error = Denied | Bad_address
+type error =
+  | Denied
+  | Bad_address
+  | Faulted  (** injected transfer fault: the engine aborted with a bus error *)
 
 type t
 

@@ -59,8 +59,12 @@ let region t = t.region
 let size t = t.region.Memmap.size
 let contains t addr = Memmap.contains t.region addr
 
+(** A typed power fault, so the fault engine and recovery paths can
+    distinguish "the rails are down" from programming errors. *)
+exception Powered_off
+
 let check t addr len =
-  if not (t.powered) then failwith "Dram: access while powered off";
+  if not (t.powered) then raise Powered_off;
   if not (contains t addr && (len = 0 || contains t (addr + len - 1))) then
     invalid_arg (Printf.sprintf "Dram: access out of range 0x%x+%d" addr len)
 
@@ -124,6 +128,8 @@ let snapshot t = Bytes.copy t.data
     0xFF depending on cell polarity — we model half and half, decided
     per 64-byte row, as real modules ground alternate rows). *)
 let power_cycle t ~off_s =
+  if t.powered then
+    invalid_arg "Dram.power_cycle: still powered (cells decay only without self-refresh)";
   let p = Calib.dram_survival ~power_off_s:off_s in
   if Sentry_obs.Trace.on () then
     Sentry_obs.Trace.emit ~cat:Sentry_obs.Event.Mem ~subsystem:"soc.dram" "power-cycle"

@@ -11,6 +11,11 @@ val region : t -> Memmap.region
 val size : t -> int
 val contains : t -> int -> bool
 
+(** Raised by any access while the rails are down ([set_powered t
+    false]) — a power fault, distinct from the [Invalid_argument]
+    programming errors. *)
+exception Powered_off
+
 (** Bus-visible fetch/store (used by the L2 controller, uncached CPU
     accesses and DMA). *)
 val read : t -> initiator:[ `Cpu | `Dma | `L2 ] -> int -> int -> Bytes.t
@@ -76,9 +81,11 @@ val raw : t -> Bytes.t
 
 val snapshot : t -> Bytes.t
 
-(** Remove power for [off_s] seconds: each byte survives with the
+(** Model [off_s] seconds without power: each byte survives with the
     calibrated probability; decayed bytes fall to the per-row ground
-    state. *)
+    state.  The module must already be powered off ([set_powered t
+    false]) — cells decay only without self-refresh.
+    @raise Invalid_argument on a still-powered module. *)
 val power_cycle : t -> off_s:float -> unit
 
 val set_powered : t -> bool -> unit

@@ -191,6 +191,9 @@ let read t addr len =
     are labelled with the ambient taint.  [write] is implemented on
     top. *)
 let write_from t addr buf ~off ~len =
+  (* fault hook: bit flips land in DRAM behind this store; power loss /
+     reset here models a crash between arbitrary kernel stores *)
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.machine_write;
   if in_dram t addr then Pl310.write_from t.l2 ~taint:t.ambient_taint addr buf ~off ~len
   else if in_iram t addr then Iram.write_from t.iram ~level:t.ambient_taint addr buf ~off ~len
   else
@@ -279,11 +282,15 @@ let reboot t kind =
       Dram.set_taint t.dram (Dram.region t.dram).Memmap.base overwrite Taint.Public;
       Pl310.reset t.l2
   | Reflash ->
+      Dram.set_powered t.dram false;
       Dram.power_cycle t.dram ~off_s:0.2;
+      Dram.set_powered t.dram true;
       Iram.firmware_clear t.iram;
       Pl310.reset t.l2
   | Hard_reset off_s ->
+      Dram.set_powered t.dram false;
       Dram.power_cycle t.dram ~off_s;
+      Dram.set_powered t.dram true;
       Iram.firmware_clear t.iram;
       Pl310.reset t.l2);
   Clock.advance t.clock (2.0 *. Units.s)

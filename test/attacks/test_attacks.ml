@@ -121,6 +121,40 @@ let test_cold_boot_misses_onsoc_key () =
   let keys = Cold_boot.recover_keys machine Cold_boot.Os_reboot in
   checki "nothing" 0 (List.length keys)
 
+let test_cold_boot_image_once_answers_everything () =
+  let system = boot ~seed:11 () in
+  let machine = System.machine system in
+  let secret = Bytes.of_string "ONE-RESET-MANY-QUESTIONS-SECRET!" in
+  ignore (plant_secret_in_dram system secret);
+  let key = Prng.bytes (Machine.prng machine) 16 in
+  let g =
+    Generic_aes.create machine
+      ~ctx_base:(Sentry_kernel.Frame_alloc.alloc system.System.frames)
+      ~variant:Perf.Openssl_user
+  in
+  Generic_aes.set_key g key;
+  Pl310.flush_masked (Machine.l2 machine);
+  (* one destructive reset, then every question against the same image *)
+  let img = Cold_boot.image machine Cold_boot.Os_reboot in
+  checkb "secret in image" true (Cold_boot.secret_in_image img ~secret);
+  checkb "same image, same answer" true (Cold_boot.secret_in_image img ~secret);
+  checkb "key schedule in image" true
+    (List.exists (Bytes.equal key) (Cold_boot.keys_of_image img))
+
+let test_cold_boot_wrappers_agree_with_image () =
+  (* warm reboots keep DRAM intact, so the one-shot wrappers (which
+     each mount their own reset) must agree with the image API *)
+  let system = boot ~seed:12 () in
+  let machine = System.machine system in
+  let secret = Bytes.of_string "WRAPPER-VS-IMAGE-AGREEMENT-CHECK" in
+  ignore (plant_secret_in_dram system secret);
+  let img = Cold_boot.image machine Cold_boot.Os_reboot in
+  checkb "image finds it" true (Cold_boot.secret_in_image img ~secret);
+  checkb "succeeds wrapper agrees" true (Cold_boot.succeeds machine Cold_boot.Os_reboot ~secret);
+  let dram_dump, iram_dump = Cold_boot.mount machine Cold_boot.Os_reboot in
+  checkb "mount wrapper sees dram" true (Memdump.contains dram_dump secret);
+  checkb "mount wrapper misses iram" false (Memdump.contains iram_dump secret)
+
 (* ---------------------------- Dma_attack -------------------------- *)
 
 let test_dma_dump_finds_dram_secret () =
@@ -363,6 +397,10 @@ let () =
           Alcotest.test_case "iram safe" `Quick test_cold_boot_iram_safe;
           Alcotest.test_case "recovers generic key" `Quick test_cold_boot_recovers_generic_key;
           Alcotest.test_case "misses on-soc key" `Quick test_cold_boot_misses_onsoc_key;
+          Alcotest.test_case "image once, many questions" `Quick
+            test_cold_boot_image_once_answers_everything;
+          Alcotest.test_case "wrappers agree with image" `Quick
+            test_cold_boot_wrappers_agree_with_image;
         ] );
       ( "dma_attack",
         [

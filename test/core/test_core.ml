@@ -465,6 +465,19 @@ let test_sentry_registers_crypto_api () =
   let impl = Sentry_crypto.Crypto_api.find system.System.crypto_api ~algorithm:"cbc(aes)" in
   checkb "aes-on-soc wins" true (impl.Sentry_crypto.Crypto_api.name = "aes-on-soc")
 
+let test_sentry_journal_flag () =
+  let system = boot ~seed:30 () in
+  let sentry = install system in
+  checkb "journal off by default" false (Sentry.journal_enabled sentry);
+  checkb "nothing to recover" true (Sentry.recover sentry = None);
+  let system2 = boot ~seed:31 () in
+  let sentry2 =
+    install ~config:{ (Config.default `Tegra3) with Config.journal = true } system2
+  in
+  checkb "journal on when configured" true (Sentry.journal_enabled sentry2);
+  checkb "idle system: recover is a no-op" true (Sentry.recover sentry2 = None);
+  checkb "no stats recorded" true (Sentry.last_recovery_stats sentry2 = None)
+
 (* ---------------------------- Background -------------------------- *)
 
 let boot_background ?(budget = 256 * Units.kib) ?(bytes = 512 * Units.kib) () =
@@ -633,6 +646,43 @@ let qcheck_tests =
           | _ -> true
         in
         List.for_all (fun (addr, _) -> Iram_alloc.in_range a addr) blocks && disjoint sorted);
+    (* Allocator bookkeeping under random alloc/free interleavings:
+       free + allocated always equals usable, the free list always sums
+       to free_bytes, and it stays address-sorted with no two adjacent
+       blocks touching (i.e. fully coalesced). *)
+    Test.make ~name:"iram allocator: accounting and coalesced free list" ~count:40
+      (list_of_size Gen.(1 -- 40) (pair (int_range 1 2048) bool))
+      (fun ops ->
+        let system = boot ~seed:21 () in
+        let a = Iram_alloc.create (System.machine system) in
+        let live = ref [] in
+        List.for_all
+          (fun (n, do_free) ->
+            (if do_free && !live <> [] then begin
+               (* free from a pseudo-random position, not just the head *)
+               let i = n mod List.length !live in
+               Iram_alloc.free a (List.nth !live i);
+               live := List.filteri (fun j _ -> j <> i) !live
+             end
+             else
+               match Iram_alloc.alloc a ~bytes:n with
+               | Some addr -> live := addr :: !live
+               | None -> ());
+            let blocks = Iram_alloc.free_blocks a in
+            let rec sorted_and_coalesced = function
+              | (a1, s1) :: ((a2, _) :: _ as rest) ->
+                  a1 + s1 < a2 && sorted_and_coalesced rest
+              | _ -> true
+            in
+            Iram_alloc.free_bytes a + Iram_alloc.allocated_bytes a
+            = Iram_alloc.usable_bytes a
+            && List.fold_left (fun acc (_, s) -> acc + s) 0 blocks = Iram_alloc.free_bytes a
+            && sorted_and_coalesced blocks
+            && List.for_all
+                 (fun (addr, s) ->
+                   s > 0 && Iram_alloc.in_range a addr && Iram_alloc.in_range a (addr + s - 1))
+                 blocks)
+          ops);
     Test.make ~name:"lock/unlock roundtrip preserves process memory" ~count:10
       (pair (int_range 1 16) small_printable_string)
       (fun (pages, content) ->
@@ -708,6 +758,7 @@ let () =
           Alcotest.test_case "nexus config" `Quick test_sentry_nexus_config;
           Alcotest.test_case "config validation" `Quick test_sentry_config_validation;
           Alcotest.test_case "crypto api registration" `Quick test_sentry_registers_crypto_api;
+          Alcotest.test_case "journal flag" `Quick test_sentry_journal_flag;
         ] );
       ( "background",
         [

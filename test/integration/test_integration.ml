@@ -168,6 +168,26 @@ let test_suspend_background_service () =
   checkb "still no plaintext in DRAM" false
     (Bytes_util.contains (Dram.raw (Machine.dram (System.machine system))) secret)
 
+let test_suspend_background_cycle_exception_safe () =
+  let _, sentry, _, _ = launch ~seed:9 () in
+  let susp = Suspend.create sentry in
+  ignore (Suspend.suspend susp);
+  let suspends0, _ = Suspend.counts susp in
+  (* a service that dies mid-cycle must not strand the device awake *)
+  (match Suspend.background_service_cycle susp ~slept_s:900.0 (fun () -> failwith "service crashed") with
+  | (_ : unit) -> Alcotest.fail "the service exception must propagate"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "service crashed" msg);
+  checkb "re-suspended despite the crash" true (Suspend.suspended susp);
+  checkb "still locked" true (Sentry.is_locked sentry);
+  let suspends1, _ = Suspend.counts susp in
+  checki "re-suspension went through suspend" (suspends0 + 1) suspends1;
+  (* the state machine is intact: a clean cycle and a user unlock work *)
+  checki "next cycle fine" 42 (Suspend.background_service_cycle susp ~slept_s:900.0 (fun () -> 42));
+  checkb "suspended again" true (Suspend.suspended susp);
+  match Suspend.wake_and_unlock susp ~pin:"1234" ~slept_s:10.0 with
+  | Ok _ -> checkb "unlocked" false (Sentry.is_locked sentry)
+  | Error _ -> Alcotest.fail "unlock after a crashed cycle"
+
 let test_suspend_errors () =
   let _, sentry, _, _ = launch ~seed:7 () in
   let susp = Suspend.create sentry in
@@ -567,6 +587,8 @@ let () =
         [
           Alcotest.test_case "suspend/resume" `Quick test_suspend_resume_cycle;
           Alcotest.test_case "background service" `Quick test_suspend_background_service;
+          Alcotest.test_case "crashed cycle re-suspends" `Quick
+            test_suspend_background_cycle_exception_safe;
           Alcotest.test_case "errors" `Quick test_suspend_errors;
         ] );
       ( "system",

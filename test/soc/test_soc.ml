@@ -66,7 +66,9 @@ let test_dram_bounds () =
 let test_dram_remanence_full_survival () =
   let m = fresh () in
   Bytes_util.fill_pattern (Dram.raw (Machine.dram m)) (Bytes.of_string "PATTERNZ");
+  Dram.set_powered (Machine.dram m) false;
   Dram.power_cycle (Machine.dram m) ~off_s:0.0;
+  Dram.set_powered (Machine.dram m) true;
   checki "no decay at 0s"
     (Bytes.length (Dram.raw (Machine.dram m)) / 8)
     (Bytes_util.count_pattern (Dram.raw (Machine.dram m)) (Bytes.of_string "PATTERNZ"))
@@ -76,12 +78,32 @@ let test_dram_remanence_decay_monotonic () =
     let m = fresh ~seed:(int_of_float (off_s *. 1000.0)) () in
     let pat = Bytes.of_string "PATTERNZ" in
     Bytes_util.fill_pattern (Dram.raw (Machine.dram m)) pat;
+    Dram.set_powered (Machine.dram m) false;
     Dram.power_cycle (Machine.dram m) ~off_s;
+    Dram.set_powered (Machine.dram m) true;
     float_of_int (Bytes_util.count_pattern (Dram.raw (Machine.dram m)) pat)
   in
   let s02 = survival 0.2 and s10 = survival 1.0 and s20 = survival 2.0 in
   checkb "0.2 > 1.0" true (s02 > s10);
   checkb "1.0 > 2.0" true (s10 > s20)
+
+let test_dram_powered_off_is_typed () =
+  let m = fresh () in
+  let dram = Machine.dram m in
+  let base = (Dram.region dram).Memmap.base in
+  Dram.set_powered dram false;
+  Alcotest.check_raises "read on dead rails" Dram.Powered_off (fun () ->
+      ignore (Dram.read dram ~initiator:`Cpu base 16));
+  Alcotest.check_raises "write on dead rails" Dram.Powered_off (fun () ->
+      Dram.write dram ~initiator:`Cpu base (Bytes.make 16 'x'));
+  Dram.set_powered dram true;
+  ignore (Dram.read dram ~initiator:`Cpu base 16)
+
+let test_dram_power_cycle_guards_still_powered () =
+  let m = fresh () in
+  Alcotest.check_raises "decay needs the rails down"
+    (Invalid_argument "Dram.power_cycle: still powered (cells decay only without self-refresh)")
+    (fun () -> Dram.power_cycle (Machine.dram m) ~off_s:1.0)
 
 let test_dram_remanence_calibration () =
   Alcotest.(check (float 0.005)) "reflash point" (0.975 ** (1.0 /. 8.0))
@@ -553,6 +575,8 @@ let () =
           Alcotest.test_case "no decay at 0s" `Quick test_dram_remanence_full_survival;
           Alcotest.test_case "decay monotonic" `Quick test_dram_remanence_decay_monotonic;
           Alcotest.test_case "calibration" `Quick test_dram_remanence_calibration;
+          Alcotest.test_case "powered-off is typed" `Quick test_dram_powered_off_is_typed;
+          Alcotest.test_case "power_cycle guard" `Quick test_dram_power_cycle_guards_still_powered;
         ] );
       ( "iram",
         [
