@@ -358,9 +358,68 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const attack $ variant $ protect)
 
+(* ----------------------------- fleet ----------------------------- *)
+
+let fleet procs pages cycles wakes io touch per_page json =
+  let cfg =
+    {
+      Sentry_workloads.Fleet.procs;
+      pages_per_proc = pages;
+      cycles;
+      touch_fraction = touch;
+      service_wakes = wakes;
+      io_sectors = io;
+      pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+    }
+  in
+  let s = Sentry_workloads.Fleet.run cfg in
+  if json then
+    Printf.printf
+      "{\"procs\": %d, \"pages_per_proc\": %d, \"cycles\": %d, \"pipeline\": %S,\n\
+      \ \"pages_locked\": %d, \"pages_unlocked_eager\": %d, \"pages_faulted\": %d,\n\
+      \ \"service_wakes\": %d, \"io_sectors\": %d,\n\
+      \ \"lock_wall_s\": %.6f, \"unlock_wall_s\": %.6f, \"lock_pages_per_s\": %.1f,\n\
+      \ \"unlock_to_first_touch_ns\": %.1f, \"sim_elapsed_ns\": %.1f, \"energy_j\": %.6f}\n"
+      procs pages cycles
+      (if per_page then "per-page" else "batched")
+      s.Sentry_workloads.Fleet.pages_locked s.Sentry_workloads.Fleet.pages_unlocked_eager
+      s.Sentry_workloads.Fleet.pages_faulted s.Sentry_workloads.Fleet.service_wakes_run
+      s.Sentry_workloads.Fleet.io_sectors_done s.Sentry_workloads.Fleet.lock_wall_s
+      s.Sentry_workloads.Fleet.unlock_wall_s s.Sentry_workloads.Fleet.lock_pages_per_s
+      s.Sentry_workloads.Fleet.unlock_to_first_touch_ns s.Sentry_workloads.Fleet.sim_elapsed_ns
+      s.Sentry_workloads.Fleet.energy_j
+  else Format.printf "%a@." Sentry_workloads.Fleet.pp s
+
+let fleet_cmd =
+  let doc = "run the multi-tenant fleet churn workload" in
+  let procs =
+    Arg.(value & opt int 8 & info [ "procs" ] ~docv:"N" ~doc:"sensitive processes in the fleet")
+  in
+  let pages =
+    Arg.(value & opt int 16 & info [ "pages" ] ~docv:"M" ~doc:"pages per process main region")
+  in
+  let cycles =
+    Arg.(value & opt int 3 & info [ "cycles" ] ~docv:"C" ~doc:"lock/unlock churn cycles")
+  in
+  let wakes =
+    Arg.(value & opt int 1 & info [ "wakes" ] ~docv:"W" ~doc:"background service wakes per locked period")
+  in
+  let io =
+    Arg.(value & opt int 8 & info [ "io" ] ~docv:"SECTORS" ~doc:"dm-crypt sectors written+read per wake")
+  in
+  let touch =
+    Arg.(value & opt float 0.25 & info [ "touch" ] ~docv:"FRAC" ~doc:"fraction of pages faulted in after unlock")
+  in
+  let per_page =
+    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline instead of the batched engine")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output") in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json)
+
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sentry-cli" ~doc)
-          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd ]))
+          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd; fleet_cmd ]))

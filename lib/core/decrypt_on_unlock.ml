@@ -15,15 +15,48 @@ type stats = {
   energy_j : float;
 }
 
-(** The lazy young-bit fault handler active while unlocked. *)
+(** The lazy young-bit fault handler active while unlocked.
+    Fail-secure ordering, same as [decrypt_region]: the PTE's
+    [encrypted] bit is cleared {e before} the cleartext lands, so a
+    crash anywhere inside the handler leaves a page the recovery
+    sweep re-encrypts.  (The reverse order — decrypt, then clear —
+    had a kill chain: a crash between the two leaves a cleartext
+    frame whose PTE still claims ciphertext, the next lock walk skips
+    it as already-encrypted, and the secret reaches DRAM
+    unprotected.) *)
 let fault_handler pc : Vm.fault_handler =
  fun proc ~vaddr pte ->
   let vpn = Page.vpn_of vaddr in
   if pte.Page_table.encrypted then begin
-    Page_crypt.decrypt_frame pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame;
-    pte.Page_table.encrypted <- false
+    pte.Page_table.encrypted <- false;
+    Page_crypt.decrypt_frame pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame
   end;
   pte.Page_table.young <- true
+
+(* Pre-DMA coherence maintenance for an eagerly-decrypted DMA region:
+   devices read these frames physically, bypassing the cache, so the
+   decrypted lines must be cleaned out to DRAM.  Frames are sorted and
+   contiguous runs coalesced into a single [clean_invalidate_range]
+   sweep each — the same line set as a per-page sweep (maintenance
+   charges are per dirty line, so the simulated cost is identical),
+   without the per-page call overhead. *)
+let dma_coherence_sweep machine ptes =
+  let l2 = Machine.l2 machine in
+  let frames =
+    List.sort_uniq compare (List.map (fun (_, pte) -> pte.Page_table.frame) ptes)
+  in
+  let rec sweep = function
+    | [] -> ()
+    | first :: rest ->
+        let rec extend last = function
+          | f :: tl when f = last + Page.size -> extend f tl
+          | tl -> (last, tl)
+        in
+        let last, rest = extend first rest in
+        Pl310.clean_invalidate_range l2 first (last + Page.size - first);
+        sweep rest
+  in
+  sweep frames
 
 let decrypt_region ?journal pc proc (region : Address_space.region) =
   let pid = proc.Process.pid in
@@ -43,14 +76,64 @@ let decrypt_region ?journal pc proc (region : Address_space.region) =
         Option.iter (fun j -> Lock_journal.record j ~pid) journal
       end)
     (Address_space.region_ptes proc.Process.aspace region);
+  (* The coherence sweep belongs to the region decrypt itself, so
+     every path that eagerly decrypts a DMA region — the lazy unlock's
+     DMA pass, the eager ablation, recovery rollbacks — gets it.  (It
+     used to live only in [run], which left [run_eager]'d DMA buffers
+     stale in DRAM: a device DMA after an eager unlock read
+     ciphertext.) *)
+  (match region.Address_space.kind with
+  | Address_space.Dma ->
+      dma_coherence_sweep (Page_crypt.machine pc)
+        (Address_space.region_ptes proc.Process.aspace region)
+  | Address_space.Normal | Address_space.Shared _ -> ());
   !pages
 
-(** [run pc system ~sensitive] — the eager part of unlock: decrypt DMA
-    regions, re-admit processes, install the lazy handler.  With
-    [?journal], eager progress is journaled so a crash mid-unlock can
-    be rolled back to fully-locked ([Sentry.recover] re-encrypts the
-    already-decrypted pages and aborts the unlock). *)
-let run ?journal pc (system : System.t) ~sensitive =
+(** Batched twin of [decrypt_region]: the region's encrypted pages are
+    gathered, frame-sorted and pushed through
+    [Page_crypt.decrypt_batch]; per-page fail-secure ordering (bit
+    cleared in [prepare], before the transform) and the trailing DMA
+    coherence sweep are identical. *)
+let decrypt_region_batched ?journal pc proc (region : Address_space.region) =
+  let pid = proc.Process.pid in
+  let work =
+    Array.of_list
+      (List.filter
+         (fun (_, pte) -> pte.Page_table.present && pte.Page_table.encrypted)
+         (Address_space.region_ptes proc.Process.aspace region))
+  in
+  Array.stable_sort (fun (_, a) (_, b) -> compare a.Page_table.frame b.Page_table.frame) work;
+  let items =
+    Array.map (fun (vpn, pte) -> { Page_crypt.pid; vpn; frame = pte.Page_table.frame }) work
+  in
+  let pending = ref 0 in
+  let flush j =
+    if !pending > 0 then begin
+      Lock_journal.record_batch j ~pid ~pages:!pending;
+      pending := 0
+    end
+  in
+  Page_crypt.decrypt_batch pc items
+    ~prepare:(fun i -> (snd work.(i)).Page_table.encrypted <- false)
+    ~complete:(fun i ->
+      (snd work.(i)).Page_table.young <- true;
+      match journal with
+      | Some j ->
+          incr pending;
+          if !pending >= Lock_journal.coalesce then flush j
+      | None -> ());
+  Option.iter flush journal;
+  (match region.Address_space.kind with
+  | Address_space.Dma ->
+      dma_coherence_sweep (Page_crypt.machine pc)
+        (Address_space.region_ptes proc.Process.aspace region)
+  | Address_space.Normal | Address_space.Shared _ -> ());
+  Array.length items
+
+(* The eager part of unlock, parameterized over the region-decrypt
+   engine (batched or per-page): decrypt DMA regions, re-admit
+   processes, install the lazy handler. *)
+let run_with ~region_decrypt ?journal pc (system : System.t) ~sensitive =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
@@ -66,16 +149,7 @@ let run ?journal pc (system : System.t) ~sensitive =
       List.iter
         (fun region ->
           match region.Address_space.kind with
-          | Address_space.Dma ->
-              dma_pages := !dma_pages + decrypt_region ?journal pc proc region;
-              (* devices read these frames physically, bypassing the
-                 cache: clean the decrypted lines out to DRAM (standard
-                 pre-DMA coherence maintenance) *)
-              List.iter
-                (fun (_, pte) ->
-                  Pl310.clean_invalidate_range (Machine.l2 machine) pte.Page_table.frame
-                    Page.size)
-                (Address_space.region_ptes proc.Process.aspace region)
+          | Address_space.Dma -> dma_pages := !dma_pages + region_decrypt ?journal pc proc region
           | Address_space.Normal | Address_space.Shared _ -> ())
         (Address_space.regions proc.Process.aspace);
       Sched.make_schedulable system.System.sched proc)
@@ -89,16 +163,38 @@ let run ?journal pc (system : System.t) ~sensitive =
     energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
   }
 
-(** Eager-everything alternative (the ablation Fig 2 is compared
-    against): decrypt every page of every sensitive process now. *)
-let run_eager pc (system : System.t) ~sensitive =
+(** [run pc system ~sensitive] — the eager part of unlock through the
+    batched pipeline (the default): each DMA region's pages are
+    frame-sorted and decrypted as one batch, followed by one coalesced
+    pre-DMA coherence sweep.  With [?journal], eager progress is
+    journaled (coalesced per [Lock_journal.coalesce] pages) so a crash
+    mid-unlock can be rolled back to fully-locked ([Sentry.recover]
+    re-encrypts the already-decrypted pages and aborts the unlock). *)
+let run ?journal pc system ~sensitive =
+  run_with ~region_decrypt:decrypt_region_batched ?journal pc system ~sensitive
+
+(** The page-at-a-time reference unlock. *)
+let run_per_page ?journal pc system ~sensitive =
+  run_with ~region_decrypt:decrypt_region ?journal pc system ~sensitive
+
+(* The eager-everything ablation, parameterized like [run_with]. *)
+let run_eager_with ~region_decrypt pc (system : System.t) ~sensitive =
   let pages = ref 0 in
   List.iter
     (fun proc ->
       List.iter
-        (fun region -> pages := !pages + decrypt_region pc proc region)
+        (fun region -> pages := !pages + region_decrypt ?journal:None pc proc region)
         (Address_space.regions proc.Process.aspace);
       Sched.make_schedulable system.System.sched proc)
     sensitive;
   Vm.set_fault_handler system.System.vm (fault_handler pc);
   !pages
+
+(** Eager-everything alternative (the ablation Fig 2 is compared
+    against): decrypt every page of every sensitive process now,
+    region by region through the batch engine. *)
+let run_eager pc system ~sensitive = run_eager_with ~region_decrypt:decrypt_region_batched pc system ~sensitive
+
+(** The page-at-a-time eager ablation. *)
+let run_eager_per_page pc system ~sensitive =
+  run_eager_with ~region_decrypt:decrypt_region pc system ~sensitive

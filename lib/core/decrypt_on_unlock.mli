@@ -12,21 +12,40 @@ type stats = {
 }
 
 (** The lazy fault handler installed while the device is unlocked:
-    decrypts an encrypted page on first touch and sets its young
-    bit. *)
+    decrypts an encrypted page on first touch and sets its young bit.
+    Fail-secure: the PTE's [encrypted] bit is cleared before the
+    cleartext lands, so a crash mid-handler is re-encrypted by the
+    recovery sweep. *)
 val fault_handler : Page_crypt.t -> Vm.fault_handler
 
 (** Decrypt every still-encrypted page of one region now; returns the
-    page count. *)
+    page count.  DMA regions end with the pre-DMA coherence sweep
+    (decrypted lines cleaned out to DRAM, contiguous frames coalesced
+    into single maintenance calls). *)
 val decrypt_region :
   ?journal:Lock_journal.t -> Page_crypt.t -> Process.t -> Address_space.region -> int
 
-(** The standard (lazy) unlock: eager DMA decrypt + handler install +
-    re-admission to the scheduler.  With [?journal], eager progress is
-    journaled so a crash mid-unlock can be rolled back ([Sentry.recover]
-    re-encrypts and aborts the unlock). *)
+(** Batched twin of [decrypt_region]: frame-sorted
+    [Page_crypt.decrypt_batch] with coalesced journal records; same
+    per-page fail-secure ordering and coherence sweep. *)
+val decrypt_region_batched :
+  ?journal:Lock_journal.t -> Page_crypt.t -> Process.t -> Address_space.region -> int
+
+(** The standard (lazy) unlock through the batched pipeline (the
+    default): eager DMA decrypt + handler install + re-admission to
+    the scheduler.  With [?journal], eager progress is journaled so a
+    crash mid-unlock can be rolled back ([Sentry.recover] re-encrypts
+    and aborts the unlock). *)
 val run : ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
+
+(** The page-at-a-time reference unlock; the batched [run] is
+    differentially tested against it. *)
+val run_per_page :
+  ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
 
 (** The eager-everything ablation: decrypt every page of every
     sensitive process at unlock time; returns total pages. *)
 val run_eager : Page_crypt.t -> System.t -> sensitive:Process.t list -> int
+
+(** The page-at-a-time eager ablation. *)
+val run_eager_per_page : Page_crypt.t -> System.t -> sensitive:Process.t list -> int

@@ -48,13 +48,26 @@ let encrypt_process ?journal pc ~all_procs proc =
     (Address_space.regions aspace);
   (!pages, !skipped)
 
-(** [run pc system ~sensitive ~background] executes the full lock
-    sequence over the sensitive process set.  With [?journal], walk
-    progress is journaled per page and the pass committed at the end,
-    making an interrupted lock recoverable ([Sentry.recover]).  The
-    walk itself is idempotent (keyed off PTE [encrypted] bits), so
-    recovery simply re-runs it. *)
-let run ?journal pc (system : System.t) ~sensitive ~background =
+let finish_lock ?journal (system : System.t) ~sensitive ~background =
+  List.iter
+    (fun proc ->
+      (* the Locked_out guard makes parking idempotent for the
+         recovery re-run (make_unschedulable would double-push) *)
+      if (not (background proc)) && proc.Process.state <> Process.Locked_out then
+        Sched.make_unschedulable system.System.sched proc)
+    sensitive;
+  Option.iter Lock_journal.commit journal;
+  (* no plaintext may survive in unlocked cache ways *)
+  Pl310.flush_masked (Machine.l2 system.System.machine)
+
+(** [run_per_page pc system ~sensitive ~background] executes the full
+    lock sequence over the sensitive process set, one page at a time
+    (the reference pipeline the batched [run] is differentially tested
+    against).  With [?journal], walk progress is journaled per page
+    and the pass committed at the end, making an interrupted lock
+    recoverable ([Sentry.recover]).  The walk itself is idempotent
+    (keyed off PTE [encrypted] bits), so recovery simply re-runs it. *)
+let run_per_page ?journal pc (system : System.t) ~sensitive ~background =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
@@ -71,18 +84,93 @@ let run ?journal pc (system : System.t) ~sensitive ~background =
     (fun proc ->
       let p, s = encrypt_process ?journal pc ~all_procs:system.System.procs proc in
       pages := !pages + p;
-      skipped := !skipped + s;
-      (* the Locked_out guard makes parking idempotent for the
-         recovery re-run (make_unschedulable would double-push) *)
-      if (not (background proc)) && proc.Process.state <> Process.Locked_out then
-        Sched.make_unschedulable system.System.sched proc)
+      skipped := !skipped + s)
     sensitive;
-  Option.iter Lock_journal.commit journal;
-  (* no plaintext may survive in unlocked cache ways *)
-  Pl310.flush_masked (Machine.l2 machine);
+  finish_lock ?journal system ~sensitive ~background;
   {
     pages_encrypted = !pages;
     bytes_encrypted = !pages * Page.size;
+    pages_skipped_shared = !skipped;
+    freed_pages_zeroed = zeroed;
+    elapsed_ns = Clock.elapsed clock ~since:start;
+    energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
+  }
+
+(** [run pc system ~sensitive ~background] — the batched lock driver
+    (the default pipeline).  One pass over the page tables gathers
+    every (pid, vpn, frame) triple to encrypt (clearing young bits as
+    it goes), the work list is sorted by frame so the sweep walks DRAM
+    and the physically-indexed L2 monotonically, and the whole batch
+    goes through [Page_crypt.encrypt_batch] — one staging buffer, one
+    cached cipher schedule, the run-granule memory path.  Each page's
+    simulated op sequence and fail-secure ordering (ciphertext, then
+    PTE flag, then journal) are exactly [run_per_page]'s; journal
+    records are coalesced per [Lock_journal.coalesce] pages, an
+    under-count recovery tolerates by design. *)
+let run ?journal pc (system : System.t) ~sensitive ~background =
+  let machine = system.System.machine in
+  let clock = Machine.clock machine in
+  let start = Clock.now clock in
+  let energy0 = Energy.category (Machine.energy machine) "aes" in
+  (* freed-page barrier *)
+  let zeroed = Zerod.drain system.System.zerod in
+  let skipped = ref 0 in
+  Option.iter
+    (fun j ->
+      let pid = match sensitive with p :: _ -> p.Process.pid | [] -> 0 in
+      Lock_journal.begin_pass j Lock_journal.Lock_pass ~pid)
+    journal;
+  (* gather: same per-PTE walk effects as [encrypt_process], with the
+     transforms deferred to the batch *)
+  let work = ref [] in
+  List.iter
+    (fun proc ->
+      let pid = proc.Process.pid in
+      let aspace = proc.Process.aspace in
+      List.iter
+        (fun region ->
+          if Share_policy.should_encrypt ~all_procs:system.System.procs region then
+            List.iter
+              (fun (vpn, pte) ->
+                if pte.Page_table.present && not pte.Page_table.encrypted then
+                  work := (pid, vpn, pte) :: !work;
+                pte.Page_table.young <- false)
+              (Address_space.region_ptes aspace region)
+          else skipped := !skipped + region.Address_space.npages)
+        (Address_space.regions aspace))
+    sensitive;
+  let work = Array.of_list (List.rev !work) in
+  (* stable, so layouts already walked in frame order (the common
+     case) keep their walk order exactly *)
+  Array.stable_sort
+    (fun (_, _, a) (_, _, b) -> compare a.Page_table.frame b.Page_table.frame)
+    work;
+  let items =
+    Array.map (fun (pid, vpn, pte) -> { Page_crypt.pid; vpn; frame = pte.Page_table.frame }) work
+  in
+  let pending = ref 0 and pending_pid = ref 0 in
+  let flush j =
+    if !pending > 0 then begin
+      Lock_journal.record_batch j ~pid:!pending_pid ~pages:!pending;
+      pending := 0
+    end
+  in
+  Page_crypt.encrypt_batch pc items ~complete:(fun i ->
+      let pid, _, pte = work.(i) in
+      (* fail-secure: ciphertext already in memory, now the PTE flag,
+         then the (coalesced) journal *)
+      pte.Page_table.encrypted <- true;
+      match journal with
+      | Some j ->
+          pending_pid := pid;
+          incr pending;
+          if !pending >= Lock_journal.coalesce then flush j
+      | None -> ());
+  Option.iter flush journal;
+  finish_lock ?journal system ~sensitive ~background;
+  {
+    pages_encrypted = Array.length work;
+    bytes_encrypted = Array.length work * Page.size;
     pages_skipped_shared = !skipped;
     freed_pages_zeroed = zeroed;
     elapsed_ns = Clock.elapsed clock ~since:start;

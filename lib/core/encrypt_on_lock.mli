@@ -12,13 +12,27 @@ type stats = {
 }
 
 (** [run pc system ~sensitive ~background] executes the full lock
-    sequence.  Processes for which [background] returns [true] stay
-    schedulable (the encrypted-DRAM pager will serve them); the rest
-    are parked on the un-schedulable queue.  With [?journal], walk
-    progress is journaled per encrypted page for crash recovery; the
-    walk is idempotent (keyed off PTE [encrypted] bits and guarded
+    sequence through the batched pipeline (the default): gather every
+    page to encrypt, sort by frame, push the whole batch through
+    [Page_crypt.encrypt_batch] with journal records coalesced per
+    [Lock_journal.coalesce] pages.  Processes for which [background]
+    returns [true] stay schedulable (the encrypted-DRAM pager will
+    serve them); the rest are parked on the un-schedulable queue.
+    With [?journal], walk progress is journaled for crash recovery;
+    the walk is idempotent (keyed off PTE [encrypted] bits and guarded
     parking), so recovery can simply re-run it. *)
 val run :
+  ?journal:Lock_journal.t ->
+  Page_crypt.t ->
+  System.t ->
+  sensitive:Sentry_kernel.Process.t list ->
+  background:(Sentry_kernel.Process.t -> bool) ->
+  stats
+
+(** The page-at-a-time reference pipeline (same sequence, per-page
+    journal records); the batched [run] is differentially tested
+    against it. *)
+val run_per_page :
   ?journal:Lock_journal.t ->
   Page_crypt.t ->
   System.t ->

@@ -96,6 +96,20 @@ let record t ~pid =
   t.cur_pages <- t.cur_pages + 1;
   write t
 
+(** Batched pipeline: one iRAM record write per [coalesce] pages.  A
+    crash loses at most [coalesce - 1] pages of corroboration — safe,
+    because the journal only ever under-counts ([pages_done] is a
+    lower bound) and recovery's sweep is keyed off PTE bits, not the
+    count. *)
+let coalesce = 4
+
+(** [record_batch t ~pid ~pages] — [pages] more pages transformed,
+    folded into a single record write. *)
+let record_batch t ~pid ~pages =
+  t.cur_pid <- pid;
+  t.cur_pages <- t.cur_pages + pages;
+  write t
+
 (** Close the pass: back to idle. *)
 let commit t =
   trace t "journal-commit";

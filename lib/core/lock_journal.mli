@@ -31,6 +31,16 @@ val begin_pass : t -> pass -> pid:int -> unit
 (** One more page fully transformed in process [pid]. *)
 val record : t -> pid:int -> unit
 
+(** Pages per record write in the batched pipeline.  Mid-pass the
+    journaled [pages_done] is a lower bound, trailing reality by up to
+    [coalesce - 1] pages — safe, as recovery's sweep is keyed off PTE
+    bits and the count only corroborates. *)
+val coalesce : int
+
+(** [record_batch t ~pid ~pages] — [pages] more pages transformed in
+    process [pid], folded into one iRAM record write. *)
+val record_batch : t -> pid:int -> pages:int -> unit
+
 (** Close the pass: record returns to idle. *)
 val commit : t -> unit
 

@@ -15,6 +15,7 @@ type t = {
   aes : Aes_on_soc.t;
   mutable essiv : Essiv.t; (* replaced when recovery re-keys after power loss *)
   page_buf : Bytes.t; (* reused staging buffer for the frame paths *)
+  iv_buf : Bytes.t; (* reused IV buffer for the batch paths *)
   mutable bytes_encrypted : int;
   mutable bytes_decrypted : int;
 }
@@ -25,9 +26,12 @@ let create machine ~aes ~volatile_key =
     aes;
     essiv = Essiv.create ~key:volatile_key;
     page_buf = Bytes.create Page.size;
+    iv_buf = Bytes.create 16;
     bytes_encrypted = 0;
     bytes_decrypted = 0;
   }
+
+let machine t = t.machine
 
 (** [rekey t ~volatile_key] — rebuild the per-page IV derivation under
     a fresh volatile key (crash recovery: the old key died with the
@@ -92,6 +96,63 @@ let decrypt_frame t ~pid ~vpn ~frame =
   Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
       Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
   Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_decrypted
+
+(* ----------------------- batched pipeline ------------------------ *)
+
+(** One page of a batched lock/unlock pass; [frame] is the physical
+    frame address.  The caller sorts items by frame so the walk sweeps
+    DRAM (and the physically-indexed L2) monotonically. *)
+type batch_item = { pid : int; vpn : int; frame : int }
+
+(* One batched page transform.  The per-page op sequence — trace,
+   cached read, counter, fault hooks, cipher charge bracket, tainted
+   write-back — replicates [encrypt_frame]/[decrypt_frame] {e
+   exactly}, so the simulated state evolution per page is identical;
+   the batch engine only changes the host-side machinery around it
+   (run-granule memory path, reused IV buffer, fused cipher kernel,
+   one cached [Mode] across the batch). *)
+let transform_item t ~(dir : [ `Encrypt | `Decrypt ]) { pid; vpn; frame } =
+  trace_frame t (match dir with `Encrypt -> "encrypt-frame" | `Decrypt -> "decrypt-frame") ~pid
+    ~vpn ~frame;
+  Machine.read_run_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
+  (match dir with
+  | `Encrypt -> t.bytes_encrypted <- t.bytes_encrypted + Page.size
+  | `Decrypt -> t.bytes_decrypted <- t.bytes_decrypted + Page.size);
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.frame_transform;
+  Essiv.iv_into t.essiv ~sector:((pid lsl 24) lxor vpn) t.iv_buf 0;
+  Aes_on_soc.bulk_fused_into t.aes ~dir ~iv:t.iv_buf ~iv_off:0 ~src:t.page_buf ~src_off:0
+    ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
+  let level = match dir with `Encrypt -> Taint.Ciphertext | `Decrypt -> Taint.Secret_cleartext in
+  Machine.with_taint t.machine level (fun () ->
+      Machine.write_run_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
+  Sentry_faults.Injector.fire
+    (match dir with
+    | `Encrypt -> Sentry_faults.Injector.Points.page_encrypted
+    | `Decrypt -> Sentry_faults.Injector.Points.page_decrypted)
+
+(** [encrypt_batch t items ~complete] — the lock path's batch engine:
+    encrypt every item's frame in place, calling [complete i]
+    immediately after item [i]'s ciphertext (and its fault hook) lands
+    — the caller flips the PTE and journals there, preserving the
+    per-page fail-secure ordering of [encrypt_frame]. *)
+let encrypt_batch t items ~complete =
+  Array.iteri
+    (fun i item ->
+      transform_item t ~dir:`Encrypt item;
+      complete i)
+    items
+
+(** [decrypt_batch t items ~prepare ~complete] — the unlock twin:
+    [prepare i] runs {e before} item [i] is touched (the caller clears
+    the PTE's encrypted bit there — fail-secure: a crash mid-transform
+    re-encrypts on recovery), [complete i] after the cleartext lands. *)
+let decrypt_batch t items ~prepare ~complete =
+  Array.iteri
+    (fun i item ->
+      prepare i;
+      transform_item t ~dir:`Decrypt item;
+      complete i)
+    items
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

@@ -7,6 +7,8 @@ type t
 
 val create : Machine.t -> aes:Sentry_crypto.Aes_on_soc.t -> volatile_key:Bytes.t -> t
 
+val machine : t -> Machine.t
+
 (** Rebuild the IV derivation under a fresh volatile key (crash
     recovery after power loss); the [t] and every reference to it
     stay valid.  Re-key the AES context separately. *)
@@ -23,6 +25,28 @@ val encrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
 
 (** Decrypt a physical frame in place. *)
 val decrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
+
+(** {2 Batched pipeline}
+
+    The batch engine transforms a pre-gathered, frame-sorted set of
+    pages through one reused staging buffer, one reused IV buffer and
+    the fused cipher kernel.  Each page's simulated op sequence (read,
+    fault hooks, cipher charge, tainted write-back) is exactly
+    [encrypt_frame]/[decrypt_frame]'s, so per-page observables are
+    bit-identical; only host-side overhead changes. *)
+
+(** One page of a batch; [frame] is the physical frame address. *)
+type batch_item = { pid : int; vpn : int; frame : int }
+
+(** Encrypt every item in order; [complete i] fires right after item
+    [i]'s ciphertext and its [page_encrypted] fault hook — flip the
+    PTE and journal there (fail-secure ordering). *)
+val encrypt_batch : t -> batch_item array -> complete:(int -> unit) -> unit
+
+(** Decrypt every item in order; [prepare i] fires before item [i] is
+    read (clear the PTE's encrypted bit there — fail-secure), and
+    [complete i] after the cleartext and the [page_decrypted] hook. *)
+val decrypt_batch : t -> batch_item array -> prepare:(int -> unit) -> complete:(int -> unit) -> unit
 
 (** (bytes encrypted, bytes decrypted) since the last reset — the
     counters behind the Figs 2-4 "MBytes" series. *)

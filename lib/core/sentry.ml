@@ -19,6 +19,14 @@ open Sentry_kernel
 
 type resumed = Resumed_lock | Rolled_back_unlock
 
+(** Which lock/unlock engine drives the walks.  [Batched] (the
+    default) gathers, frame-sorts and transforms pages through the
+    batch engine with coalesced journal records; [Per_page] is the
+    page-at-a-time reference pipeline.  Per-page simulated observables
+    are identical; the two differ only in journal granularity and
+    host-side speed. *)
+type pipeline = Batched | Per_page
+
 type recovery_stats = {
   resumed : resumed;
   pages_fixed : int;  (** pages (re-)transformed by the recovery sweep *)
@@ -43,6 +51,7 @@ type t = {
      Never lives in simulated memory, so it is invisible to the
      modeled attacks. *)
   volatile_key_check : Bytes.t;
+  mutable pipeline : pipeline;
   mutable sensitive : Process.t list;
   mutable background_enabled : Process.t list;
   mutable last_lock : Encrypt_on_lock.stats option;
@@ -149,6 +158,7 @@ let install (system : System.t) (config : Config.t) =
     background;
     journal;
     volatile_key_check = Bytes.copy volatile_key;
+    pipeline = Batched;
     sensitive = [];
     background_enabled = [];
     last_lock = None;
@@ -157,6 +167,18 @@ let install (system : System.t) (config : Config.t) =
   }
 
 let state t = Lock_state.state t.lock_state
+let pipeline t = t.pipeline
+let set_pipeline t p = t.pipeline <- p
+
+(* Pipeline-dispatched walk drivers. *)
+let lock_walk t =
+  (match t.pipeline with Batched -> Encrypt_on_lock.run | Per_page -> Encrypt_on_lock.run_per_page)
+    ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
+    ~background:(fun p -> List.memq p t.background_enabled)
+
+let unlock_walk t =
+  (match t.pipeline with Batched -> Decrypt_on_unlock.run | Per_page -> Decrypt_on_unlock.run_per_page)
+    ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
 let is_locked t = state t = Lock_state.Locked || state t = Lock_state.Deep_locked
 
 (** Mark an application for protection (the systems-settings menu
@@ -188,10 +210,7 @@ let install_locked_fault_handler t =
 let lock t =
   let start_ns = machine_now t in
   Lock_state.begin_lock t.lock_state;
-  let stats =
-    Encrypt_on_lock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
-      ~background:(fun p -> List.memq p t.background_enabled)
-  in
+  let stats = lock_walk t in
   install_locked_fault_handler t;
   Lock_state.finish_lock t.lock_state;
   t.last_lock <- Some stats;
@@ -214,7 +233,7 @@ let unlock t ~pin =
   | Error e -> Error e
   | Ok () ->
       Option.iter Background.evict_all t.background;
-      let stats = Decrypt_on_unlock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive in
+      let stats = unlock_walk t in
       Lock_state.finish_unlock t.lock_state;
       t.last_unlock <- Some stats;
       if Sentry_obs.Trace.on () then
@@ -273,11 +292,12 @@ let recover t =
       let rekeyed = ensure_key t in
       (* The sweep is the lock walk itself: every present, unencrypted
          page of a should-encrypt region gets ciphertext — completing
-         an interrupted lock and un-doing an interrupted unlock alike. *)
-      let stats =
-        Encrypt_on_lock.run ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
-          ~background:(fun p -> List.memq p t.background_enabled)
-      in
+         an interrupted lock and un-doing an interrupted unlock alike.
+         A surviving journal record's [pages_done] is a lower bound
+         under the batched pipeline (records coalesce per
+         [Lock_journal.coalesce] pages) — corroboration either way;
+         the sweep is keyed off PTE bits, not the count. *)
+      let stats = lock_walk t in
       install_locked_fault_handler t;
       let resumed =
         match interrupted with
@@ -322,7 +342,12 @@ let unlock_eager t ~pin =
   | Error e -> Error e
   | Ok () ->
       Option.iter Background.evict_all t.background;
-      let pages = Decrypt_on_unlock.run_eager t.pc t.system ~sensitive:t.sensitive in
+      let pages =
+        (match t.pipeline with
+        | Batched -> Decrypt_on_unlock.run_eager
+        | Per_page -> Decrypt_on_unlock.run_eager_per_page)
+          t.pc t.system ~sensitive:t.sensitive
+      in
       Lock_state.finish_unlock t.lock_state;
       Ok pages
 

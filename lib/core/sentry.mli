@@ -26,6 +26,16 @@ val install : System.t -> Config.t -> t
 val state : t -> Lock_state.state
 val is_locked : t -> bool
 
+(** Which engine drives lock/unlock walks: [Batched] (default —
+    gather, frame-sort, batch-transform, coalesced journal records) or
+    the page-at-a-time [Per_page] reference.  Per-page simulated
+    observables are identical; only journal granularity and host-side
+    speed differ. *)
+type pipeline = Batched | Per_page
+
+val pipeline : t -> pipeline
+val set_pipeline : t -> pipeline -> unit
+
 (** Mark an application for protection (the settings-menu extension
     of §7). *)
 val mark_sensitive : t -> Sentry_kernel.Process.t -> unit

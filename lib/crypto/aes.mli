@@ -17,6 +17,21 @@ val encrypt_block : key -> Bytes.t -> int -> Bytes.t -> int -> unit
     no separate decryption schedule is stored). *)
 val decrypt_block : key -> Bytes.t -> int -> Bytes.t -> int -> unit
 
+(** [cbc_encrypt_into k ~iv ?iv_off src src_off dst dst_off nblocks]
+    encrypts [nblocks] contiguous 16-byte blocks in CBC mode with the
+    chain held in scalar registers (no per-block buffer traffic); the
+    AES-128 round structure is fully unrolled.  This is the batched
+    lock pipeline's page kernel.  [src] and [dst] may alias at equal
+    offsets.  Output is bit-identical to chaining [encrypt_block]
+    by hand (and is differentially tested against [Mode]). *)
+val cbc_encrypt_into :
+  key -> iv:Bytes.t -> ?iv_off:int -> Bytes.t -> int -> Bytes.t -> int -> int -> unit
+
+(** [cbc_decrypt_into k ~iv ?iv_off buf off nblocks] decrypts
+    [nblocks] contiguous blocks of [buf] {e in place} in CBC mode —
+    the unlock twin of [cbc_encrypt_into]. *)
+val cbc_decrypt_into : key -> iv:Bytes.t -> ?iv_off:int -> Bytes.t -> int -> int -> unit
+
 (** One-shot block APIs (fresh output buffer). *)
 val encrypt_block_copy : key -> Bytes.t -> Bytes.t
 

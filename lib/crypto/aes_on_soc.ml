@@ -23,6 +23,7 @@ type t = {
   base : int;
   mutable block : Aes_block.t;
   mutable fast_cipher : Mode.cipher; (* host-side twin for the bulk path *)
+  mutable fast_key : Aes.key; (* same schedule, for the fused page kernel *)
   scratch : Mode.scratch; (* reusable CBC chaining buffers *)
   chain : Bytes.t; (* batch-to-batch chaining block for [transform] *)
   variant : Perf.variant;
@@ -50,12 +51,14 @@ let create machine ~storage ~base ~key =
     | In_iram | In_pinned -> Perf.Onsoc_iram (* SRAM-class timing *)
     | In_locked_l2 -> Perf.Onsoc_locked_l2
   in
+  let expanded = Aes.expand key in
   {
     machine;
     storage;
     base;
     block;
-    fast_cipher = Mode.of_key (Aes.expand key);
+    fast_cipher = Mode.of_key expanded;
+    fast_key = expanded;
     scratch = Mode.make_scratch ();
     chain = Bytes.create 16;
     variant;
@@ -142,6 +145,33 @@ let bulk_into t ~(dir : [ `Encrypt | `Decrypt ]) ~iv ~src ~src_off ~dst ~dst_off
         ]
       (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt")
 
+(** Batch-pipeline twin of [bulk_into]: same IV check, same IRQ
+    bracket, same [Perf] charge, same trace span — but the bytes go
+    through the fused register-chained CBC kernel ([Aes.cbc_*_into])
+    instead of the [Mode] wrapper.  For [`Decrypt] the transform is in
+    place over [dst] (so [src]/[src_off] are implied); output is
+    bit-identical to [bulk_into] either way. *)
+let bulk_fused_into t ~(dir : [ `Encrypt | `Decrypt ]) ~iv ~iv_off ~src ~src_off ~dst ~dst_off
+    ~len =
+  if iv_off < 0 || iv_off + 16 > Bytes.length iv then
+    invalid_arg "Aes_on_soc.bulk_fused_into: bad IV";
+  if len mod 16 <> 0 then invalid_arg "Aes_on_soc.bulk_fused_into: not block aligned";
+  let start_ns = Clock.now (Machine.clock t.machine) in
+  with_protected_registers t ~sensitive:(key_schedule_head t) (fun () ->
+      Perf.charge t.machine t.variant ~bytes:len;
+      match dir with
+      | `Encrypt -> Aes.cbc_encrypt_into t.fast_key ~iv ~iv_off src src_off dst dst_off (len / 16)
+      | `Decrypt -> Aes.cbc_decrypt_into t.fast_key ~iv ~iv_off dst dst_off (len / 16));
+  if Sentry_obs.Trace.on () then
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.aes_on_soc" ~start_ns
+      ~end_ns:(Clock.now (Machine.clock t.machine))
+      ~args:
+        [
+          ("storage", Sentry_obs.Event.Str (storage_name t.storage));
+          ("bytes", Sentry_obs.Event.Int len);
+        ]
+      (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt")
+
 (** Allocating wrapper over [bulk_into]; identical cost and trace. *)
 let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
   let n = Bytes.length data in
@@ -155,7 +185,9 @@ let set_key t key =
   t.block <-
     Machine.with_taint t.machine Taint.Secret_cleartext (fun () ->
         Aes_block.init t.block.Aes_block.acc ~key);
-  t.fast_cipher <- Mode.of_key (Aes.expand key)
+  let expanded = Aes.expand key in
+  t.fast_cipher <- Mode.of_key expanded;
+  t.fast_key <- expanded
 
 (** Register with a [Crypto_api] {e above} the generic cipher and any
     accelerator driver, so legacy Crypto-API users (dm-crypt) pick up

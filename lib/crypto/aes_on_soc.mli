@@ -52,6 +52,25 @@ val bulk_into :
   len:int ->
   unit
 
+(** Batch-pipeline twin of [bulk_into]: identical IRQ bracket, modeled
+    charge and trace span, but the bytes run through the fused
+    register-chained CBC page kernel ([Aes.cbc_*_into]) instead of the
+    [Mode] wrapper.  [`Decrypt] transforms [dst] in place ([src] is
+    ignored); output is bit-identical to [bulk_into].  [iv_off] gives
+    the 16-byte IV's offset inside [iv] so callers can reuse one IV
+    buffer across a batch. *)
+val bulk_fused_into :
+  t ->
+  dir:[ `Encrypt | `Decrypt ] ->
+  iv:Bytes.t ->
+  iv_off:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
 (** Re-key: rewrites the on-SoC context and the bulk twin together. *)
 val set_key : t -> Bytes.t -> unit
 

@@ -10,11 +10,20 @@ type t = { salt_key : Aes.key }
 (** [create ~key] hashes the volume key into the IV-generating key. *)
 let create ~key = { salt_key = Aes.expand (Sha256.digest key) }
 
-(** [iv t ~sector] is the 16-byte IV for the given sector number
-    (little-endian encoded, zero padded). *)
-let iv t ~sector =
-  let block = Bytes.make 16 '\000' in
+(** [iv_into t ~sector dst off] writes the 16-byte IV for the given
+    sector number (little-endian encoded, zero padded) into [dst] at
+    [off] without allocating — the batch pipeline generates one IV per
+    page and reuses a single buffer. *)
+let iv_into t ~sector dst off =
+  if off < 0 || off + 16 > Bytes.length dst then invalid_arg "Essiv.iv_into: bad view";
+  Bytes.fill dst off 16 '\000';
   for i = 0 to 7 do
-    Bytes.set block i (Char.chr ((sector lsr (8 * i)) land 0xff))
+    Bytes.set dst (off + i) (Char.chr ((sector lsr (8 * i)) land 0xff))
   done;
-  Aes.encrypt_block_copy t.salt_key block
+  Aes.encrypt_block t.salt_key dst off dst off
+
+(** [iv t ~sector] is the 16-byte IV for the given sector number. *)
+let iv t ~sector =
+  let block = Bytes.create 16 in
+  iv_into t ~sector block 0;
+  block

@@ -8,3 +8,7 @@ val create : key:Bytes.t -> t
 (** The 16-byte IV for a sector (or any other stable identifier, such
     as Sentry's (pid, vpn) page tag). *)
 val iv : t -> sector:int -> Bytes.t
+
+(** Allocation-free twin of [iv]: writes the 16 bytes into [dst] at
+    the given offset (the batch pipeline reuses one IV buffer). *)
+val iv_into : t -> sector:int -> Bytes.t -> int -> unit

@@ -1,0 +1,77 @@
+(** Fleet throughput: batched vs per-page lock/unlock pipeline over a
+    multi-tenant fleet at N ∈ {4, 32, 128} processes.
+
+    The simulated columns (unlock-to-first-touch, AES energy) are
+    pipeline-independent by construction; the host-side
+    [lock_pages_per_s] column is what the batch engine buys.  Wall
+    clock is environment sensitive, so the table reports a same-run
+    ratio rather than absolute promises. *)
+
+open Sentry_util
+open Sentry_workloads
+
+let fleet_sizes = [ 4; 32; 128 ]
+
+(* Best host throughput over [trials] runs: the simulated outputs are
+   deterministic, so repeated runs only tighten the wall-clock
+   estimate against scheduler noise. *)
+let best_of ~trials cfg =
+  let best = ref None in
+  for _ = 1 to trials do
+    let s = Fleet.run cfg in
+    match !best with
+    | Some b when b.Fleet.lock_pages_per_s >= s.Fleet.lock_pages_per_s -> ()
+    | _ -> best := Some s
+  done;
+  Option.get !best
+
+let measure ?(trials = 3) n =
+  let cfg =
+    {
+      Fleet.default with
+      Fleet.procs = n;
+      pages_per_proc = 16;
+      cycles = 2;
+      service_wakes = 1;
+      io_sectors = 8;
+    }
+  in
+  let batched = best_of ~trials { cfg with Fleet.pipeline = Sentry_core.Sentry.Batched } in
+  let per_page = best_of ~trials { cfg with Fleet.pipeline = Sentry_core.Sentry.Per_page } in
+  (batched, per_page)
+
+let run () =
+  let results = List.map (fun n -> (n, measure n)) fleet_sizes in
+  let rows =
+    List.map
+      (fun (n, (b, p)) ->
+        [
+          string_of_int n;
+          string_of_int b.Fleet.pages_locked;
+          Printf.sprintf "%.0f" b.Fleet.lock_pages_per_s;
+          Printf.sprintf "%.0f" p.Fleet.lock_pages_per_s;
+          Printf.sprintf "%.2fx" (b.Fleet.lock_pages_per_s /. p.Fleet.lock_pages_per_s);
+          Printf.sprintf "%.1f us" (b.Fleet.unlock_to_first_touch_ns /. 1e3);
+          Printf.sprintf "%.3f J" b.Fleet.energy_j;
+        ])
+      results
+  in
+  [
+    Table.make ~title:"Fleet: batched vs per-page lock/unlock throughput"
+      ~header:
+        [
+          "Procs";
+          "Pages locked";
+          "Batched pages/s";
+          "Per-page pages/s";
+          "Speedup";
+          "Unlock->touch (sim)";
+          "AES energy (sim)";
+        ]
+      ~notes:
+        [
+          "Host wall-clock throughput; simulated columns are identical across pipelines.";
+          "Speedup is a same-run ratio, so scheduler noise largely cancels.";
+        ]
+      rows;
+  ]

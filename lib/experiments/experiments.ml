@@ -28,6 +28,7 @@ let all =
     { id = "motivation"; description = "selective-encryption motivation"; run = Exp_motivation.run };
     { id = "ablations"; description = "design-choice ablations"; run = Exp_ablations.run };
     { id = "pinned"; description = "S10 pin-on-SoC architecture suggestion"; run = Exp_pinned.run };
+    { id = "fleet"; description = "batched vs per-page fleet lock throughput"; run = Exp_fleet.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -22,18 +22,37 @@ type t = {
 let create machine =
   { machine; run_queue = []; locked_queue = []; current = None; switches = 0; spills = 0 }
 
-let admit t proc = t.run_queue <- t.run_queue @ [ proc ]
+(** Enqueue a runnable process.  Guarded three ways: a [Locked_out]
+    process never enters the run queue — admitting one would schedule
+    a parked process against its own ciphertext; a pid already queued
+    is not enqueued twice, which would make it run twice per
+    round-robin rotation; and the currently-running pid is not queued
+    either — the next context switch re-appends it, which would
+    duplicate it the same way. *)
+let admit t proc =
+  let running =
+    match t.current with Some p -> p.Process.pid = proc.Process.pid | None -> false
+  in
+  if
+    proc.Process.state <> Process.Locked_out
+    && (not running)
+    && not (List.exists (fun p -> p.Process.pid = proc.Process.pid) t.run_queue)
+  then t.run_queue <- t.run_queue @ [ proc ]
 
 let current t = t.current
 
-(** Park a process on the un-schedulable queue (Sentry lock path). *)
+(** Park a process on the un-schedulable queue (Sentry lock path).
+    Idempotent: re-parking an already-parked pid (recovery re-runs,
+    overlapping lock requests) must not cons a second entry, or the
+    queue holds the process twice. *)
 let make_unschedulable t proc =
   proc.Process.state <- Process.Locked_out;
   t.run_queue <- List.filter (fun p -> p.Process.pid <> proc.Process.pid) t.run_queue;
   (match t.current with
   | Some p when p.Process.pid = proc.Process.pid -> t.current <- None
   | _ -> ());
-  t.locked_queue <- proc :: t.locked_queue
+  if not (List.exists (fun p -> p.Process.pid = proc.Process.pid) t.locked_queue) then
+    t.locked_queue <- proc :: t.locked_queue
 
 (** Return a process to the run queue (unlock path). *)
 let make_schedulable t proc =
@@ -100,3 +119,5 @@ let context_switch t =
 let tick t = ignore (context_switch t)
 
 let stats t = (t.switches, t.spills)
+
+let queues t = (t.run_queue, t.locked_queue)

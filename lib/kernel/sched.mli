@@ -26,3 +26,8 @@ val tick : t -> unit
 
 (** (context switches, register spills). *)
 val stats : t -> int * int
+
+(** [(run_queue, locked_queue)], front first — an inspection view for
+    invariant checks: the queues are disjoint and duplicate-free, and
+    no [Locked_out] process appears on the run queue. *)
+val queues : t -> Process.t list * Process.t list

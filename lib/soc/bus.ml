@@ -90,6 +90,19 @@ let record_view t ~initiator ~taint op addr buf ~off ~len =
 let record t ~initiator ?(taint = Taint.Public) op addr data =
   record_view t ~initiator ~taint op addr data ~off:0 ~len:(Bytes.length data)
 
+(** [account t op len] — the accounting-only core of [record_view],
+    for callers that have already checked [monitored t = false] and
+    that tracing is off (the batched page pipeline's line loop): same
+    transaction counters and bus energy, nothing else.  Must never be
+    used when a monitor is attached or tracing is on — those paths
+    need the full [record_view]. *)
+let account t op len =
+  t.transactions <- t.transactions + 1;
+  (match op with
+  | Read -> t.bytes_read <- t.bytes_read + len
+  | Write -> t.bytes_written <- t.bytes_written + len);
+  Energy.meter_charge_bytes t.meter ~per_byte_j:Calib.dram_byte_j len
+
 let stats t = (t.transactions, t.bytes_read, t.bytes_written)
 
 let pp_op ppf = function Read -> Fmt.string ppf "R" | Write -> Fmt.string ppf "W"

@@ -52,6 +52,12 @@ val record_view :
   len:int ->
   unit
 
+(** The accounting-only core of [record_view] — identical transaction
+    counters and bus energy, no trace, no monitor delivery.  Only for
+    callers that have already checked [monitored t = false] and that
+    tracing is off (the batched page pipeline's line loop). *)
+val account : t -> op -> int -> unit
+
 (** (transaction count, bytes read, bytes written). *)
 val stats : t -> int * int * int
 

@@ -68,6 +68,15 @@ let check t addr len =
   if not (contains t addr && (len = 0 || contains t (addr + len - 1))) then
     invalid_arg (Printf.sprintf "Dram: access out of range 0x%x+%d" addr len)
 
+(** [validate t addr len] — the access check alone ([Powered_off] /
+    range), for fast paths that hoist it out of a per-line loop and
+    then touch the backing store directly. *)
+let validate = check
+
+(** The memory bus this DRAM answers on, for fast paths that inline
+    their own transaction accounting. *)
+let bus t = t.bus
+
 (** [read_into t ~initiator addr buf ~off ~len] fetches bytes over the
     bus straight into [buf] at [off] — the scatter-gather fast path:
     no intermediate buffer is allocated, and the recorded bus

@@ -52,6 +52,14 @@ val write_from :
   len:int ->
   unit
 
+(** The access check alone ([Powered_off] / range), for fast paths
+    that hoist it out of a per-line loop. *)
+val validate : t -> int -> int -> unit
+
+(** The memory bus this DRAM answers on, for fast paths that inline
+    their own transaction accounting. *)
+val bus : t -> Bus.t
+
 (** Lazily allocate the taint shadow (no-op when already enabled). *)
 val enable_taint : t -> unit
 

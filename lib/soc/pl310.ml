@@ -363,6 +363,212 @@ let write_from t ?(taint = Taint.Public) addr buf ~off ~len =
     (write-allocate), labelling the written bytes [taint]. *)
 let write t ?taint addr b = write_from t ?taint addr b ~off:0 ~len:(Bytes.length b)
 
+(* ------------------- batched run fast path ----------------------- *)
+
+(* The batched lock/unlock pipeline moves whole pages per call, so the
+   per-line host overhead of the generic path (per-call dispatch, the
+   per-miss 8-way [count_unlocked] rescan, the [Dram] call envelope
+   with its per-access bounds check and trace/monitor tests) is paid
+   4096/32 = 128 times per page.  [read_run_into]/[write_run_from]
+   run the same per-line state machine in one tight loop with those
+   invariants hoisted.  Simulated behaviour is {e bit-identical} to
+   [read_into]/[write_from]: the same per-line sequence of stats
+   updates, [Clock.advance] calls, energy charges, bus transactions,
+   DRAM blits, victim choices and memo updates (differentially
+   tested).  Whenever an observer could tell the difference — tracing
+   on, a bus monitor attached, a write-back hook installed — the run
+   falls back to the generic path, which is the same state machine
+   with the observers wired in. *)
+
+let run_fast_ok t =
+  (not (Sentry_obs.Trace.on ())) && t.on_writeback = None && not (Bus.monitored (Dram.bus t.dram))
+
+(* The tight loop.  [any_unlocked] is the hoisted
+   [count_unlocked t 0 0 > 0] (the lockdown register cannot change
+   inside a run).  Per-line behaviour mirrors [access_chunk] exactly
+   — same stats/clock/energy/bus/blit/victim sequence; see the
+   charge-order comments there.  Everything loop-invariant (geometry,
+   the DRAM backing store and its shadow, the lockdown mask, the stats
+   and charging handles) lives in locals, and array/bytes accesses are
+   unsafe: set/way indices are masked or register-bounded, line
+   offsets bounded by the chunk computation, the caller view by
+   [check_view], and DRAM offsets by the one-shot whole-run
+   [Dram.validate] below (write-back addresses are in range by
+   construction — tags only ever come from in-range fills).
+
+   The generic path validates DRAM lazily per miss; here the first
+   DRAM touch validates the {e whole} run instead (the powered check
+   is equivalent — power cannot change mid-run; an all-hit run still
+   never validates).  Only error paths can tell: a run extending past
+   the end of DRAM raises at the first miss, not at the offending
+   line. *)
+let run_chunks t ~any_unlocked ~write ~taint buf buf_off0 addr0 len0 =
+  let lines = t.lines and rr = t.rr and last_way = t.last_way and stats = t.stats in
+  let clock = t.clock and meter = t.meter and shadows = t.shadows in
+  let line_size = t.line_size and set_shift = t.set_shift and tag_shift = t.tag_shift in
+  let set_mask = t.sets - 1 and line_mask = t.line_size - 1 in
+  let nways = t.ways and lockdown = t.lockdown and fill_ns = t.fill_ns in
+  let raw = Dram.raw t.dram in
+  let dbase = (Dram.region t.dram).Memmap.base in
+  let bus = Dram.bus t.dram in
+  let dshadow = Dram.shadow t.dram in
+  let validated = ref false in
+  let ensure_valid () =
+    if not !validated then begin
+      let run_base = addr0 land lnot line_mask in
+      Dram.validate t.dram run_base (((addr0 + len0 - 1) lor line_mask) + 1 - run_base);
+      validated := true
+    end
+  in
+  let uline w set = Array.unsafe_get (Array.unsafe_get lines w) set in
+  let ushadow s w set = Array.unsafe_get (Array.unsafe_get s w) set in
+  let rec scan set tag w =
+    if w = nways then -1
+    else
+      let l = uline w set in
+      if l.valid && l.tag = tag then begin
+        Array.unsafe_set last_way set w;
+        w
+      end
+      else scan set tag (w + 1)
+  in
+  let rec find_inv set w =
+    if w = nways then -1
+    else if lockdown land (1 lsl w) = 0 && not (uline w set).valid then w
+    else find_inv set (w + 1)
+  in
+  let rec next_unl w =
+    let w = if w >= nways then w - nways else w in
+    if lockdown land (1 lsl w) = 0 then w else next_unl (w + 1)
+  in
+  let rec go buf_off addr len =
+    if len > 0 then begin
+      let off_in_line = addr land line_mask in
+      let chunk = let c = line_size - off_in_line in if c < len then c else len in
+      let set = (addr lsr set_shift) land set_mask in
+      let tag = addr lsr tag_shift in
+      let m = Array.unsafe_get last_way set in
+      let lm = uline m set in
+      let w = if lm.valid && lm.tag = tag then m else scan set tag 0 in
+      if w >= 0 then begin
+        (* hit: [charge_hit] + [store_chunk] *)
+        stats.hits <- stats.hits + 1;
+        Clock.advance clock Calib.l2_hit_line_ns;
+        Energy.meter_charge_bytes meter ~per_byte_j:Calib.onsoc_byte_j line_size;
+        let l = uline w set in
+        if write then begin
+          Bytes.unsafe_blit buf buf_off l.data off_in_line chunk;
+          (match shadows with
+          | Some s -> Taint.fill (ushadow s w set) off_in_line chunk taint
+          | None -> ());
+          l.dirty <- true
+        end
+        else Bytes.unsafe_blit l.data off_in_line buf buf_off chunk
+      end
+      else begin
+        stats.misses <- stats.misses + 1;
+        let w =
+          let inv = find_inv set 0 in
+          if inv >= 0 then inv
+          else if not any_unlocked then -1
+          else begin
+            let w = next_unl (Array.unsafe_get rr set) in
+            Array.unsafe_set rr set (if w + 1 = nways then 0 else w + 1);
+            w
+          end
+        in
+        if w < 0 then begin
+          (* allocation impossible: uncached DRAM access (generic
+             path's bypass branch, trace already known off) *)
+          stats.bypasses <- stats.bypasses + 1;
+          Clock.advance clock Calib.dram_line_ns;
+          ensure_valid ();
+          if write then begin
+            Bytes.unsafe_blit buf buf_off raw (addr - dbase) chunk;
+            (match dshadow with
+            | Some ds -> Taint.fill ds (addr - dbase) chunk taint
+            | None -> ());
+            Bus.account bus Bus.Write chunk
+          end
+          else begin
+            Bytes.unsafe_blit raw (addr - dbase) buf buf_off chunk;
+            Bus.account bus Bus.Read chunk
+          end
+        end
+        else begin
+          let l = uline w set in
+          (* victim write-back: identical to [write_back] (hook known
+             None) *)
+          if l.valid && l.dirty then begin
+            let wb_addr = (l.tag lsl tag_shift) lor (set lsl set_shift) in
+            ensure_valid ();
+            Bytes.unsafe_blit l.data 0 raw (wb_addr - dbase) line_size;
+            (match dshadow with
+            | Some ds -> (
+                match shadows with
+                | Some s -> Bytes.unsafe_blit (ushadow s w set) 0 ds (wb_addr - dbase) line_size
+                | None -> Taint.fill ds (wb_addr - dbase) line_size Taint.Public)
+            | None -> ());
+            Bus.account bus Bus.Write line_size;
+            Clock.advance clock Calib.dram_line_ns;
+            l.dirty <- false;
+            stats.writebacks <- stats.writebacks + 1
+          end;
+          (* line fill: identical to [fill_way]'s read + shadow + flags *)
+          let base = addr land lnot line_mask in
+          ensure_valid ();
+          Bytes.unsafe_blit raw (base - dbase) l.data 0 line_size;
+          Bus.account bus Bus.Read line_size;
+          (match shadows with
+          | Some s -> (
+              match dshadow with
+              | Some ds -> Bytes.unsafe_blit ds (base - dbase) (ushadow s w set) 0 line_size
+              | None -> Taint.fill (ushadow s w set) 0 line_size Taint.Public)
+          | None -> ());
+          l.valid <- true;
+          l.dirty <- false;
+          l.tag <- tag;
+          Array.unsafe_set last_way set w;
+          Clock.advance clock fill_ns;
+          (* the [store_chunk] of the generic miss path *)
+          if write then begin
+            Bytes.unsafe_blit buf buf_off l.data off_in_line chunk;
+            (match shadows with
+            | Some s -> Taint.fill (ushadow s w set) off_in_line chunk taint
+            | None -> ());
+            l.dirty <- true
+          end
+          else Bytes.unsafe_blit l.data off_in_line buf buf_off chunk
+        end
+      end;
+      go (buf_off + chunk) (addr + chunk) (len - chunk)
+    end
+  in
+  go buf_off0 addr0 len0
+
+(** [read_run_into t addr buf ~off ~len] — the batched pipeline's
+    page-run read: bit-identical simulated state evolution to
+    [read_into] with the per-line host overhead hoisted.  Falls back
+    to [read_into] whenever tracing, a bus monitor or a write-back
+    hook could observe the difference in call shape. *)
+let read_run_into t addr buf ~off ~len =
+  if not (run_fast_ok t) then read_into t addr buf ~off ~len
+  else begin
+    check_view "read_run_into" buf ~off ~len;
+    let any_unlocked = count_unlocked t 0 0 > 0 in
+    run_chunks t ~any_unlocked ~write:false ~taint:Taint.Public buf off addr len
+  end
+
+(** [write_run_from t ?taint addr buf ~off ~len] — the batched
+    pipeline's page-run write; see [read_run_into]. *)
+let write_run_from t ?(taint = Taint.Public) addr buf ~off ~len =
+  if not (run_fast_ok t) then write_from t ~taint addr buf ~off ~len
+  else begin
+    check_view "write_run_from" buf ~off ~len;
+    let any_unlocked = count_unlocked t 0 0 > 0 in
+    run_chunks t ~any_unlocked ~write:true ~taint buf off addr len
+  end
+
 (** Taint join over a physical range as the CPU sees it: resident
     lines' shadows where cached, DRAM's shadow elsewhere. *)
 let taint_range t addr len =

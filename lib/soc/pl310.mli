@@ -73,6 +73,20 @@ val write : t -> ?taint:Taint.level -> int -> Bytes.t -> unit
     [write] is implemented on top. *)
 val write_from : t -> ?taint:Taint.level -> int -> Bytes.t -> off:int -> len:int -> unit
 
+(** {2 Batched run fast path} *)
+
+(** [read_run_into t addr buf ~off ~len] — the batched lock/unlock
+    pipeline's page-run read.  Bit-identical simulated state evolution
+    to [read_into] (same per-line stats, clock advances, energy
+    charges, bus transactions, victim choices; differentially tested)
+    with the per-line host overhead hoisted out of the loop.  Falls
+    back to [read_into] whenever tracing is on, a bus monitor is
+    attached or a write-back hook is installed. *)
+val read_run_into : t -> int -> Bytes.t -> off:int -> len:int -> unit
+
+(** Page-run write twin of [read_run_into]. *)
+val write_run_from : t -> ?taint:Taint.level -> int -> Bytes.t -> off:int -> len:int -> unit
+
 (** {2 Taint tracking} *)
 
 (** Lazily allocate per-line shadows (and DRAM's, transitively). *)

@@ -1,0 +1,49 @@
+(** Multi-tenant fleet churn workload: N sensitive processes × M
+    pages through repeated lock / background-service-wake / unlock
+    cycles with dm-crypt I/O interleaved while locked.  The stress
+    case for the batched lock/unlock pipeline. *)
+
+open Sentry_core
+
+type config = {
+  procs : int;  (** N sensitive processes *)
+  pages_per_proc : int;  (** M pages in each main region *)
+  cycles : int;  (** lock → service wakes → unlock rounds *)
+  touch_fraction : float;  (** fraction of pages faulted in after unlock *)
+  service_wakes : int;  (** background timer wakes per locked period *)
+  io_sectors : int;  (** dm-crypt sectors written+read per wake *)
+  pipeline : Sentry.pipeline;
+}
+
+(** 8 procs × 16 pages, 3 cycles, 25% touch, 1 wake × 8 sectors,
+    batched. *)
+val default : config
+
+type stats = {
+  config : config;
+  fleet_pages : int;  (** resident pages across the fleet (incl. DMA) *)
+  pages_locked : int;  (** summed over all lock passes *)
+  pages_unlocked_eager : int;  (** DMA pages decrypted eagerly *)
+  pages_faulted : int;  (** lazy decrypt faults served *)
+  service_wakes_run : int;
+  io_sectors_done : int;  (** dm-crypt sectors written + read *)
+  lock_wall_s : float;  (** host time inside the lock passes *)
+  unlock_wall_s : float;  (** host time inside the unlock passes *)
+  lock_pages_per_s : float;  (** pages_locked / lock_wall_s (host) *)
+  unlock_to_first_touch_ns : float;
+      (** simulated ns from unlock start to the first faulted page
+          being readable, averaged over cycles *)
+  sim_elapsed_ns : float;  (** simulated time the whole run consumed *)
+  energy_j : float;  (** metered AES energy over the run *)
+}
+
+(** [run cfg] boots a fresh system, spawns the fleet (every 4th
+    process also carries a DMA region), and drives [cfg.cycles] rounds
+    of suspend → service wakes (dm-crypt I/O) → unlock → touch churn.
+    Simulated outputs are pipeline-independent; host wall-clock is
+    what [cfg.pipeline] changes.
+    @raise Invalid_argument on non-positive [procs], [pages_per_proc]
+    or [cycles]. *)
+val run : ?platform:Config.platform -> ?seed:int -> config -> stats
+
+val pp : Format.formatter -> stats -> unit

@@ -254,8 +254,13 @@ let test_warm_reset_every_page_boundary () =
         | Some e ->
             checkb "journal pass" true (e.Lock_journal.pass = Lock_journal.Lock_pass);
             (* the hook fires between the ciphertext write-back and the
-               journal record, so a crash at page k leaves k-1 records *)
-            checki "journal page count" (k - 1) e.Lock_journal.pages_done
+               journal record, so a crash at page k leaves k-1 pages
+               complete — of which the coalesced journal (one record
+               write per [Lock_journal.coalesce] pages) had persisted
+               the last full group *)
+            checki "journal page count"
+              ((k - 1) / Lock_journal.coalesce * Lock_journal.coalesce)
+              e.Lock_journal.pages_done
         | None -> ()));
     check_converged ~ref_ptes ~ref_state sentry app;
     checkb "no secret via OS reboot" false
@@ -280,7 +285,9 @@ let test_reset_mid_frame_transform () =
   (match Sentry.recover sentry with
   | None -> Alcotest.fail "recover must run"
   | Some r ->
-      (* 4 pages were fully encrypted before the 5th transform died *)
+      (* 4 pages were fully encrypted before the 5th transform died —
+         exactly one full coalesce group, so the journal persisted all
+         of them *)
       checki "journal saw 4 pages" 4
         (match r.Sentry.journal_entry with Some e -> e.Lock_journal.pages_done | None -> -1));
   check_converged ~ref_ptes ~ref_state sentry app;

@@ -580,6 +580,36 @@ let qcheck_tests =
         let _, frames = boot ~seed:9 () in
         let fs = List.init (min n (Frame_alloc.total_frames frames)) (fun _ -> Frame_alloc.alloc frames) in
         List.length (List.sort_uniq compare fs) = List.length fs);
+    (* The Sentry lock/unlock paths hammer the scheduler with park /
+       unpark / admit storms (recovery re-runs park already-parked
+       pids; unlock re-admits).  Whatever the op sequence, the queues
+       stay disjoint, duplicate-free, and free of Locked_out pids in
+       the run queue. *)
+    Test.make ~name:"scheduler queues stay consistent" ~count:60
+      (list_of_size Gen.(1 -- 60) (pair (int_range 0 3) (int_range 0 3)))
+      (fun ops ->
+        let machine, frames = boot ~seed:10 () in
+        let sched = Sched.create machine in
+        let procs = Array.init 4 (fun _ -> make_proc machine frames ~bytes:4096) in
+        let invariants () =
+          let run, locked = Sched.queues sched in
+          let pids l = List.map (fun (p : Process.t) -> p.Process.pid) l in
+          let no_dups l = List.length (List.sort_uniq compare l) = List.length l in
+          let run_pids = pids run and locked_pids = pids locked in
+          no_dups run_pids && no_dups locked_pids
+          && (not (List.exists (fun pid -> List.mem pid locked_pids) run_pids))
+          && not
+               (List.exists (fun (p : Process.t) -> p.Process.state = Process.Locked_out) run)
+        in
+        List.for_all
+          (fun (op, i) ->
+            (match op with
+            | 0 -> Sched.admit sched procs.(i)
+            | 1 -> Sched.make_unschedulable sched procs.(i)
+            | 2 -> Sched.make_schedulable sched procs.(i)
+            | _ -> Sched.tick sched);
+            invariants ())
+          ops);
   ]
 
 let () =
