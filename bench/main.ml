@@ -103,14 +103,15 @@ let run_json ~path ~trials ids =
     (List.length entries) trials;
   let results = List.map experiment entries in
   (* one traced lock-cycle supplies the simulator-side counters *)
-  Trace.start ();
+  let recorder = Trace.Recorder.create () in
+  Trace.install recorder;
   let r = Sentry_core.Trace_scenario.run Sentry_core.Trace_scenario.Lock_cycle `Tegra3 in
+  Trace.uninstall ();
   let counters =
     List.map
       (fun (k, v) -> (k, Json_out.Float v))
-      (Sentry_core.Obs_report.flat r.Sentry_core.Trace_scenario.sentry)
+      (Sentry_core.Obs_report.flat ~recorder r.Sentry_core.Trace_scenario.sentry)
   in
-  Trace.stop ();
   (* fleet throughput: batched vs per-page at each fleet size; the
      speedup is a same-run ratio so host noise largely cancels *)
   let fleet =

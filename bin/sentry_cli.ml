@@ -179,17 +179,21 @@ let trace scenario platform chrome jsonl metrics capacity list_categories =
           exit 1
     in
     let platform = platform_of_string platform in
-    Trace.start ~capacity ();
+    (* an explicit recorder handle: installed as ambient for the
+       emitters, but read back through the handle after uninstall *)
+    let recorder = Trace.Recorder.create ~capacity () in
+    Trace.install recorder;
     let r = Trace_scenario.run scenario platform in
-    let events = Trace.events () in
-    let stats = Trace.stats () in
+    Trace.uninstall ();
+    let events = Trace.Recorder.events recorder in
+    let stats = Trace.Recorder.stats recorder in
     Printf.printf "scenario %s on %s: %d events recorded (%d dropped)\n"
       (Trace_scenario.name_to_string scenario)
       (Machine.config (System.machine r.Trace_scenario.system)).Machine.name
       stats.Trace.emitted stats.Trace.dropped;
     List.iter
       (fun (cat, n) -> Printf.printf "  %-10s %d\n" (Event.category_name cat) n)
-      (Trace.category_counts ());
+      (Trace.Recorder.category_counts recorder);
     let write what path contents =
       Export.write_file ~path contents;
       Printf.printf "wrote %s to %s\n" what path
@@ -200,9 +204,9 @@ let trace scenario platform chrome jsonl metrics capacity list_categories =
     Option.iter (fun path -> write "event JSONL" path (Export.jsonl events)) jsonl;
     Option.iter
       (fun path ->
-        write "metrics" path (Export.metrics_jsonl (Obs_report.flat r.Trace_scenario.sentry)))
-      metrics;
-    Trace.stop ()
+        write "metrics" path
+          (Export.metrics_jsonl (Obs_report.flat ~recorder r.Trace_scenario.sentry)))
+      metrics
   end
 
 let trace_cmd =

@@ -1,0 +1,65 @@
+(** sentry-lint: the domain-safety static analyzer.
+
+    {v
+    sentry-lint                          # scan lib/ and bin/, allow file lint.allow
+    sentry-lint --json report.json       # also write the machine-readable report
+    sentry-lint --json -                 # JSON to stdout
+    sentry-lint --allow my.allow dir ... # explicit allow file / roots
+    v}
+
+    Exit status 0 iff every finding is covered by a justified
+    [lint.allow] entry — the CI gate that keeps new global mutable
+    state out of the tree (ROADMAP 1: the Domains refactor). *)
+
+open Cmdliner
+open Sentry_lint
+
+let run roots allow_path json_path =
+  let roots = if roots = [] then [ "lib"; "bin" ] else roots in
+  (match List.find_opt (fun r -> not (Sys.file_exists r)) roots with
+  | Some missing ->
+      Printf.eprintf "sentry-lint: root %S not found (run from the repository root)\n" missing;
+      exit 2
+  | None -> ());
+  let allow =
+    match Allowlist.load allow_path with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "sentry-lint: %s\n" msg;
+        exit 2
+  in
+  let report =
+    try Driver.run ~allow ~roots ()
+    with Driver.Parse_error msg ->
+      Printf.eprintf "sentry-lint: %s\n" msg;
+      exit 2
+  in
+  (match json_path with
+  | Some "-" -> print_string (Driver.to_json_string report ^ "\n")
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Driver.to_json_string report ^ "\n"))
+  | None -> ());
+  if json_path <> Some "-" then print_string (Driver.to_text report);
+  if not (Driver.clean report) then exit 1
+
+let cmd =
+  let doc = "domain-safety static analysis: find global mutable state and unsafe escapes" in
+  let roots =
+    Arg.(value & pos_all string [] & info [] ~docv:"ROOT" ~doc:"source roots (default: lib bin)")
+  in
+  let allow =
+    Arg.(value & opt string "lint.allow"
+         & info [ "allow" ] ~docv:"FILE"
+             ~doc:"allowlist file; every entry needs a '# justification' (missing file = empty)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write the sentry-lint/v1 JSON report ('-' = stdout)")
+  in
+  Cmd.v (Cmd.info "sentry-lint" ~doc) Term.(const run $ roots $ allow $ json)
+
+(* executable entry point (allowlisted R3) *)
+let () = exit (Cmd.eval cmd)

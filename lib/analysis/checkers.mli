@@ -1,0 +1,54 @@
+(** The built-in invariant suite: one module per rule of the Sentry
+    security argument, each phrased over taint provenance rather than
+    content, so a passing run certifies the {e mechanism} (secrets
+    never flowed off-SoC) and not just a lucky memory image.
+
+    All rules are read-only: they inspect raw arrays, shadow stores
+    and registers directly and never issue simulated CPU accesses that
+    would themselves generate events. *)
+
+(** No byte of DRAM may carry secret-cleartext taint while the device
+    is locked — the paper's core claim (§2). *)
+module No_secret_in_dram : Checker.CHECKER
+
+(** No secret-cleartext bytes may cross the external memory bus while
+    locked: a FuturePlus-style probe (§3.1) sees every transaction. *)
+module No_tainted_bus : Checker.CHECKER
+
+(** A dirty line in a locked way must never be written back (§4.2,
+    §4.5 — the stock-flush hazard). *)
+module Locked_way_never_evicted : Checker.CHECKER
+
+(** The register file must carry no secret taint once the device is
+    locked/suspended (§6.2). *)
+module Registers_clean_on_suspend : Checker.CHECKER
+
+(** Every frame freed by a sensitive process must be scrubbed before
+    the lock completes — the freed-page barrier of §7. *)
+module Freed_pages_zeroed : Checker.CHECKER
+
+(** Secrets parked in iRAM must sit behind a TrustZone DMA deny
+    window (§4.4). *)
+module Dma_window_excludes_iram : Checker.CHECKER
+
+(** The root keys exist only in the fuse and on-SoC storage.
+    Content-based on purpose — this rule guards against flows the
+    taint plumbing itself might miss. *)
+module Root_key_confined : Checker.CHECKER
+
+(** While locked, [Lock_state], the PTE [encrypted]/[young] bits and
+    scheduler parking must agree — the invariant an interrupted lock
+    walk breaks and [Sentry.recover] restores. *)
+module Locked_state_consistent : sig
+  include Checker.CHECKER
+
+  (** The pure audit, independent of the event stream — the fault
+      suite calls this directly after recovery. *)
+  val audit : Sentry_core.Sentry.t -> t list
+end
+
+(** Every built-in rule, in evaluation order. *)
+val all : Checker.packed list
+
+(** [List.map Checker.packed_name all]. *)
+val names : string list

@@ -125,15 +125,18 @@ let run ?(platform = `Nexus4) ?(variant = Sentry_attacks.Cold_boot.Two_second_re
   let sentry = Sentry.install system config in
   let engine = Engine.attach sentry in
   ignore (spawn_workload system sentry);
-  Injector.arm plan;
-  Injector.set_bit_flip_handler (bit_flip_handler machine);
+  (* an explicit session handle: firings and occurrence counts are
+     read off it after deactivation, not off the global compat API *)
+  let session = Injector.create plan in
+  Injector.set_bit_flip_handler_of session (bit_flip_handler machine);
+  Injector.activate session;
   let crash =
     match Sentry.lock sentry with
     | (_ : Encrypt_on_lock.stats) -> None
     | exception Injector.Injected r -> Some r
   in
-  let fired = Injector.fired () in
-  Injector.disarm ();
+  Injector.deactivate ();
+  let fired = Injector.fired_of session in
   (* the crash: whatever the walk had done is what survives the
      fault-implied reboot *)
   Option.iter (fun r -> Machine.reboot machine (reboot_of_fault r.Injector.kind)) crash;

@@ -1,0 +1,57 @@
+(** Canned fault-injection scenarios: drive the lock pipeline into an
+    injected crash, recover, and report the attack verdict.
+
+    Each named plan arms the {!Sentry_faults.Injector} over a small
+    Fig-2-style workload, runs the lock, and — when the fault
+    interrupts it — reboots the machine the way the fault implies,
+    runs [Sentry.recover], and asks the questions that matter: does a
+    cold-boot image still yield the secret, and do the lock state
+    machine, PTE bits and scheduler parking agree?  The `sentry_cli
+    faults` subcommand and the CI smoke step are thin wrappers over
+    [run]. *)
+
+(** The canned plans, by name (what `sentry_cli faults --plan` takes). *)
+val plans : (string * Sentry_faults.Plan.t) list
+
+val plan_names : string list
+val find_plan : string -> Sentry_faults.Plan.t option
+
+type outcome = {
+  plan : Sentry_faults.Plan.t;
+  platform : Sentry_core.Config.platform;
+  fired : Sentry_faults.Injector.record list;
+      (** every fault that fired, oldest first *)
+  crashed : bool;  (** the lock walk was interrupted *)
+  recovery : Sentry_core.Sentry.recovery_stats option;
+  locked : bool;  (** device ended up Locked *)
+  secret_recovered : bool;
+      (** cold boot after recovery still finds the secret *)
+  inconsistencies : int;  (** [Locked_state_consistent.audit] findings *)
+  violations : Checker.violation list;  (** full engine verdict *)
+}
+
+(** Did the pipeline hold?  Interrupted or not, the run must end
+    Locked, self-consistent, with nothing recoverable. *)
+val survived : outcome -> bool
+
+(** The pattern the workload pages are filled with — what the
+    post-recovery cold-boot scan greps for. *)
+val secret : Bytes.t
+
+(** The small Fig-2-style workload: one sensitive app with an 8-page
+    main region and a 4-page DMA region, both filled with the search
+    pattern. *)
+val spawn_workload :
+  Sentry_core.System.t -> Sentry_core.Sentry.t -> Sentry_kernel.Process.t
+
+(** Flip random DRAM bits — what armed [Bit_flip] triggers invoke. *)
+val bit_flip_handler : Sentry_soc.Machine.t -> point:string -> bits:int -> unit
+
+(** [run ?platform ?variant plan] — execute the scenario under [plan].
+    [variant] picks the cold-boot attack mounted after recovery
+    (default: the 2-second reset, the strongest in Table 2). *)
+val run :
+  ?platform:Sentry_core.Config.platform ->
+  ?variant:Sentry_attacks.Cold_boot.variant ->
+  Sentry_faults.Plan.t ->
+  outcome

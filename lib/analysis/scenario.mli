@@ -1,0 +1,49 @@
+(** The canned verification scenario: a full lock/unlock cycle with a
+    sensitive foreground app, a short-lived sensitive app whose freed
+    pages must be scrubbed, and (where the platform supports it) a
+    background-enabled app paging over encrypted DRAM while locked.
+
+    Run unmodified it must produce {e zero} violations on every
+    platform; each [fault] deliberately breaks one Sentry protection
+    and must trip the matching checker — the analysis-layer
+    counterpart of the attack-based tests in [Sentry_attacks]. *)
+
+(** Deliberate protection breakages, one per paper section. *)
+type fault =
+  | No_fault
+  | Stock_flush_while_locked
+      (** run the stock full L2 flush after locking: cleans locked
+          ways to DRAM and drops lockdown (§4.2) *)
+  | Skip_register_clearing
+      (** [onsoc_enable_irq] without the register scrub (§6.2) *)
+  | Skip_freed_page_barrier
+      (** zeroing thread disabled: freed sensitive pages linger (§7) *)
+  | Widen_dma_window
+      (** TrustZone DMA deny list cleared: iRAM exposed (§4.4) *)
+
+val fault_name : fault -> string
+
+(** Every deliberate fault (without [No_fault]). *)
+val faults : fault list
+
+(** The checker each fault must trip. *)
+val expected_checker : fault -> string option
+
+(** The platform each fault's protection exists on (stock flush needs
+    cache locking; the DMA window matters where keys live in iRAM). *)
+val fault_platform : fault -> Sentry_core.Config.platform
+
+type result = {
+  platform : Sentry_core.Config.platform;
+  fault : fault;
+  engine : Engine.t;  (** detached, violations still readable *)
+  violations : Checker.violation list;
+  lock_stats : Sentry_core.Encrypt_on_lock.stats;
+}
+
+(** [run ?fault platform] — execute the scenario and return every
+    violation the engine recorded. *)
+val run : ?fault:fault -> Sentry_core.Config.platform -> result
+
+(** Did the run trip the checker its fault targets? *)
+val tripped_expected : result -> bool

@@ -21,7 +21,7 @@ let f = float_of_int
 
 (** Fold every retained [Complete] span into a per-(subsystem, name)
     duration histogram. *)
-let observe_spans m =
+let observe_spans m events =
   List.iter
     (fun (e : Event.t) ->
       match e.Event.phase with
@@ -30,11 +30,13 @@ let observe_spans m =
             (Metrics.histogram m ~subsystem:e.Event.subsystem (e.Event.name ^ "_dur_ns"))
             dur_ns
       | Event.Instant | Event.Counter -> ())
-    (Trace.events ())
+    events
 
-(** [collect sentry] — a fresh registry populated from the machine and
-    kernel state behind [sentry], plus the live trace recorder. *)
-let collect sentry =
+(** [collect ?recorder sentry] — a fresh registry populated from the
+    machine and kernel state behind [sentry], plus the trace recorder
+    ([recorder] when threaded explicitly, else the ambient one). *)
+let collect ?recorder sentry =
+  let recorder = match recorder with Some _ as r -> r | None -> Trace.installed () in
   let m = Metrics.create () in
   let system = Sentry.system sentry in
   let machine = System.machine system in
@@ -136,16 +138,20 @@ let collect sentry =
       ("minor_collections", f gc.Gc.minor_collections);
       ("major_collections", f gc.Gc.major_collections);
     ];
-  let ts = Trace.stats () in
+  let ts =
+    match recorder with
+    | Some r -> Trace.Recorder.stats r
+    | None -> { Trace.emitted = 0; dropped = 0; capacity = 0 }
+  in
   set m ~subsystem:"obs.trace"
     (("events_emitted", f ts.Trace.emitted)
     :: ("events_dropped", f ts.Trace.dropped)
     :: ("ring_capacity", f ts.Trace.capacity)
     :: List.map
          (fun (cat, n) -> ("cat_" ^ Event.category_name cat, f n))
-         (Trace.category_counts ()));
-  observe_spans m;
+         (match recorder with Some r -> Trace.Recorder.category_counts r | None -> []));
+  observe_spans m (match recorder with Some r -> Trace.Recorder.events r | None -> []);
   m
 
 (** Flat [(key, value)] report, sorted by key. *)
-let flat sentry = Metrics.flat (collect sentry)
+let flat ?recorder sentry = Metrics.flat (collect ?recorder sentry)

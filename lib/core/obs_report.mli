@@ -3,7 +3,9 @@
     metrics registry under stable ["subsystem/name"] keys; [Complete]
     spans in the trace ring become duration histograms. *)
 
-val collect : Sentry.t -> Sentry_obs.Metrics.t
+val collect : ?recorder:Sentry_obs.Trace.Recorder.t -> Sentry.t -> Sentry_obs.Metrics.t
+(** [recorder] defaults to the ambient recorder (none installed = no
+    trace rows). *)
 
 (** [Metrics.flat] of [collect]: the machine-readable report body. *)
-val flat : Sentry.t -> (string * float) list
+val flat : ?recorder:Sentry_obs.Trace.Recorder.t -> Sentry.t -> (string * float) list

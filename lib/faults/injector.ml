@@ -1,11 +1,18 @@
-(** The global fault-injection engine.
+(** The fault-injection engine.
 
-    Modeled on [Sentry_obs.Trace]: a process-wide singleton so hook
-    points deep in the memory system need no plumbing.  Disarmed (the
-    default) a hook costs one ref read and allocates nothing, keeping
-    the lock-path allocation ceilings intact.
+    A {!session} is an explicit handle: a [Plan] plus its PRNG,
+    per-point occurrence counters and firing log.  Harnesses create
+    one, activate it, drive the workload, and read [fired_of]/
+    [occurrences_of] back off the handle — so two sharded machines can
+    each own a session once the Domains refactor lands.
 
-    Armed with a [Plan], every [fire]/[poll] arrival at a hook point
+    Hook points deep in the memory system ([fire]/[poll]) consult the
+    single {e active} session — one ref read, no plumbing, nothing
+    allocated while disarmed — which keeps the lock-path allocation
+    ceilings intact.  The module-level [arm]/[disarm]/[fired] API is a
+    thin compat layer over handles: [arm] is create-and-activate.
+
+    Active with a [Plan], every [fire]/[poll] arrival at a hook point
     bumps that point's occurrence counter and evaluates the plan's
     triggers:
 
@@ -26,7 +33,7 @@ type record = { point : string; kind : Fault.kind; occurrence : int }
 
 exception Injected of record
 
-type state = {
+type session = {
   plan : Plan.t;
   prng : Prng.t;
   counts : (string, int ref) Hashtbl.t;
@@ -34,38 +41,56 @@ type state = {
   mutable bit_flip_handler : (point:string -> bits:int -> unit) option;
 }
 
-let active : state option ref = ref None
+let create plan =
+  {
+    plan;
+    prng = Prng.create ~seed:plan.Plan.seed;
+    counts = Hashtbl.create 8;
+    fired = [];
+    bit_flip_handler = None;
+  }
 
-let arm plan =
-  active :=
-    Some
-      {
-        plan;
-        prng = Prng.create ~seed:plan.Plan.seed;
-        counts = Hashtbl.create 8;
-        fired = [];
-        bit_flip_handler = None;
-      }
-
-let disarm () = active := None
-let armed () = !active <> None
-let plan () = Option.map (fun st -> st.plan) !active
-
-(** [set_bit_flip_handler f] — installed by whoever owns the machine;
-    receives every [Bit_flip] firing.  Cleared by [arm]/[disarm]. *)
-let set_bit_flip_handler f =
-  match !active with
-  | Some st -> st.bit_flip_handler <- Some f
-  | None -> invalid_arg "Injector.set_bit_flip_handler: not armed"
+let plan_of s = s.plan
 
 (** Firings so far, oldest first. *)
-let fired () = match !active with Some st -> List.rev st.fired | None -> []
+let fired_of s = List.rev s.fired
 
-(** Arrivals seen at [point] (armed sessions only). *)
-let occurrences point =
+(** Arrivals seen at [point] in this session. *)
+let occurrences_of s point =
+  match Hashtbl.find_opt s.counts point with Some c -> !c | None -> 0
+
+(** [set_bit_flip_handler_of s f] — installed by whoever owns the
+    machine; receives every [Bit_flip] firing. *)
+let set_bit_flip_handler_of s f = s.bit_flip_handler <- Some f
+
+(* ----------------------- the active session ----------------------- *)
+
+(* The one deliberate global in lib/faults (allowlisted in
+   lint.allow): hook points deep in the memory system read it instead
+   of threading a handle through every cache access. *)
+let active : session option ref = ref None
+
+let activate s = active := Some s
+let deactivate () = active := None
+let current () = !active
+
+(* ------------------------- compat wrappers ------------------------ *)
+
+let arm plan = activate (create plan)
+let disarm () = deactivate ()
+let armed () = !active <> None
+let plan () = Option.map plan_of !active
+
+let set_bit_flip_handler f =
   match !active with
-  | Some st -> ( match Hashtbl.find_opt st.counts point with Some c -> !c | None -> 0)
-  | None -> 0
+  | Some s -> set_bit_flip_handler_of s f
+  | None -> invalid_arg "Injector.set_bit_flip_handler: not armed"
+
+let fired () = match !active with Some s -> fired_of s | None -> []
+
+let occurrences point = match !active with Some s -> occurrences_of s point | None -> 0
+
+(* --------------------------- hook points -------------------------- *)
 
 let trace r =
   if Sentry_obs.Trace.on () then
@@ -78,47 +103,47 @@ let trace r =
           ("occurrence", Sentry_obs.Event.Int r.occurrence);
         ]
 
-let bump st point =
-  match Hashtbl.find_opt st.counts point with
+let bump s point =
+  match Hashtbl.find_opt s.counts point with
   | Some c ->
       incr c;
       !c
   | None ->
-      Hashtbl.add st.counts point (ref 1);
+      Hashtbl.add s.counts point (ref 1);
       1
 
-let matches st ~n (tr : Plan.trigger) =
+let matches s ~n (tr : Plan.trigger) =
   match tr.Plan.at with
   | Plan.Nth k -> n = k
   | Plan.Every k -> k > 0 && n mod k = 0
-  | Plan.Prob p -> Prng.flip st.prng ~p
+  | Plan.Prob p -> Prng.flip s.prng ~p
 
 (* Evaluate one arrival: record and apply every matching trigger;
    return the first interrupting fault, if any. *)
-let eval st point =
-  let n = bump st point in
+let eval s point =
+  let n = bump s point in
   List.fold_left
     (fun interrupting (tr : Plan.trigger) ->
-      if String.equal tr.Plan.point point && matches st ~n tr then begin
+      if String.equal tr.Plan.point point && matches s ~n tr then begin
         let r = { point; kind = tr.Plan.kind; occurrence = n } in
-        st.fired <- r :: st.fired;
+        s.fired <- r :: s.fired;
         trace r;
         match tr.Plan.kind with
         | Fault.Bit_flip bits ->
-            (match st.bit_flip_handler with Some f -> f ~point ~bits | None -> ());
+            (match s.bit_flip_handler with Some f -> f ~point ~bits | None -> ());
             interrupting
         | Fault.Power_loss | Fault.Reset | Fault.Dma_error -> (
             match interrupting with Some _ -> interrupting | None -> Some r)
       end
       else interrupting)
-    None st.plan.Plan.triggers
+    None s.plan.Plan.triggers
 
 (** [fire point] — a hook arrival that cannot report an error value:
     interrupting faults propagate as [Injected]. *)
 let fire point =
   match !active with
   | None -> ()
-  | Some st -> ( match eval st point with None -> () | Some r -> raise (Injected r))
+  | Some s -> ( match eval s point with None -> () | Some r -> raise (Injected r))
 
 (** [poll point] — a hook arrival whose caller returns [result]s (the
     DMA engine): a matching [Dma_error] comes back as a value; the
@@ -126,8 +151,8 @@ let fire point =
 let poll point =
   match !active with
   | None -> None
-  | Some st -> (
-      match eval st point with
+  | Some s -> (
+      match eval s point with
       | None -> None
       | Some ({ kind = Fault.Dma_error; _ } as r) -> Some r
       | Some r -> raise (Injected r))

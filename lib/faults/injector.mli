@@ -1,21 +1,50 @@
-(** Global fault-injection engine: arm a [Plan], and hook points
-    threaded through the memory/crypto stack fire its triggers.
-    Disarmed, a hook is one ref read and allocates nothing. *)
+(** Fault-injection engine.  A {!session} is an explicit handle (plan,
+    PRNG, occurrence counters, firing log); hook points threaded
+    through the memory/crypto stack consult the single {e active}
+    session, so a disarmed hook is one ref read and allocates
+    nothing.  [arm]/[disarm] are compat wrappers over handles. *)
 
 type record = { point : string; kind : Fault.kind; occurrence : int }
 
 exception Injected of record
 
+type session
+
+(** A fresh, inactive session over [plan]. *)
+val create : Plan.t -> session
+
+val plan_of : session -> Plan.t
+
+(** Firings so far, oldest first. *)
+val fired_of : session -> record list
+
+(** Arrivals seen at a point in this session. *)
+val occurrences_of : session -> string -> int
+
+(** Install the [Bit_flip] corruption handler (the machine-owning
+    harness flips DRAM bits). *)
+val set_bit_flip_handler_of : session -> (point:string -> bits:int -> unit) -> unit
+
+(** {2 The active session} *)
+
+(** Make [s] the session the hook points consult. *)
+val activate : session -> unit
+
+val deactivate : unit -> unit
+val current : unit -> session option
+
+(** {2 Compat wrappers over the active session} *)
+
+(** [arm plan] — create and activate. *)
 val arm : Plan.t -> unit
+
 val disarm : unit -> unit
 val armed : unit -> bool
 
-(** The armed plan, if any. *)
+(** The active plan, if any. *)
 val plan : unit -> Plan.t option
 
-(** Install the [Bit_flip] corruption handler (the machine-owning
-    harness flips DRAM bits).  Cleared by [arm]/[disarm].
-    @raise Invalid_argument when not armed. *)
+(** @raise Invalid_argument when not armed. *)
 val set_bit_flip_handler : (point:string -> bits:int -> unit) -> unit
 
 (** Firings so far, oldest first (empty when disarmed). *)
@@ -23,6 +52,8 @@ val fired : unit -> record list
 
 (** Arrivals seen at a point this armed session. *)
 val occurrences : string -> int
+
+(** {2 Hook points} *)
 
 (** Hook arrival; interrupting faults raise [Injected]. *)
 val fire : string -> unit

@@ -21,17 +21,19 @@ type t = {
   mutable faults : int;
 }
 
-let next_pid = ref 1
+(* Pids are OS-process-global on purpose (they mimic a kernel's pid
+   space), but that makes them cross-shard state: an [Atomic.t] keeps
+   allocation race-free once tenant shards run on separate Domains.
+   The remaining coupling — shards interleaving allocations see
+   interleaved numbering — is why deterministic harnesses
+   [reset_pids] before booting; per-shard pid spaces arrive with the
+   machine-handle refactor (ROADMAP 1). *)
+let next_pid = Atomic.make 1
 
-(* Pids are process-global, so back-to-back simulations in one OS
-   process would otherwise number their processes differently —
-   breaking trace-stream reproducibility.  Deterministic harnesses
-   reset before booting. *)
-let reset_pids () = next_pid := 1
+let reset_pids () = Atomic.set next_pid 1
 
 let create ~name ~aspace ~kstack =
-  let pid = !next_pid in
-  incr next_pid;
+  let pid = Atomic.fetch_and_add next_pid 1 in
   {
     pid;
     name;

@@ -18,7 +18,8 @@ type t = {
 
 val create : name:string -> aspace:Address_space.t -> kstack:int -> t
 
-(** Restart pid numbering at 1.  Pids are global to the OS process;
+(** Restart pid numbering at 1.  Pids are global to the OS process
+    (atomically allocated, so concurrent shards never collide);
     deterministic harnesses (trace scenarios) reset before booting so
     repeated runs produce identical event streams. *)
 val reset_pids : unit -> unit

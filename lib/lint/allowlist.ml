@@ -1,0 +1,93 @@
+(** The checked-in exception file ([lint.allow]).
+
+    One entry per line:
+
+    {v
+    R1 lib/obs/trace.ml current # ambient compat recorder, Domains refactor tracked in ROADMAP 1
+    v}
+
+    i.e. rule id, repo-relative file, symbol, then a mandatory ['#']
+    followed by a non-empty justification — an exception without a
+    written reason is a parse error, which is the policy: adding a
+    global requires saying why. *)
+
+type entry = {
+  rule : Finding.rule;
+  file : string;
+  symbol : string;
+  justification : string;
+  source_line : int;  (** line in the allow file, for diagnostics *)
+}
+
+type t = entry list
+
+let empty : t = []
+
+(* Normalize "./lib/foo.ml" and "lib/foo.ml" to the same key. *)
+let normalize_path p =
+  let p = String.split_on_char '\\' p |> String.concat "/" in
+  if String.length p > 2 && String.sub p 0 2 = "./" then String.sub p 2 (String.length p - 2)
+  else p
+
+let parse_line ~source_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.index_opt line '#' with
+    | None ->
+        Error
+          (Printf.sprintf "line %d: entry %S has no '# justification' — exceptions require a written reason"
+             source_line line)
+    | Some i ->
+        let head = String.trim (String.sub line 0 i) in
+        let justification = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        if justification = "" then
+          Error (Printf.sprintf "line %d: empty justification" source_line)
+        else begin
+          match String.split_on_char ' ' head |> List.filter (fun s -> s <> "") with
+          | [ rule_id; file; symbol ] -> (
+              match Finding.rule_of_id rule_id with
+              | Some rule ->
+                  Ok (Some { rule; file = normalize_path file; symbol; justification; source_line })
+              | None -> Error (Printf.sprintf "line %d: unknown rule id %S" source_line rule_id))
+          | _ ->
+              Error
+                (Printf.sprintf "line %d: expected 'RULE file symbol # justification', got %S"
+                   source_line line)
+        end
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line ~source_line:n line with
+        | Ok None -> go acc (n + 1) rest
+        | Ok (Some e) -> go (e :: acc) (n + 1) rest
+        | Error _ as e -> e)
+  in
+  go [] 1 lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (path ^ ": " ^ msg)
+
+let matches e (f : Finding.t) =
+  e.rule = f.rule
+  && String.equal e.file (normalize_path f.file)
+  && String.equal e.symbol f.symbol
+
+let allows t f = List.exists (fun e -> matches e f) t
+
+(** Entries that matched no finding: stale exceptions worth pruning. *)
+let unused t findings =
+  List.filter (fun e -> not (List.exists (fun f -> matches e f) findings)) t

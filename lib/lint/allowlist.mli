@@ -1,0 +1,29 @@
+(** The checked-in exception file ([lint.allow]): one
+    ["RULE file symbol # justification"] entry per line.  The
+    justification is mandatory — an exception without a written reason
+    is a parse error. *)
+
+type entry = {
+  rule : Finding.rule;
+  file : string;
+  symbol : string;
+  justification : string;
+  source_line : int;  (** line in the allow file, for diagnostics *)
+}
+
+type t = entry list
+
+val empty : t
+
+val parse_string : string -> (t, string) result
+
+val load : string -> (t, string) result
+(** A missing file is an empty allowlist; a malformed one is an
+    [Error]. *)
+
+val matches : entry -> Finding.t -> bool
+
+val allows : t -> Finding.t -> bool
+
+val unused : t -> Finding.t list -> entry list
+(** Entries that matched no finding: stale exceptions worth pruning. *)

@@ -1,8 +1,16 @@
-(** The global trace recorder: a bounded ring buffer of [Event.t].
+(** The trace recorder: a bounded ring buffer of [Event.t].
 
-    Mirrors the [Config.track_taint] pattern: nothing is allocated and
-    the hot-path guard is a single physical-equality test until
-    [start] is called.  Emitters write
+    A recorder is an explicit {!Recorder.t} handle — the owner of a
+    simulated machine creates one, threads it to whatever harvests
+    events, and reads it back.  Handles are what the multicore sharded
+    fleet needs: one recorder per tenant shard, merged after the run.
+
+    Hot-path emitters deep in the memory system still go through the
+    {e ambient} recorder — a single installed handle behind one ref
+    read — because threading a handle through every cache access would
+    cost the zero-allocation fast path its shape.  Mirroring the
+    [Config.track_taint] pattern, nothing is allocated and the guard
+    is a single physical-equality test until a recorder is installed:
 
     {[
       if Trace.on () then
@@ -26,84 +34,117 @@ type t = {
 
 let default_capacity = 1 lsl 16
 
+let make ?(capacity = default_capacity) ?(now = fun () -> 0.0) () =
+  if capacity <= 0 then invalid_arg "Trace.Recorder.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    capacity;
+    total = 0;
+    counts = Array.make Event.num_categories 0;
+    now;
+  }
+
+let set_time_source_r t f = t.now <- f
+let now_r t = t.now ()
+
+let emit_r t ?ts ~cat ~subsystem ?(phase = Event.Instant) ?(args = []) name =
+  let ts_ns = match ts with Some ts -> ts | None -> t.now () in
+  let e = { Event.ts_ns; cat; subsystem; name; phase; args } in
+  t.buf.(t.total mod t.capacity) <- Some e;
+  t.total <- t.total + 1;
+  let i = Event.category_index cat in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let span_r t ?(args = []) ~cat ~subsystem ~start_ns ~end_ns name =
+  emit_r t ~ts:start_ns ~cat ~subsystem ~phase:(Event.Complete (end_ns -. start_ns)) ~args name
+
+type stats = { emitted : int; dropped : int; capacity : int }
+
+let stats_r t =
+  { emitted = t.total; dropped = max 0 (t.total - t.capacity); capacity = t.capacity }
+
+let events_r t =
+  let n = min t.total t.capacity in
+  let first = if t.total <= t.capacity then 0 else t.total mod t.capacity in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let category_counts_r t =
+  List.filter_map
+    (fun c ->
+      let n = t.counts.(Event.category_index c) in
+      if n = 0 then None else Some (c, n))
+    Event.categories
+
+let clear_r t =
+  Array.fill t.buf 0 t.capacity None;
+  t.total <- 0;
+  Array.fill t.counts 0 Event.num_categories 0
+
+module Recorder = struct
+  type nonrec t = t
+
+  let create = make
+  let set_time_source = set_time_source_r
+  let now = now_r
+  let emit = emit_r
+  let span = span_r
+  let stats = stats_r
+  let events = events_r
+  let category_counts = category_counts_r
+  let clear = clear_r
+end
+
+(* ----------------------- the ambient recorder --------------------- *)
+
+(* The one deliberate global in lib/obs (allowlisted in lint.allow):
+   the compat shim behind the module-level emitters.  Everything it
+   does is a one-liner over the handle API above, so callers that
+   thread explicit recorders never touch it. *)
 let current : t option ref = ref None
+
+let install r = current := Some r
+let uninstall () = current := None
+let installed () = !current
 
 let on () = !current <> None
 
-let start ?(capacity = default_capacity) ?(now = fun () -> 0.0) () =
-  if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
-  current :=
-    Some
-      {
-        buf = Array.make capacity None;
-        capacity;
-        total = 0;
-        counts = Array.make Event.num_categories 0;
-        now;
-      }
+let start ?capacity ?now () = install (make ?capacity ?now ())
 
-(** Idempotent [start]: keeps an already-running recorder (and its
+(** Idempotent [start]: keeps an already-installed recorder (and its
     events) instead of replacing it. *)
 let ensure ?capacity ?now () = if not (on ()) then start ?capacity ?now ()
 
-let stop () = current := None
+let stop () = uninstall ()
 
-let set_time_source f = match !current with Some t -> t.now <- f | None -> ()
+let set_time_source f = match !current with Some t -> set_time_source_r t f | None -> ()
 
-let now () = match !current with Some t -> t.now () | None -> 0.0
+let now () = match !current with Some t -> now_r t | None -> 0.0
 
-let emit ?ts ~cat ~subsystem ?(phase = Event.Instant) ?(args = []) name =
+let emit ?ts ~cat ~subsystem ?phase ?args name =
   match !current with
   | None -> ()
-  | Some t ->
-      let ts_ns = match ts with Some ts -> ts | None -> t.now () in
-      let e = { Event.ts_ns; cat; subsystem; name; phase; args } in
-      t.buf.(t.total mod t.capacity) <- Some e;
-      t.total <- t.total + 1;
-      let i = Event.category_index cat in
-      t.counts.(i) <- t.counts.(i) + 1
+  | Some t -> emit_r t ?ts ~cat ~subsystem ?phase ?args name
 
 (** Emit a span given its boundaries (simulated ns). *)
-let span ?(args = []) ~cat ~subsystem ~start_ns ~end_ns name =
-  emit ~ts:start_ns ~cat ~subsystem ~phase:(Event.Complete (end_ns -. start_ns)) ~args name
-
-type stats = { emitted : int; dropped : int; capacity : int }
+let span ?args ~cat ~subsystem ~start_ns ~end_ns name =
+  match !current with
+  | None -> ()
+  | Some t -> span_r t ?args ~cat ~subsystem ~start_ns ~end_ns name
 
 let stats () =
   match !current with
   | None -> { emitted = 0; dropped = 0; capacity = 0 }
-  | Some t ->
-      { emitted = t.total; dropped = max 0 (t.total - t.capacity); capacity = t.capacity }
+  | Some t -> stats_r t
 
 (** Retained events, oldest first. *)
-let events () =
-  match !current with
-  | None -> []
-  | Some t ->
-      let n = min t.total t.capacity in
-      let first = if t.total <= t.capacity then 0 else t.total mod t.capacity in
-      List.init n (fun i ->
-          match t.buf.((first + i) mod t.capacity) with
-          | Some e -> e
-          | None -> assert false)
+let events () = match !current with None -> [] | Some t -> events_r t
 
 (** Per-category emission counts (includes dropped events). *)
-let category_counts () =
-  match !current with
-  | None -> []
-  | Some t ->
-      List.filter_map
-        (fun c ->
-          let n = t.counts.(Event.category_index c) in
-          if n = 0 then None else Some (c, n))
-        Event.categories
+let category_counts () = match !current with None -> [] | Some t -> category_counts_r t
 
 (** Drop every retained event and reset the counters, keeping the
-    recorder enabled. *)
-let clear () =
-  match !current with
-  | None -> ()
-  | Some t ->
-      Array.fill t.buf 0 t.capacity None;
-      t.total <- 0;
-      Array.fill t.counts 0 Event.num_categories 0
+    recorder installed. *)
+let clear () = match !current with None -> () | Some t -> clear_r t

@@ -1,29 +1,98 @@
-(** Global bounded-ring trace recorder.  Off (and allocation-free on
-    the instrumented paths) until [start]. *)
+(** Bounded-ring trace recorder.
 
-(** Is a recorder active?  The hot-path guard: emitters must check
-    this before building argument lists. *)
+    {!Recorder} is the explicit-handle API: create a recorder, thread
+    it to whatever harvests events, read it back — one per tenant
+    shard in the multicore fleet.  The module-level functions operate
+    on the single {e ambient} recorder ([install]/[start]); hot-path
+    emitters use those so the disabled path stays one ref read with
+    zero allocation. *)
+
+type stats = { emitted : int; dropped : int; capacity : int }
+
+module Recorder : sig
+  type t
+
+  (** [create ?capacity ?now ()] — a fresh recorder.  [now] is the
+      simulated-time source used when an emitter has no clock at hand.
+      Default capacity: 65536 events. *)
+  val create : ?capacity:int -> ?now:(unit -> float) -> unit -> t
+
+  (** Point clockless emitters at the owning machine's simulated clock. *)
+  val set_time_source : t -> (unit -> float) -> unit
+
+  (** Current simulated time per the time source. *)
+  val now : t -> float
+
+  (** Record one event.  [ts] defaults to the time source. *)
+  val emit :
+    t ->
+    ?ts:float ->
+    cat:Event.category ->
+    subsystem:string ->
+    ?phase:Event.phase ->
+    ?args:(string * Event.arg) list ->
+    string ->
+    unit
+
+  (** Record a [Complete] span from its simulated boundaries. *)
+  val span :
+    t ->
+    ?args:(string * Event.arg) list ->
+    cat:Event.category ->
+    subsystem:string ->
+    start_ns:float ->
+    end_ns:float ->
+    string ->
+    unit
+
+  val stats : t -> stats
+
+  (** Retained events, oldest first (newest [capacity] survive overflow). *)
+  val events : t -> Event.t list
+
+  (** Per-category emission counts, including dropped events. *)
+  val category_counts : t -> (Event.category * int) list
+
+  (** Reset the ring and counters. *)
+  val clear : t -> unit
+end
+
+(** {2 The ambient recorder}
+
+    One installed handle behind one ref read — the compat layer the
+    hot-path emitters go through. *)
+
+(** Make [r] the ambient recorder. *)
+val install : Recorder.t -> unit
+
+(** Remove the ambient recorder (its events stay readable through the
+    handle). *)
+val uninstall : unit -> unit
+
+(** The ambient recorder, if any — how harvesters default when no
+    explicit handle was threaded to them. *)
+val installed : unit -> Recorder.t option
+
+(** Is an ambient recorder installed?  The hot-path guard: emitters
+    must check this before building argument lists. *)
 val on : unit -> bool
 
-(** [start ?capacity ?now ()] installs a fresh recorder.  [now] is the
-    simulated-time source used when an emitter has no clock at hand
-    (see [set_time_source]).  Default capacity: 65536 events. *)
+(** [start ?capacity ?now ()] — create and install a fresh recorder. *)
 val start : ?capacity:int -> ?now:(unit -> float) -> unit -> unit
 
-(** [ensure] is [start] unless a recorder is already active. *)
+(** [ensure] is [start] unless a recorder is already installed. *)
 val ensure : ?capacity:int -> ?now:(unit -> float) -> unit -> unit
 
-(** Uninstall the recorder (events are discarded). *)
+(** [uninstall] under its historical name. *)
 val stop : unit -> unit
 
-(** Point clockless emitters at the booted machine's simulated clock. *)
-val set_time_source : (unit -> float) -> unit
+(** The remaining module-level functions delegate to the ambient
+    recorder and are no-ops (or zeros / empty lists) when none is
+    installed. *)
 
-(** Current simulated time per the time source (0 when off). *)
+val set_time_source : (unit -> float) -> unit
 val now : unit -> float
 
-(** Record one event.  [ts] defaults to the time source; no-op when
-    the recorder is off. *)
 val emit :
   ?ts:float ->
   cat:Event.category ->
@@ -33,7 +102,6 @@ val emit :
   string ->
   unit
 
-(** Record a [Complete] span from its simulated boundaries. *)
 val span :
   ?args:(string * Event.arg) list ->
   cat:Event.category ->
@@ -43,15 +111,7 @@ val span :
   string ->
   unit
 
-type stats = { emitted : int; dropped : int; capacity : int }
-
 val stats : unit -> stats
-
-(** Retained events, oldest first (newest [capacity] survive overflow). *)
 val events : unit -> Event.t list
-
-(** Per-category emission counts, including dropped events. *)
 val category_counts : unit -> (Event.category * int) list
-
-(** Reset the ring and counters without uninstalling the recorder. *)
 val clear : unit -> unit

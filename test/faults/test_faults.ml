@@ -87,6 +87,30 @@ let test_bit_flip_invokes_handler_and_continues () =
     (Invalid_argument "Injector.set_bit_flip_handler: not armed") (fun () ->
       Injector.set_bit_flip_handler (fun ~point:_ ~bits:_ -> ()))
 
+(** The explicit-handle surface: firings and occurrence counts stay
+    readable off the session after deactivation, and two sessions over
+    the same plan are independent. *)
+let test_session_handle_api () =
+  let plan = one ~point:"s" ~kind:Fault.Dma_error ~at:(Plan.Every 2) in
+  let s1 = Injector.create plan in
+  checkb "plan threads through" true (Injector.plan_of s1 == plan);
+  Injector.activate s1;
+  checkb "activation shows in compat armed" true (Injector.armed ());
+  checkb "1st clean" true (Injector.poll "s" = None);
+  checkb "2nd faults" true (Injector.poll "s" <> None);
+  Injector.deactivate ();
+  checkb "deactivated" false (Injector.armed ());
+  (* the session outlives deactivation: results read off the handle *)
+  checki "firings on handle" 1 (List.length (Injector.fired_of s1));
+  checki "arrivals on handle" 2 (Injector.occurrences_of s1 "s");
+  (* a second session over the same plan starts from scratch *)
+  let s2 = Injector.create plan in
+  Injector.activate s2;
+  checkb "fresh occurrence counter" true (Injector.poll "s" = None);
+  Injector.deactivate ();
+  checki "s1 untouched" 1 (List.length (Injector.fired_of s1));
+  checki "s2 independent" 0 (List.length (Injector.fired_of s2))
+
 (* --------------------------- subsystem hooks ---------------------- *)
 
 let test_dma_transfer_fault () =
@@ -401,6 +425,7 @@ let () =
           Alcotest.test_case "every occurrence" `Quick test_every_occurrence;
           Alcotest.test_case "prob deterministic" `Quick test_prob_deterministic;
           Alcotest.test_case "bit flip handler" `Quick test_bit_flip_invokes_handler_and_continues;
+          Alcotest.test_case "session handle api" `Quick test_session_handle_api;
         ] );
       ( "hooks",
         [

@@ -1,0 +1,16 @@
+(* Lint fixture: every R1 global-mutable shape the rule knows.
+   Expected findings: hits, table, scratch, cfg (4 × R1). *)
+
+type config = { mutable level : int; name : string }
+
+let hits = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let scratch = Bytes.create 64
+let cfg = { level = 0; name = "fixture" }
+
+(* same-module writes are the module's own business: no R2 here *)
+let bump () =
+  incr hits;
+  Hashtbl.replace table "bumps" !hits;
+  Bytes.set scratch 0 'x';
+  cfg.level <- 1

@@ -1,0 +1,6 @@
+(* Lint fixture: R2 cross-module assignment to Bad_r1's globals.
+   Expected findings: Bad_r1.hits, Bad_r1.cfg (2 × R2). *)
+
+let poke () =
+  Bad_r1.hits := 99;
+  Bad_r1.cfg.level <- 2

@@ -1,0 +1,5 @@
+(* Lint fixture: R3 toplevel effects — module-init registration in
+   both spellings.  Expected findings: "()", "_" (2 × R3). *)
+
+let () = print_string "side effect at module init"
+let _ = Sys.opaque_identity (1 + 1)

@@ -1,0 +1,5 @@
+(* Lint fixture: R4 unsafe escapes outside the audited fast path.
+   Expected findings: Bytes.unsafe_get, Obj.magic (2 × R4). *)
+
+let peek b i = Bytes.unsafe_get b i
+let launder (x : int) : string = Obj.magic x

@@ -1,0 +1,16 @@
+(* Lint fixture: everything here is fine — constants, functions,
+   atomics, literal tables, and function-local mutable state.
+   Expected findings: none. *)
+
+let answer = 42
+let sbox = [| 0x63; 0x7c; 0x77; 0x7b |]
+let shard_counter = Atomic.make 0
+
+let histogram xs =
+  let t = Hashtbl.create 8 in
+  List.iter (fun x -> Hashtbl.replace t x (1 + try Hashtbl.find t x with Not_found -> 0)) xs;
+  t
+
+let next () = Atomic.fetch_and_add shard_counter 1
+let lookup i = sbox.(i land 3) + answer
+let _unused_style = `Allowed

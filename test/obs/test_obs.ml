@@ -233,6 +233,35 @@ let test_span_duration () =
           | _ -> Alcotest.fail "expected Complete")
       | _ -> Alcotest.fail "expected one event")
 
+(** The explicit-handle surface: recorders are values, the ambient
+    install is just a pointer to one of them, and a recorder's ring
+    stays readable after [uninstall]. *)
+let test_recorder_handle_api () =
+  let r1 = Trace.Recorder.create ~capacity:4 () in
+  let r2 = Trace.Recorder.create () in
+  checkb "nothing installed yet" true (Trace.installed () = None);
+  Trace.install r1;
+  checkb "compat on() sees the install" true (Trace.on ());
+  emit_n 6;
+  (* swap recorders mid-stream: emitters are oblivious *)
+  Trace.install r2;
+  emit_n 2;
+  Trace.uninstall ();
+  checkb "uninstalled" false (Trace.on ());
+  let s1 = Trace.Recorder.stats r1 and s2 = Trace.Recorder.stats r2 in
+  checki "r1 emitted" 6 s1.Trace.emitted;
+  checki "r1 dropped to capacity" 2 s1.Trace.dropped;
+  checki "r2 emitted" 2 s2.Trace.emitted;
+  checki "r2 kept both" 2 (List.length (Trace.Recorder.events r2));
+  (* direct emission onto a handle needs no install at all *)
+  Trace.Recorder.emit r2 ~cat:Event.Lock ~subsystem:"t" "direct";
+  checki "direct emit" 3 (Trace.Recorder.stats r2).Trace.emitted;
+  checkb "bad capacity rejected" true
+    (try
+       ignore (Trace.Recorder.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
 (* ----------------------------- metrics ---------------------------- *)
 
 let test_metrics_counter_gauge () =
@@ -261,6 +290,33 @@ let test_metrics_histogram_percentiles () =
   checkf "p95" 95.0 (List.assoc "t/lat/p95" flat);
   checkf "p99" 99.0 (List.assoc "t/lat/p99" flat);
   checkf "max" 100.0 (List.assoc "t/lat/max" flat)
+
+(** Regression: the flat export must be sorted by key regardless of
+    registration order, so two registries with the same instruments
+    produce byte-identical reports (what the bench snapshot diffs and
+    the differential suites rely on). *)
+let test_metrics_flat_order_independent () =
+  let keys =
+    [ "zerod/pages"; "bus/txns"; "lock/count"; "aes/bytes"; "sched/switches" ]
+  in
+  let value_of key = float_of_int (Hashtbl.hash key mod 1000) in
+  let with_values order =
+    let m = Metrics.create () in
+    List.iter
+      (fun key ->
+        match String.split_on_char '/' key with
+        | [ subsystem; name ] ->
+            Metrics.inc ~by:(int_of_float (value_of key)) (Metrics.counter m ~subsystem name)
+        | _ -> assert false)
+      order;
+    Metrics.flat m
+  in
+  let a = with_values keys in
+  let b = with_values (List.rev keys) in
+  checkb "insertion order is invisible" true (a = b);
+  let ks = List.map fst a in
+  checkb "keys sorted" true (ks = List.sort String.compare ks);
+  checki "all present" (List.length keys) (List.length a)
 
 let test_metrics_kind_clash () =
   let m = Metrics.create () in
@@ -409,11 +465,13 @@ let () =
           Alcotest.test_case "overflow keeps newest" `Quick test_ring_overflow_keeps_newest;
           Alcotest.test_case "clear keeps recorder" `Quick test_trace_clear_keeps_recorder;
           Alcotest.test_case "span duration" `Quick test_span_duration;
+          Alcotest.test_case "recorder handle api" `Quick test_recorder_handle_api;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counter/gauge" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram_percentiles;
+          Alcotest.test_case "flat order independent" `Quick test_metrics_flat_order_independent;
           Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
         ] );
       ( "export",
