@@ -53,8 +53,13 @@ let find_or_die id =
 (* One timed run with its host GC cost: wall-clock seconds plus the
    minor/major words the run allocated.  The GC numbers are what the
    zero-allocation fast path is accountable to; the simulated outputs
-   themselves are independent of them by construction. *)
+   themselves are independent of them by construction.
+
+   Caches are dropped before the bracket so trials are i.i.d. — with
+   the Figs 2-5 memo warm, only the first trial did the work and the
+   committed fig2/fig4 rows showed min ≈ 4 µs vs max ≈ 6.4 s. *)
 let time_once run =
+  Sentry_experiments.Experiments.reset_caches ();
   let gc0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   ignore (run ());
@@ -65,7 +70,7 @@ let time_once run =
 (* BENCH_sentry.json: wall-clock summaries per experiment plus the key
    simulator counters from one traced lock-cycle, under a versioned
    schema so downstream tooling can evolve. *)
-let run_json ~path ~trials ids =
+let run_json ~path ~trials ~slo_spec ids =
   let entries =
     match ids with
     | [] -> Sentry_experiments.Experiments.all
@@ -137,6 +142,22 @@ let run_json ~path ~trials ids =
           ])
       Sentry_experiments.Exp_fleet.fleet_sizes
   in
+  (* per-tenant-class latency SLOs over one default fleet run — the
+     same objectives the CI gate enforces via `sentry_cli slo`.  The
+     spec file is optional so bench still runs from any directory. *)
+  let slo =
+    match Slo.load ~path:slo_spec with
+    | Error msg ->
+        Printf.printf "  slo: no spec (%s); section omitted\n%!" msg;
+        Json_out.Null
+    | Ok objectives ->
+        let metrics = Metrics.create () in
+        ignore (Sentry_workloads.Fleet.run ~metrics Sentry_workloads.Fleet.default);
+        let report = Slo.evaluate objectives (Metrics.flat metrics) in
+        Printf.printf "  slo: %d objective(s), %d violation(s)\n%!"
+          (List.length report.Slo.outcomes) report.Slo.violations;
+        Slo.report_json report
+  in
   let doc =
     Json_out.Obj
       [
@@ -145,6 +166,7 @@ let run_json ~path ~trials ids =
         ("experiments", Json_out.List results);
         ("fleet", Json_out.List fleet);
         ("counters", Json_out.Obj counters);
+        ("slo", slo);
       ]
   in
   Export.write_file ~path (Json_out.to_string doc ^ "\n");
@@ -158,9 +180,9 @@ let run_json ~path ~trials ids =
    machines), so the diff is warn-only: it never fails the build, it
    makes a slowdown visible in the log next to the run that caused
    it. *)
-(* Defaults to the snapshot's own trial count: several experiments
-   cache work behind [Lazy.t], so a per-experiment mean is only
-   comparable between runs that forced the same number of trials. *)
+(* Defaults to the snapshot's own trial count.  [time_once] resets the
+   cross-trial caches, so trials are i.i.d. and the count only affects
+   noise, but matching the snapshot keeps the statistics comparable. *)
 let run_compare ~path ~trials ~tolerance ids =
   let open Sentry_obs in
   let doc =
@@ -287,14 +309,20 @@ let tolerance_flag =
   let doc = "Relative slowdown tolerated by --compare before warning (fraction, e.g. 0.3)." in
   Arg.(value & opt float 0.3 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
 
-let main list_it csv json compare tolerance trials ids =
+let slo_spec_flag =
+  let doc =
+    "SLO spec evaluated into the --json snapshot's \"slo\" section (omitted if unreadable)."
+  in
+  Arg.(value & opt string "slo.spec" & info [ "slo-spec" ] ~docv:"FILE" ~doc)
+
+let main list_it csv json compare tolerance trials slo_spec ids =
   if list_it then list_experiments ()
   else
     match (json, compare) with
     | Some _, Some _ ->
         prerr_endline "--json and --compare are mutually exclusive";
         exit 1
-    | Some path, None -> run_json ~path ~trials:(Option.value trials ~default:3) ids
+    | Some path, None -> run_json ~path ~trials:(Option.value trials ~default:3) ~slo_spec ids
     | None, Some path -> run_compare ~path ~trials ~tolerance ids
     | None, None -> ( match ids with [] -> run_all () | ids -> run_selected ~csv ids)
 
@@ -303,6 +331,6 @@ let cmd =
   Cmd.v (Cmd.info "sentry-bench" ~doc)
     Term.(
       const main $ list_flag $ csv_flag $ json_flag $ compare_flag $ tolerance_flag $ trials_flag
-      $ ids)
+      $ slo_spec_flag $ ids)
 
 let () = exit (Cmd.eval cmd)

@@ -161,7 +161,7 @@ let platform_of_string = function
       Printf.eprintf "unknown platform %S (tegra3|nexus4|future)\n" p;
       exit 1
 
-let trace scenario platform chrome jsonl metrics capacity list_categories =
+let trace scenario platform chrome jsonl folded metrics capacity top list_categories =
   let open Sentry_obs in
   if list_categories then begin
     Printf.printf "categories:\n";
@@ -202,11 +202,13 @@ let trace scenario platform chrome jsonl metrics capacity list_categories =
       (fun path -> write "Chrome trace" path (Export.chrome_trace_string events))
       chrome;
     Option.iter (fun path -> write "event JSONL" path (Export.jsonl events)) jsonl;
+    Option.iter (fun path -> write "folded stacks" path (Export.folded events)) folded;
     Option.iter
       (fun path ->
         write "metrics" path
           (Export.metrics_jsonl (Obs_report.flat ~recorder r.Trace_scenario.sentry)))
-      metrics
+      metrics;
+    if top > 0 then print_string (Export.top_spans_table (Export.top_spans ~limit:top events))
   end
 
 let trace_cmd =
@@ -225,6 +227,10 @@ let trace_cmd =
     Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
            ~doc:"write raw events, one JSON object per line")
   in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"write folded stacks (one 'frame;frame self_ns' line per unique span stack; flamegraph.pl input)")
+  in
   let metrics =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
            ~doc:"write the flat metrics report, one {key,value} per line")
@@ -232,11 +238,16 @@ let trace_cmd =
   let capacity =
     Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc:"trace ring capacity (events)")
   in
+  let top =
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"N"
+           ~doc:"print the N spans with the largest self time (0 = off)")
+  in
   let list_categories =
     Arg.(value & flag & info [ "list-categories" ] ~doc:"print event categories and known subsystems, then exit")
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const trace $ scenario $ platform $ chrome $ jsonl $ metrics $ capacity $ list_categories)
+    Term.(const trace $ scenario $ platform $ chrome $ jsonl $ folded $ metrics $ capacity $ top
+          $ list_categories)
 
 (* ----------------------------- faults ---------------------------- *)
 
@@ -364,10 +375,12 @@ let attack_cmd =
 
 (* ----------------------------- fleet ----------------------------- *)
 
-let fleet procs pages cycles wakes io touch per_page json =
+let fleet procs pages cycles wakes io touch per_page json folded =
+  let open Sentry_obs in
+  let module F = Sentry_workloads.Fleet in
   let cfg =
     {
-      Sentry_workloads.Fleet.procs;
+      F.procs;
       pages_per_proc = pages;
       cycles;
       touch_fraction = touch;
@@ -376,23 +389,60 @@ let fleet procs pages cycles wakes io touch per_page json =
       pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
     }
   in
-  let s = Sentry_workloads.Fleet.run cfg in
-  if json then
-    Printf.printf
-      "{\"procs\": %d, \"pages_per_proc\": %d, \"cycles\": %d, \"pipeline\": %S,\n\
-      \ \"pages_locked\": %d, \"pages_unlocked_eager\": %d, \"pages_faulted\": %d,\n\
-      \ \"service_wakes\": %d, \"io_sectors\": %d,\n\
-      \ \"lock_wall_s\": %.6f, \"unlock_wall_s\": %.6f, \"lock_pages_per_s\": %.1f,\n\
-      \ \"unlock_to_first_touch_ns\": %.1f, \"sim_elapsed_ns\": %.1f, \"energy_j\": %.6f}\n"
-      procs pages cycles
-      (if per_page then "per-page" else "batched")
-      s.Sentry_workloads.Fleet.pages_locked s.Sentry_workloads.Fleet.pages_unlocked_eager
-      s.Sentry_workloads.Fleet.pages_faulted s.Sentry_workloads.Fleet.service_wakes_run
-      s.Sentry_workloads.Fleet.io_sectors_done s.Sentry_workloads.Fleet.lock_wall_s
-      s.Sentry_workloads.Fleet.unlock_wall_s s.Sentry_workloads.Fleet.lock_pages_per_s
-      s.Sentry_workloads.Fleet.unlock_to_first_touch_ns s.Sentry_workloads.Fleet.sim_elapsed_ns
-      s.Sentry_workloads.Fleet.energy_j
-  else Format.printf "%a@." Sentry_workloads.Fleet.pp s
+  (* only pay for tracing when the folded-stacks export was asked for *)
+  let recorder =
+    match folded with
+    | None -> None
+    | Some _ ->
+        let r = Trace.Recorder.create ~capacity:65536 () in
+        Trace.install r;
+        Some r
+  in
+  let s = F.run cfg in
+  Option.iter (fun _ -> Trace.uninstall ()) recorder;
+  (match (folded, recorder) with
+  | Some path, Some r ->
+      Export.write_file ~path (Export.folded (Trace.Recorder.events r));
+      Printf.printf "wrote folded stacks to %s\n" path
+  | _ -> ());
+  if json then begin
+    let latency_json (cls, (l : F.latency)) =
+      ( cls,
+        Json_out.Obj
+          [
+            ("count", Json_out.Int l.F.count);
+            ("mean_ns", Json_out.Float l.F.mean_ns);
+            ("p50_ns", Json_out.Float l.F.p50_ns);
+            ("p99_ns", Json_out.Float l.F.p99_ns);
+            ("p999_ns", Json_out.Float l.F.p999_ns);
+            ("max_ns", Json_out.Float l.F.max_ns);
+          ] )
+    in
+    let doc =
+      Json_out.Obj
+        [
+          ("procs", Json_out.Int procs);
+          ("pages_per_proc", Json_out.Int pages);
+          ("cycles", Json_out.Int cycles);
+          ("pipeline", Json_out.Str (F.pipeline_label cfg.F.pipeline));
+          ("fleet_pages", Json_out.Int s.F.fleet_pages);
+          ("pages_locked", Json_out.Int s.F.pages_locked);
+          ("pages_unlocked_eager", Json_out.Int s.F.pages_unlocked_eager);
+          ("pages_faulted", Json_out.Int s.F.pages_faulted);
+          ("service_wakes", Json_out.Int s.F.service_wakes_run);
+          ("io_sectors", Json_out.Int s.F.io_sectors_done);
+          ("lock_wall_s", Json_out.Float s.F.lock_wall_s);
+          ("unlock_wall_s", Json_out.Float s.F.unlock_wall_s);
+          ("lock_pages_per_s", Json_out.Float s.F.lock_pages_per_s);
+          ("unlock_to_first_touch_ns", Json_out.Float s.F.unlock_to_first_touch_ns);
+          ("unlock_to_first_touch_by_class", Json_out.Obj (List.map latency_json s.F.latency_by_class));
+          ("sim_elapsed_ns", Json_out.Float s.F.sim_elapsed_ns);
+          ("energy_j", Json_out.Float s.F.energy_j);
+        ]
+    in
+    print_endline (Json_out.to_string doc)
+  end
+  else Format.printf "%a@." F.pp s
 
 let fleet_cmd =
   let doc = "run the multi-tenant fleet churn workload" in
@@ -418,12 +468,78 @@ let fleet_cmd =
     Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline instead of the batched engine")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output") in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"trace the run and write folded stacks (flamegraph.pl input)")
+  in
   Cmd.v (Cmd.info "fleet" ~doc)
-    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json)
+    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json $ folded)
+
+(* ------------------------------ slo ------------------------------ *)
+
+let slo spec procs pages cycles wakes io touch per_page json =
+  let open Sentry_obs in
+  let module F = Sentry_workloads.Fleet in
+  match Slo.load ~path:spec with
+  | Error msg ->
+      Printf.eprintf "slo: %s\n" msg;
+      exit 2
+  | Ok objectives ->
+      let cfg =
+        {
+          F.procs;
+          pages_per_proc = pages;
+          cycles;
+          touch_fraction = touch;
+          service_wakes = wakes;
+          io_sectors = io;
+          pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+        }
+      in
+      let metrics = Metrics.create () in
+      ignore (F.run ~metrics cfg);
+      let report = Slo.evaluate objectives (Metrics.flat metrics) in
+      Format.printf "%a@." Slo.pp_report report;
+      Option.iter
+        (fun path ->
+          Export.write_file ~path (Json_out.to_string (Slo.report_json report) ^ "\n");
+          Printf.printf "wrote SLO report to %s\n" path)
+        json;
+      if not (Slo.ok report) then exit 1
+
+let slo_cmd =
+  let doc = "run the fleet workload and gate its latency distributions against an SLO spec" in
+  let spec =
+    Arg.(value & opt string "slo.spec"
+         & info [ "spec" ] ~docv:"FILE" ~doc:"objective spec: 'KEY [STAT] <=|>= THRESHOLD' lines")
+  in
+  let procs = Arg.(value & opt int 8 & info [ "procs" ] ~docv:"N" ~doc:"sensitive processes in the fleet") in
+  let pages = Arg.(value & opt int 16 & info [ "pages" ] ~docv:"M" ~doc:"pages per medium tenant") in
+  let cycles = Arg.(value & opt int 3 & info [ "cycles" ] ~docv:"C" ~doc:"lock/unlock churn cycles") in
+  let wakes =
+    Arg.(value & opt int 1 & info [ "wakes" ] ~docv:"W" ~doc:"background service wakes per locked period")
+  in
+  let io =
+    Arg.(value & opt int 8 & info [ "io" ] ~docv:"SECTORS" ~doc:"dm-crypt sectors written+read per wake")
+  in
+  let touch =
+    Arg.(value & opt float 0.25 & info [ "touch" ] ~docv:"FRAC" ~doc:"fraction of pages faulted in after unlock")
+  in
+  let per_page =
+    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON")
+  in
+  Cmd.v (Cmd.info "slo" ~doc)
+    Term.(const slo $ spec $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json)
 
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sentry-cli" ~doc)
-          [ list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd; fleet_cmd ]))
+          [
+            list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd; fleet_cmd;
+            slo_cmd;
+          ]))

@@ -45,6 +45,11 @@ let dma_coherence_sweep machine ptes =
   let frames =
     List.sort_uniq compare (List.map (fun (_, pte) -> pte.Page_table.frame) ptes)
   in
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span
+      ~ts:(Clock.now (Machine.clock machine))
+      ~cat:Sentry_obs.Event.Dma ~subsystem:"soc.dma" "dma-coherence-sweep";
   let rec sweep = function
     | [] -> ()
     | first :: rest ->
@@ -56,7 +61,12 @@ let dma_coherence_sweep machine ptes =
         Pl310.clean_invalidate_range l2 first (last + Page.size - first);
         sweep rest
   in
-  sweep frames
+  sweep frames;
+  if traced then
+    Sentry_obs.Trace.exit_span
+      ~ts:(Clock.now (Machine.clock machine))
+      ~args:[ ("pages", Sentry_obs.Event.Int (List.length frames)) ]
+      ()
 
 let decrypt_region ?journal pc proc (region : Address_space.region) =
   let pid = proc.Process.pid in

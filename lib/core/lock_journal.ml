@@ -60,6 +60,8 @@ let checksum ~pass ~pid ~pages =
     0xffffffffl
 
 let write t =
+  let traced = Sentry_obs.Trace.on () in
+  let start_ns = if traced then Clock.now (Machine.clock t.machine) else 0.0 in
   let b = Bytes.make size_bytes '\x00' in
   Bytes.set_int32_le b 0 magic;
   Bytes.set_int32_le b 4 (Int32.of_int version);
@@ -67,7 +69,12 @@ let write t =
   Bytes.set_int32_le b 12 (Int32.of_int t.cur_pid);
   Bytes.set_int32_le b 16 (Int32.of_int t.cur_pages);
   Bytes.set_int32_le b 20 (checksum ~pass:t.cur_pass ~pid:t.cur_pid ~pages:t.cur_pages);
-  Machine.write_from t.machine t.addr b ~off:0 ~len:size_bytes
+  Machine.write_from t.machine t.addr b ~off:0 ~len:size_bytes;
+  if traced then
+    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Lock ~subsystem:"core.lock_journal" ~start_ns
+      ~end_ns:(Clock.now (Machine.clock t.machine))
+      ~args:[ ("pages_done", Sentry_obs.Event.Int t.cur_pages) ]
+      "journal-write"
 
 let trace t name =
   if Sentry_obs.Trace.on () then

@@ -136,23 +136,43 @@ let transform_item t ~(dir : [ `Encrypt | `Decrypt ]) { pid; vpn; frame } =
     — the caller flips the PTE and journals there, preserving the
     per-page fail-secure ordering of [encrypt_frame]. *)
 let encrypt_batch t items ~complete =
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Crypto ~subsystem:"core.page_crypt" "encrypt-batch";
   Array.iteri
     (fun i item ->
       transform_item t ~dir:`Encrypt item;
       complete i)
-    items
+    items;
+  if traced then
+    Sentry_obs.Trace.exit_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~args:[ ("pages", Sentry_obs.Event.Int (Array.length items)) ]
+      ()
 
 (** [decrypt_batch t items ~prepare ~complete] — the unlock twin:
     [prepare i] runs {e before} item [i] is touched (the caller clears
     the PTE's encrypted bit there — fail-secure: a crash mid-transform
     re-encrypts on recovery), [complete i] after the cleartext lands. *)
 let decrypt_batch t items ~prepare ~complete =
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Crypto ~subsystem:"core.page_crypt" "decrypt-batch";
   Array.iteri
     (fun i item ->
       prepare i;
       transform_item t ~dir:`Decrypt item;
       complete i)
-    items
+    items;
+  if traced then
+    Sentry_obs.Trace.exit_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~args:[ ("pages", Sentry_obs.Event.Int (Array.length items)) ]
+      ()
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

@@ -209,20 +209,25 @@ let install_locked_fault_handler t =
 
 let lock t =
   let start_ns = machine_now t in
+  (* Captured once so the enter/exit pair cannot be torn by a recorder
+     appearing mid-walk. *)
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span ~ts:start_ns ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry"
+      "encrypt-on-lock";
   Lock_state.begin_lock t.lock_state;
   let stats = lock_walk t in
   install_locked_fault_handler t;
   Lock_state.finish_lock t.lock_state;
   t.last_lock <- Some stats;
-  if Sentry_obs.Trace.on () then
-    Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry" ~start_ns
-      ~end_ns:(machine_now t)
+  if traced then
+    Sentry_obs.Trace.exit_span ~ts:(machine_now t)
       ~args:
         [
           ("pages_encrypted", Sentry_obs.Event.Int stats.Encrypt_on_lock.pages_encrypted);
           ("freed_pages_zeroed", Sentry_obs.Event.Int stats.Encrypt_on_lock.freed_pages_zeroed);
         ]
-      "encrypt-on-lock";
+      ();
   stats
 
 (** [unlock t ~pin] — PIN check, eager DMA-region decryption, lazy
@@ -232,18 +237,21 @@ let unlock t ~pin =
   match Lock_state.begin_unlock t.lock_state ~pin with
   | Error e -> Error e
   | Ok () ->
+      let traced = Sentry_obs.Trace.on () in
+      if traced then
+        Sentry_obs.Trace.enter_span ~ts:start_ns ~cat:Sentry_obs.Event.Lock
+          ~subsystem:"core.sentry" "decrypt-on-unlock";
       Option.iter Background.evict_all t.background;
       let stats = unlock_walk t in
       Lock_state.finish_unlock t.lock_state;
       t.last_unlock <- Some stats;
-      if Sentry_obs.Trace.on () then
-        Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Lock ~subsystem:"core.sentry" ~start_ns
-          ~end_ns:(machine_now t)
+      if traced then
+        Sentry_obs.Trace.exit_span ~ts:(machine_now t)
           ~args:
             [
               ("dma_pages_eager", Sentry_obs.Event.Int stats.Decrypt_on_unlock.dma_pages_eager);
             ]
-          "decrypt-on-unlock";
+          ();
       Ok stats
 
 (** Re-establish key material after a crash, if it was lost.  A warm
@@ -288,6 +296,10 @@ let recover t =
       None
   | (Lock_state.Locking | Lock_state.Unlocking) as interrupted ->
       let start_ns = machine_now t in
+      let traced = Sentry_obs.Trace.on () in
+      if traced then
+        Sentry_obs.Trace.enter_span ~ts:start_ns ~cat:Sentry_obs.Event.Recovery
+          ~subsystem:"core.recovery" "crash-recovery";
       let journal_entry = Option.bind t.journal Lock_journal.load in
       let rekeyed = ensure_key t in
       (* The sweep is the lock walk itself: every present, unencrypted
@@ -318,9 +330,8 @@ let recover t =
         }
       in
       t.last_recovery <- Some recovery;
-      if Sentry_obs.Trace.on () then
-        Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Recovery ~subsystem:"core.recovery"
-          ~start_ns ~end_ns:(machine_now t)
+      if traced then
+        Sentry_obs.Trace.exit_span ~ts:(machine_now t)
           ~args:
             [
               ( "resumed",
@@ -333,7 +344,7 @@ let recover t =
               ( "journal_survived",
                 Sentry_obs.Event.Bool (journal_entry <> None) );
             ]
-          "crash-recovery";
+          ();
       Some recovery
 
 (** Eager-unlock ablation: decrypt everything at unlock time. *)

@@ -17,5 +17,9 @@ type metrics = {
 
 val run_app : Sentry_workloads.App.profile -> metrics
 
-(** All four apps, computed once and shared by Figs 2-5. *)
-val all : metrics list Lazy.t
+(** All four apps, computed once per trial and shared by Figs 2-5. *)
+val all : unit -> metrics list
+
+(** Drop the memo behind [all] so the next call re-runs the app
+    cycles (bench trial isolation). *)
+val reset : unit -> unit

@@ -12,7 +12,7 @@ let run () =
           Printf.sprintf "%.2f s" m.Exp_apps.unlock_s;
           Printf.sprintf "%.1f MB" m.Exp_apps.unlock_mb;
         ])
-      (Lazy.force Exp_apps.all)
+      (Exp_apps.all ())
   in
   [
     Table.make ~title:"Fig 2: overhead upon device unlock (resume)"

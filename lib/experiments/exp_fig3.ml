@@ -13,7 +13,7 @@ let run () =
           Printf.sprintf "%.1f%%" m.Exp_apps.script_overhead_pct;
           Printf.sprintf "%.1f MB" m.Exp_apps.script_mb;
         ])
-      (Lazy.force Exp_apps.all)
+      (Exp_apps.all ())
   in
   [
     Table.make ~title:"Fig 3: runtime overhead during scripted use"

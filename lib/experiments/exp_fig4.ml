@@ -11,7 +11,7 @@ let run () =
           Printf.sprintf "%.2f s" m.Exp_apps.lock_s;
           Printf.sprintf "%.1f MB" m.Exp_apps.lock_mb;
         ])
-      (Lazy.force Exp_apps.all)
+      (Exp_apps.all ())
   in
   [
     Table.make ~title:"Fig 4: overhead upon device lock"

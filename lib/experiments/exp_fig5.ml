@@ -4,7 +4,7 @@
 open Sentry_util
 
 let run () =
-  let metrics = Lazy.force Exp_apps.all in
+  let metrics = Exp_apps.all () in
   let rows =
     List.map
       (fun (m : Exp_apps.metrics) ->

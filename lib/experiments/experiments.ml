@@ -33,6 +33,11 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(** Drop every cross-experiment memo (today: the shared Figs 2-5 app
+    cycles) so the next run starts cold.  The bench harness calls this
+    between trials to keep them i.i.d. *)
+let reset_caches () = Exp_apps.reset ()
+
 let run_and_print (e : entry) =
   Printf.printf "### %s — %s\n\n" e.id e.description;
   List.iter Sentry_util.Table.print (e.run ())

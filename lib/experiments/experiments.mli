@@ -9,4 +9,9 @@ type entry = {
 
 val all : entry list
 val find : string -> entry option
+
+(** Drop every cross-experiment memo (the shared Figs 2-5 app cycles)
+    so the next run starts cold — bench trial isolation. *)
+val reset_caches : unit -> unit
+
 val run_and_print : entry -> unit

@@ -35,23 +35,27 @@ let maybe_fault t proc ~vaddr pte =
     proc.Process.faults <- proc.Process.faults + 1;
     Clock.advance (Machine.clock t.machine) Calib.page_fault_ns;
     let start = Clock.now (Machine.clock t.machine) in
+    (* Captured once so the enter/exit pair cannot be torn by a
+       recorder appearing inside the handler. *)
+    let traced = Sentry_obs.Trace.on () in
+    if traced then
+      Sentry_obs.Trace.enter_span
+        ~ts:(start -. Calib.page_fault_ns)
+        ~cat:Sentry_obs.Event.Pagefault ~subsystem:"kernel.vm" "page-fault";
     t.handler proc ~vaddr pte;
     let spent = Clock.elapsed (Machine.clock t.machine) ~since:start in
     proc.Process.kernel_time_ns <-
       proc.Process.kernel_time_ns +. spent +. Calib.page_fault_ns;
-    if Sentry_obs.Trace.on () then
-      Sentry_obs.Trace.emit
-        ~ts:(start -. Calib.page_fault_ns)
-        ~cat:Sentry_obs.Event.Pagefault ~subsystem:"kernel.vm"
-        ~phase:(Sentry_obs.Event.Complete (spent +. Calib.page_fault_ns))
-        "page-fault"
+    if traced then
+      Sentry_obs.Trace.exit_span ~ts:(start +. spent)
         ~args:
           [
             ("pid", Sentry_obs.Event.Int proc.Process.pid);
             ("vaddr", Sentry_obs.Event.Int vaddr);
             ("present", Sentry_obs.Event.Bool was_present);
             ("young_trap", Sentry_obs.Event.Bool was_present);
-          ];
+          ]
+        ();
     if (not pte.Page_table.present) || not pte.Page_table.young then
       raise (Segfault { pid = proc.Process.pid; vaddr })
   end

@@ -87,6 +87,7 @@ let known_subsystems =
     "core.recovery";
     "faults.injector";
     "analysis.engine";
+    "workloads.fleet";
   ]
 
 type arg = Int of int | Float of float | Str of string | Bool of bool
@@ -102,6 +103,8 @@ type t = {
   subsystem : string;
   name : string;
   phase : phase;
+  span : int; (* span id for Complete events (0 = not a tracked span) *)
+  parent : int; (* id of the enclosing span open at emission (0 = root) *)
   args : (string * arg) list;
 }
 
@@ -116,4 +119,6 @@ let pp ppf e =
   (match e.phase with
   | Complete dur -> Fmt.pf ppf " dur=%.1fns" dur
   | Instant | Counter -> ());
+  if e.span <> 0 then Fmt.pf ppf " span=%d" e.span;
+  if e.parent <> 0 then Fmt.pf ppf " parent=%d" e.parent;
   List.iter (fun (k, v) -> Fmt.pf ppf " %s=%a" k pp_arg v) e.args

@@ -42,6 +42,8 @@ type t = {
   subsystem : string;
   name : string;
   phase : phase;
+  span : int;  (** span id for [Complete] events; 0 = not a tracked span *)
+  parent : int;  (** id of the span open at emission; 0 = root *)
   args : (string * arg) list;
 }
 

@@ -1,0 +1,137 @@
+(** Declarative latency/throughput objectives evaluated against a
+    flat metrics snapshot.
+
+    A spec is a plain-text file, one objective per line:
+
+    {v
+    # unlock-to-first-touch tail latency, large tenants
+    workloads.fleet/unlock_to_first_touch_ns{tenant_class=large} p999 <= 2.0e9
+    core.lock_state/locks >= 1
+    v}
+
+    Grammar per line (blank lines and [#] comments ignored):
+
+    {v KEY [STAT] OP THRESHOLD v}
+
+    - [KEY] — a metric key as {!Metrics.flat} emits it (labels
+      included).  For histograms, give the base key plus a [STAT].
+    - [STAT] — optional: [p50], [p95], [p99], [p999], [mean], [max]
+      or [count]; appended to [KEY] as ["/stat"] before lookup.
+    - [OP] — [<=] or [>=].
+    - [THRESHOLD] — a float.
+
+    A missing key is a violation (an SLO on a metric nobody records
+    must fail loudly, not vacuously pass). *)
+
+type op = Le | Ge
+
+type objective = {
+  key : string; (* full flat key after STAT expansion *)
+  op : op;
+  threshold : float;
+  line : int; (* 1-based spec line, for error messages *)
+}
+
+type outcome = {
+  objective : objective;
+  actual : float option; (* None: key absent from the snapshot *)
+  ok : bool;
+}
+
+type report = { outcomes : outcome list; violations : int }
+
+let op_name = function Le -> "<=" | Ge -> ">="
+
+let stats = [ "p50"; "p95"; "p99"; "p999"; "mean"; "max"; "count" ]
+
+let parse_line ~line s =
+  let s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s in
+  let toks =
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) s)
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [] -> Ok None
+  | _ -> (
+      let key, rest =
+        match toks with
+        | key :: stat :: rest when List.mem stat stats -> (key ^ "/" ^ stat, rest)
+        | key :: rest -> (key, rest)
+        | [] -> ("", [])
+      in
+      match rest with
+      | [ op; threshold ] -> (
+          let op = match op with "<=" -> Some Le | ">=" -> Some Ge | _ -> None in
+          match (op, float_of_string_opt threshold) with
+          | Some op, Some threshold -> Ok (Some { key; op; threshold; line })
+          | None, _ -> Error (Printf.sprintf "line %d: operator must be <= or >=" line)
+          | _, None -> Error (Printf.sprintf "line %d: bad threshold %S" line threshold))
+      | _ ->
+          Error
+            (Printf.sprintf "line %d: expected 'KEY [STAT] <=|>= THRESHOLD', got %S" line
+               (String.trim s)))
+
+(** Parse a spec document.  [Error] carries the first malformed line. *)
+let parse doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line ~line:i l with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some o) -> go (i + 1) (o :: acc) rest
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | doc -> parse doc
+  | exception Sys_error e -> Error e
+
+(** Evaluate objectives against flat [(key, value)] pairs. *)
+let evaluate objectives pairs =
+  let outcomes =
+    List.map
+      (fun o ->
+        match List.assoc_opt o.key pairs with
+        | None -> { objective = o; actual = None; ok = false }
+        | Some v ->
+            let ok = match o.op with Le -> v <= o.threshold | Ge -> v >= o.threshold in
+            { objective = o; actual = Some v; ok })
+      objectives
+  in
+  { outcomes; violations = List.length (List.filter (fun r -> not r.ok) outcomes) }
+
+let ok report = report.violations = 0
+
+let outcome_json r =
+  Json_out.Obj
+    [
+      ("key", Json_out.Str r.objective.key);
+      ("op", Json_out.Str (op_name r.objective.op));
+      ("threshold", Json_out.Float r.objective.threshold);
+      ("actual", match r.actual with Some v -> Json_out.Float v | None -> Json_out.Null);
+      ("ok", Json_out.Bool r.ok);
+    ]
+
+let report_json report =
+  Json_out.Obj
+    [
+      ("ok", Json_out.Bool (ok report));
+      ("objectives", Json_out.Int (List.length report.outcomes));
+      ("violations", Json_out.Int report.violations);
+      ("results", Json_out.List (List.map outcome_json report.outcomes));
+    ]
+
+let pp_outcome ppf r =
+  let actual =
+    match r.actual with Some v -> Printf.sprintf "%g" v | None -> "(missing)"
+  in
+  Fmt.pf ppf "%s %-60s %s %g  actual %s"
+    (if r.ok then "PASS" else "FAIL")
+    r.objective.key (op_name r.objective.op) r.objective.threshold actual
+
+let pp_report ppf report =
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_outcome r) report.outcomes;
+  Fmt.pf ppf "%d objective(s), %d violation(s)@." (List.length report.outcomes) report.violations

@@ -23,10 +23,14 @@ module Recorder : sig
   (** Current simulated time per the time source. *)
   val now : t -> float
 
-  (** Record one event.  [ts] defaults to the time source. *)
+  (** Record one event.  [ts] defaults to the time source; [parent]
+      defaults to the innermost open span (0 when none); [span]
+      defaults to 0 (not a tracked span). *)
   val emit :
     t ->
     ?ts:float ->
+    ?span:int ->
+    ?parent:int ->
     cat:Event.category ->
     subsystem:string ->
     ?phase:Event.phase ->
@@ -34,7 +38,8 @@ module Recorder : sig
     string ->
     unit
 
-  (** Record a [Complete] span from its simulated boundaries. *)
+  (** Record a [Complete] span from its simulated boundaries.  Gets a
+      fresh span id and the innermost open span as parent. *)
   val span :
     t ->
     ?args:(string * Event.arg) list ->
@@ -44,6 +49,26 @@ module Recorder : sig
     end_ns:float ->
     string ->
     unit
+
+  (** Push an open span (parent = previous top of stack).  [ts]
+      defaults to the time source. *)
+  val enter_span : t -> ?ts:float -> cat:Event.category -> subsystem:string -> string -> unit
+
+  (** Pop the innermost open span and emit its [Complete] event with
+      end time [ts] (default: time source).  No-op on an empty stack. *)
+  val exit_span : t -> ?ts:float -> ?args:(string * Event.arg) list -> unit -> unit
+
+  (** Number of currently open (entered, not yet exited) spans. *)
+  val open_depth : t -> int
+
+  (** [merge a b] — a fresh recorder holding both inputs' retained
+      events, stably interleaved by simulated timestamp, with [b]'s
+      span/parent ids offset past [a]'s so causal trees never collide.
+      Category counts add and drop counts carry over, so its [stats]
+      report the sum of both inputs' emissions.  Deterministic; inputs
+      are untouched.  Merge only quiesced recorders (open spans do not
+      travel). *)
+  val merge : t -> t -> t
 
   val stats : t -> stats
 
@@ -110,6 +135,9 @@ val span :
   end_ns:float ->
   string ->
   unit
+
+val enter_span : ?ts:float -> cat:Event.category -> subsystem:string -> string -> unit
+val exit_span : ?ts:float -> ?args:(string * Event.arg) list -> unit -> unit
 
 val stats : unit -> stats
 val events : unit -> Event.t list

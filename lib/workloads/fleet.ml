@@ -9,7 +9,17 @@
     frame-sorting them pays for itself.  Host wall-clock throughput
     ([lock_pages_per_s]) is the headline number; simulated outputs
     (clock, energy, faults) are pipeline-independent and reported for
-    corroboration. *)
+    corroboration.
+
+    {b Tenant classes.}  The fleet is deliberately heterogeneous so
+    tail latency means something: by spawn index, every 4th process is
+    a {e large} tenant (2×M pages plus a DMA region — camera/radio
+    style), every [4k+3]rd a {e small} one (M/2 pages), the rest
+    {e medium} (M pages).  After each unlock, every tenant's first
+    page is faulted in, in spawn order, and the simulated
+    unlock-to-first-touch latency is sampled per tenant — so the
+    distribution captures queueing behind earlier tenants' faults,
+    which is exactly what the per-class p99/p999 SLOs watch. *)
 
 open Sentry_util
 open Sentry_soc
@@ -18,7 +28,7 @@ open Sentry_core
 
 type config = {
   procs : int;  (** N sensitive processes *)
-  pages_per_proc : int;  (** M pages in each main region *)
+  pages_per_proc : int;  (** M pages in a medium tenant's main region *)
   cycles : int;  (** lock → service wakes → unlock rounds *)
   touch_fraction : float;  (** fraction of pages faulted in after unlock *)
   service_wakes : int;  (** background timer wakes per locked period *)
@@ -37,6 +47,34 @@ let default =
     pipeline = Sentry.Batched;
   }
 
+let pipeline_label = function Sentry.Batched -> "batched" | Sentry.Per_page -> "per-page"
+
+(* Tenant-class assignment by spawn index.  Every 4th process is large
+   (and carries the DMA region); every 4k+3rd small; the rest medium. *)
+let tenant_class ~index =
+  match index mod 4 with 0 -> "large" | 3 -> "small" | _ -> "medium"
+
+let main_pages_for ~index ~pages_per_proc =
+  match index mod 4 with
+  | 0 -> 2 * pages_per_proc
+  | 3 -> max 1 (pages_per_proc / 2)
+  | _ -> pages_per_proc
+
+(* Large tenants also carry a DMA region (camera/radio-style), sized
+   at a quarter of the configured medium region, so eager decryption
+   and the per-region coherence sweep stay on the unlock path. *)
+let dma_pages_for ~index ~pages_per_proc =
+  if index mod 4 = 0 then max 1 (pages_per_proc / 4) else 0
+
+type latency = {
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+}
+
 type stats = {
   config : config;
   fleet_pages : int;  (** resident pages across the fleet (incl. DMA) *)
@@ -49,24 +87,24 @@ type stats = {
   unlock_wall_s : float;  (** host time inside the unlock passes *)
   lock_pages_per_s : float;  (** pages_locked / lock_wall_s (host) *)
   unlock_to_first_touch_ns : float;
-      (** simulated ns from unlock start to the first faulted page
-          being readable, averaged over cycles *)
+      (** simulated ns from unlock start to a tenant's first page
+          being readable, averaged over every tenant and cycle *)
+  first_touch_samples : (string * float) list;
+      (** every (tenant_class, unlock_to_first_touch_ns) sample, in
+          service order — the raw distribution behind
+          [latency_by_class], and what sharded runs feed per-shard
+          metrics registries *)
+  latency_by_class : (string * latency) list;
+      (** per-tenant-class latency summary, sorted by class *)
   sim_elapsed_ns : float;  (** simulated time the whole run consumed *)
   energy_j : float;  (** metered AES energy over the run *)
 }
 
-(* Every 4th process also carries a DMA region (camera/radio-style),
-   sized at a quarter of its main region, so eager decryption and the
-   per-region coherence sweep stay on the unlock path. *)
-let dma_pages_for ~index ~pages_per_proc =
-  if index mod 4 = 0 then max 1 (pages_per_proc / 4) else 0
-
 let spawn_fleet system sentry (cfg : config) =
   List.init cfg.procs (fun i ->
       let name = Printf.sprintf "fleet%03d" i in
-      let proc =
-        System.spawn system ~name ~bytes:(cfg.pages_per_proc * Page.size)
-      in
+      let main_pages = main_pages_for ~index:i ~pages_per_proc:cfg.pages_per_proc in
+      let proc = System.spawn system ~name ~bytes:(main_pages * Page.size) in
       let aspace = proc.Process.aspace in
       let main_region =
         match Address_space.find_region aspace ~name:"main" with
@@ -86,7 +124,7 @@ let spawn_fleet system sentry (cfg : config) =
       let pattern = Bytes.of_string (name ^ "-secret!") in
       List.iter (fun r -> System.fill_region system proc r pattern) regions;
       Sentry.mark_sensitive sentry proc;
-      (proc, main_region))
+      (proc, main_region, tenant_class ~index:i))
 
 (* The locked-period background service: journal-style dm-crypt I/O
    (write then read back [io_sectors] sectors).  Runs under
@@ -104,7 +142,41 @@ let service_io dm ~io_sectors ~wake =
   done;
   2 * io_sectors
 
-let run ?(platform = `Tegra3) ?(seed = 7) (cfg : config) =
+(** Record first-touch samples into a metrics registry under
+    [workloads.fleet/unlock_to_first_touch_ns{pipeline=…,tenant_class=…}]
+    — the labeled-histogram fan-in a sharded fleet run merges.  Kept
+    separate from [run] so per-shard registries can be fed from raw
+    samples. *)
+let record_latencies metrics ~pipeline samples =
+  List.iter
+    (fun (cls, ns) ->
+      Sentry_obs.Metrics.observe
+        (Sentry_obs.Metrics.histogram metrics ~subsystem:"workloads.fleet"
+           ~labels:[ ("pipeline", pipeline_label pipeline); ("tenant_class", cls) ]
+           "unlock_to_first_touch_ns")
+        ns)
+    samples
+
+let summarize_by_class samples =
+  let classes = List.sort_uniq String.compare (List.map fst samples) in
+  List.map
+    (fun cls ->
+      let xs =
+        Array.of_list (List.filter_map (fun (c, v) -> if c = cls then Some v else None) samples)
+      in
+      let s = Stats.summarize xs in
+      ( cls,
+        {
+          count = s.Stats.n;
+          mean_ns = s.Stats.mean;
+          p50_ns = Stats.percentile 50.0 xs;
+          p99_ns = Stats.percentile 99.0 xs;
+          p999_ns = Stats.percentile 99.9 xs;
+          max_ns = s.Stats.max;
+        } ))
+    classes
+
+let run ?(platform = `Tegra3) ?(seed = 7) ?metrics (cfg : config) =
   if cfg.procs <= 0 || cfg.pages_per_proc <= 0 || cfg.cycles <= 0 then
     invalid_arg "Fleet.run: procs, pages_per_proc and cycles must be positive";
   (* fresh-boot pid numbering: pids feed the per-page ESSIV IVs, so
@@ -134,9 +206,15 @@ let run ?(platform = `Tegra3) ?(seed = 7) (cfg : config) =
   and io_done = ref 0
   and lock_wall = ref 0.0
   and unlock_wall = ref 0.0
-  and first_touch_ns = ref 0.0 in
-  let first_proc, first_region = List.hd fleet in
+  and samples = ref [] in
   for cycle = 1 to cfg.cycles do
+    (* One enter/exit span per cycle, so each cycle's lock/unlock/fault
+       trees nest under it in the flamegraph.  [traced] is captured
+       once per cycle so the pair cannot tear. *)
+    let traced = Sentry_obs.Trace.on () in
+    if traced then
+      Sentry_obs.Trace.enter_span ~ts:(System.now system) ~cat:Sentry_obs.Event.Sched
+        ~subsystem:"workloads.fleet" "fleet-cycle";
     (* Lock the whole fleet; host wall-clock brackets just the pass. *)
     let t0 = Unix.gettimeofday () in
     (match Suspend.suspend susp with
@@ -152,45 +230,54 @@ let run ?(platform = `Tegra3) ?(seed = 7) (cfg : config) =
               service_io dm ~io_sectors:cfg.io_sectors ~wake);
       incr wakes
     done;
-    (* Unlock and measure simulated unlock-to-first-touch latency:
-       eager DMA decryption plus the first lazy fault.  The slept
-       interval is discounted — wake advances the clock by exactly
-       [slept_s] before the unlock work starts. *)
+    (* Unlock, then fault in every tenant's first page in spawn order,
+       sampling simulated unlock-to-first-touch per tenant.  Later
+       tenants queue behind earlier tenants' faults — the tail the
+       per-class SLOs watch.  The slept interval is discounted — wake
+       advances the clock by exactly [slept_s] before the unlock work
+       starts. *)
     let slept_s = 30.0 in
     let sim_unlock = System.now system +. (slept_s *. Units.s) in
     let t1 = Unix.gettimeofday () in
     (match Suspend.wake_and_unlock susp ~pin:(Sentry.config sentry).Config.pin ~slept_s with
     | Ok s -> eager := !eager + s.Decrypt_on_unlock.dma_pages_eager
     | Error _ -> failwith "Fleet.run: unlock failed");
-    Vm.touch system.System.vm first_proc
-      ~vaddr:first_region.Address_space.vstart;
-    unlock_wall := !unlock_wall +. (Unix.gettimeofday () -. t1);
-    incr faulted;
-    first_touch_ns := !first_touch_ns +. (System.now system -. sim_unlock);
-    (* Resume churn: each process faults in its touch fraction. *)
-    let touch_pages =
-      int_of_float (cfg.touch_fraction *. float_of_int cfg.pages_per_proc)
-    in
     List.iter
-      (fun (proc, region) ->
-        let first = if proc == first_proc then 1 else 0 in
-        for p = first to touch_pages - 1 do
+      (fun (proc, region, cls) ->
+        Vm.touch system.System.vm proc ~vaddr:region.Address_space.vstart;
+        incr faulted;
+        samples := (cls, System.now system -. sim_unlock) :: !samples)
+      fleet;
+    unlock_wall := !unlock_wall +. (Unix.gettimeofday () -. t1);
+    (* Resume churn: each process faults in its touch fraction (its
+       first page is already in from the measurement pass). *)
+    List.iter
+      (fun (proc, region, _) ->
+        let touch_pages =
+          int_of_float (cfg.touch_fraction *. float_of_int region.Address_space.npages)
+        in
+        for p = 1 to touch_pages - 1 do
           Vm.touch system.System.vm proc
             ~vaddr:(region.Address_space.vstart + (p * Page.size));
           incr faulted
         done)
       fleet;
-    ignore cycle
+    if traced then
+      Sentry_obs.Trace.exit_span ~ts:(System.now system)
+        ~args:[ ("cycle", Sentry_obs.Event.Int cycle) ]
+        ()
   done;
   let fleet_pages =
     List.fold_left
-      (fun acc (proc, _) ->
+      (fun acc (proc, _, _) ->
         List.fold_left
           (fun acc (r : Address_space.region) -> acc + r.Address_space.npages)
           acc
           (Address_space.regions proc.Process.aspace))
       0 fleet
   in
+  let samples = List.rev !samples in
+  Option.iter (fun m -> record_latencies m ~pipeline:cfg.pipeline samples) metrics;
   {
     config = cfg;
     fleet_pages;
@@ -204,7 +291,12 @@ let run ?(platform = `Tegra3) ?(seed = 7) (cfg : config) =
     lock_pages_per_s =
       (if !lock_wall > 0.0 then float_of_int !pages_locked /. !lock_wall
        else 0.0);
-    unlock_to_first_touch_ns = !first_touch_ns /. float_of_int cfg.cycles;
+    unlock_to_first_touch_ns =
+      (match samples with
+      | [] -> 0.0
+      | _ -> Stats.mean (Array.of_list (List.map snd samples)));
+    first_touch_samples = samples;
+    latency_by_class = summarize_by_class samples;
     sim_elapsed_ns = System.now system -. sim0;
     energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
   }
@@ -216,8 +308,7 @@ let pp ppf (s : stats) =
     \  eager DMA pages     %d@\n\
     \  lazy faults served  %d@\n\
     \  service wakes       %d (%d dm-crypt sectors)@\n\
-    \  unlock->first touch %.1f us simulated@\n\
-    \  simulated time      %.2f ms, AES energy %.3f J"
+    \  unlock->first touch %.1f us simulated (mean over %d tenant samples)"
     s.config.procs s.config.pages_per_proc
     (match s.config.pipeline with
     | Sentry.Batched -> "batched"
@@ -226,5 +317,11 @@ let pp ppf (s : stats) =
     s.pages_unlocked_eager s.pages_faulted s.service_wakes_run
     s.io_sectors_done
     (s.unlock_to_first_touch_ns /. 1e3)
-    (s.sim_elapsed_ns /. 1e6)
+    (List.length s.first_touch_samples);
+  List.iter
+    (fun (cls, l) ->
+      Fmt.pf ppf "@\n  %-7s n=%-3d p50 %.1f us  p99 %.1f us  p999 %.1f us  max %.1f us" cls
+        l.count (l.p50_ns /. 1e3) (l.p99_ns /. 1e3) (l.p999_ns /. 1e3) (l.max_ns /. 1e3))
+    s.latency_by_class;
+  Fmt.pf ppf "@\n  simulated time      %.2f ms, AES energy %.3f J" (s.sim_elapsed_ns /. 1e6)
     s.energy_j

@@ -1,13 +1,15 @@
 (** Multi-tenant fleet churn workload: N sensitive processes × M
     pages through repeated lock / background-service-wake / unlock
     cycles with dm-crypt I/O interleaved while locked.  The stress
-    case for the batched lock/unlock pipeline. *)
+    case for the batched lock/unlock pipeline, and the source of the
+    per-tenant-class unlock-to-first-touch latency distributions the
+    SLO gate watches. *)
 
 open Sentry_core
 
 type config = {
   procs : int;  (** N sensitive processes *)
-  pages_per_proc : int;  (** M pages in each main region *)
+  pages_per_proc : int;  (** M pages in a medium tenant's main region *)
   cycles : int;  (** lock → service wakes → unlock rounds *)
   touch_fraction : float;  (** fraction of pages faulted in after unlock *)
   service_wakes : int;  (** background timer wakes per locked period *)
@@ -18,6 +20,23 @@ type config = {
 (** 8 procs × 16 pages, 3 cycles, 25% touch, 1 wake × 8 sectors,
     batched. *)
 val default : config
+
+(** Stable label for a pipeline ("batched" / "per-page"). *)
+val pipeline_label : Sentry.pipeline -> string
+
+(** Tenant class by spawn index: every 4th process is ["large"] (2×M
+    pages + a DMA region), every 4k+3rd ["small"] (M/2 pages), the
+    rest ["medium"] (M pages). *)
+val tenant_class : index:int -> string
+
+type latency = {
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+}
 
 type stats = {
   config : config;
@@ -31,19 +50,35 @@ type stats = {
   unlock_wall_s : float;  (** host time inside the unlock passes *)
   lock_pages_per_s : float;  (** pages_locked / lock_wall_s (host) *)
   unlock_to_first_touch_ns : float;
-      (** simulated ns from unlock start to the first faulted page
-          being readable, averaged over cycles *)
+      (** simulated ns from unlock start to a tenant's first page
+          being readable, averaged over every tenant and cycle *)
+  first_touch_samples : (string * float) list;
+      (** every (tenant_class, latency_ns) sample in service order —
+          the raw distribution behind [latency_by_class] *)
+  latency_by_class : (string * latency) list;
+      (** per-tenant-class summary, sorted by class name *)
   sim_elapsed_ns : float;  (** simulated time the whole run consumed *)
   energy_j : float;  (** metered AES energy over the run *)
 }
 
-(** [run cfg] boots a fresh system, spawns the fleet (every 4th
-    process also carries a DMA region), and drives [cfg.cycles] rounds
-    of suspend → service wakes (dm-crypt I/O) → unlock → touch churn.
-    Simulated outputs are pipeline-independent; host wall-clock is
-    what [cfg.pipeline] changes.
+(** Feed first-touch samples into a registry as the labeled histogram
+    [workloads.fleet/unlock_to_first_touch_ns{pipeline=…,tenant_class=…}].
+    Exposed so per-shard registries can be built from raw samples and
+    [Metrics.merge]d. *)
+val record_latencies :
+  Sentry_obs.Metrics.t -> pipeline:Sentry.pipeline -> (string * float) list -> unit
+
+(** [run cfg] boots a fresh system, spawns the fleet (heterogeneous
+    tenant classes, large tenants carry a DMA region), and drives
+    [cfg.cycles] rounds of suspend → service wakes (dm-crypt I/O) →
+    unlock → per-tenant first-touch sampling → touch churn.  Simulated
+    outputs are pipeline-independent; host wall-clock is what
+    [cfg.pipeline] changes.  With [?metrics], first-touch samples are
+    recorded via {!record_latencies}; with a trace recorder installed,
+    each cycle is wrapped in a ["fleet-cycle"] span.
     @raise Invalid_argument on non-positive [procs], [pages_per_proc]
     or [cycles]. *)
-val run : ?platform:Config.platform -> ?seed:int -> config -> stats
+val run :
+  ?platform:Config.platform -> ?seed:int -> ?metrics:Sentry_obs.Metrics.t -> config -> stats
 
 val pp : Format.formatter -> stats -> unit

@@ -56,7 +56,7 @@ let test_table4_access_protected_total () =
 
 (* ------------------------------ Figs 2-5 -------------------------- *)
 
-let metrics = lazy (Lazy.force Sentry_experiments.Exp_apps.all)
+let metrics = lazy (Sentry_experiments.Exp_apps.all ())
 
 let find_app name =
   List.find

@@ -262,6 +262,95 @@ let test_recorder_handle_api () =
        false
      with Invalid_argument _ -> true)
 
+(* --------------------------- causal spans ------------------------- *)
+
+let test_enter_exit_nesting () =
+  let r = Trace.Recorder.create () in
+  Trace.Recorder.enter_span r ~ts:10.0 ~cat:Event.Lock ~subsystem:"s" "outer";
+  checki "depth 1" 1 (Trace.Recorder.open_depth r);
+  Trace.Recorder.enter_span r ~ts:20.0 ~cat:Event.Crypto ~subsystem:"s" "inner";
+  Trace.Recorder.emit r ~ts:25.0 ~cat:Event.Bus ~subsystem:"s" "tick";
+  Trace.Recorder.exit_span r ~ts:30.0 ();
+  Trace.Recorder.exit_span r ~ts:40.0 ~args:[ ("pages", Event.Int 3) ] ();
+  checki "depth 0" 0 (Trace.Recorder.open_depth r);
+  (* exiting with nothing open must not blow up mid-recovery *)
+  Trace.Recorder.exit_span r ();
+  match Trace.Recorder.events r with
+  | [ tick; inner; outer ] ->
+      (* the instant inside the inner span is parented to it *)
+      checki "tick not a span" 0 tick.Event.span;
+      checki "tick parent" 2 tick.Event.parent;
+      checki "inner id" 2 inner.Event.span;
+      checki "inner parent" 1 inner.Event.parent;
+      checkf "inner start" 20.0 inner.Event.ts_ns;
+      (match inner.Event.phase with
+      | Event.Complete d -> checkf "inner dur" 10.0 d
+      | _ -> Alcotest.fail "inner not Complete");
+      checki "outer id" 1 outer.Event.span;
+      checki "outer parent is root" 0 outer.Event.parent;
+      (match outer.Event.phase with
+      | Event.Complete d -> checkf "outer dur" 30.0 d
+      | _ -> Alcotest.fail "outer not Complete");
+      checkb "exit args land on the span" true (outer.Event.args = [ ("pages", Event.Int 3) ])
+  | evs -> Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length evs))
+
+let nested_span_events () =
+  let r = Trace.Recorder.create () in
+  Trace.Recorder.enter_span r ~ts:10.0 ~cat:Event.Lock ~subsystem:"s" "outer";
+  Trace.Recorder.enter_span r ~ts:20.0 ~cat:Event.Crypto ~subsystem:"s" "inner";
+  Trace.Recorder.exit_span r ~ts:30.0 ();
+  Trace.Recorder.exit_span r ~ts:40.0 ();
+  Trace.Recorder.events r
+
+let test_folded_stacks () =
+  let folded = Export.folded (nested_span_events ()) in
+  (* one line per unique stack, root-first frames, self time (the
+     outer span's 30 ns minus the inner's 10), sorted by stack *)
+  Alcotest.(check string) "folded" "s:outer 20\ns:outer;s:inner 10\n" folded
+
+let test_top_spans () =
+  let rows = Export.top_spans (nested_span_events ()) in
+  (match rows with
+  | [ a; b ] ->
+      Alcotest.(check string) "biggest self first" "s:outer" a.Export.sr_frame;
+      checki "outer count" 1 a.Export.sr_count;
+      checkf "outer total" 30.0 a.Export.sr_total_ns;
+      checkf "outer self" 20.0 a.Export.sr_self_ns;
+      Alcotest.(check string) "then inner" "s:inner" b.Export.sr_frame;
+      checkf "inner self" 10.0 b.Export.sr_self_ns
+  | rows -> Alcotest.fail (Printf.sprintf "expected 2 rows, got %d" (List.length rows)));
+  checki "limit honoured" 1 (List.length (Export.top_spans ~limit:1 (nested_span_events ())))
+
+let test_recorder_merge () =
+  let mk ts0 =
+    let r = Trace.Recorder.create () in
+    Trace.Recorder.enter_span r ~ts:ts0 ~cat:Event.Lock ~subsystem:"s" "op";
+    Trace.Recorder.exit_span r ~ts:(ts0 +. 5.0) ();
+    Trace.Recorder.emit r ~ts:(ts0 +. 6.0) ~cat:Event.Bus ~subsystem:"s" "tick";
+    r
+  in
+  let a = mk 0.0 and b = mk 2.0 in
+  let m = Trace.Recorder.merge a b in
+  let evs = Trace.Recorder.events m in
+  checki "all retained" 4 (List.length evs);
+  let s = Trace.Recorder.stats m in
+  checki "emitted sums" 4 s.Trace.emitted;
+  checki "nothing dropped" 0 s.Trace.dropped;
+  let tss = List.map (fun (e : Event.t) -> e.Event.ts_ns) evs in
+  checkb "interleaved by ts" true (tss = List.sort compare tss);
+  (* b's span ids are offset past a's: causal trees never collide *)
+  let ids = List.filter_map (fun (e : Event.t) -> if e.Event.span <> 0 then Some e.Event.span else None) evs in
+  checki "both spans present" 2 (List.length ids);
+  checkb "distinct ids" true (List.sort_uniq compare ids = List.sort compare ids);
+  (* per-category counts add *)
+  checkb "counts add" true
+    (List.sort compare (Trace.Recorder.category_counts m)
+    = List.sort compare [ (Event.Lock, 2); (Event.Bus, 2) ]);
+  (* deterministic, and the inputs are untouched *)
+  checkb "deterministic" true (Trace.Recorder.events (Trace.Recorder.merge a b) = evs);
+  checki "a intact" 2 (List.length (Trace.Recorder.events a));
+  checki "b intact" 2 (List.length (Trace.Recorder.events b))
+
 (* ----------------------------- metrics ---------------------------- *)
 
 let test_metrics_counter_gauge () =
@@ -327,6 +416,189 @@ let test_metrics_kind_clash () =
        false
      with Invalid_argument _ -> true)
 
+let test_metrics_labels () =
+  Alcotest.(check string) "labels sorted by key" "s/n{a=1,b=2}"
+    (Metrics.key ~subsystem:"s" ~labels:[ ("b", "2"); ("a", "1") ] "n");
+  let m = Metrics.create () in
+  let large = Metrics.counter m ~subsystem:"s" ~labels:[ ("tenant_class", "large") ] "hits" in
+  let small = Metrics.counter m ~subsystem:"s" ~labels:[ ("tenant_class", "small") ] "hits" in
+  let plain = Metrics.counter m ~subsystem:"s" "hits" in
+  Metrics.inc large;
+  Metrics.inc ~by:2 small;
+  Metrics.inc ~by:4 plain;
+  let flat = Metrics.flat m in
+  checkf "unlabeled stays separate" 4.0 (List.assoc "s/hits" flat);
+  checkf "large" 1.0 (List.assoc "s/hits{tenant_class=large}" flat);
+  checkf "small" 2.0 (List.assoc "s/hits{tenant_class=small}" flat);
+  checkb "structural chars rejected" true
+    (try
+       ignore (Metrics.key ~subsystem:"s" ~labels:[ ("a,b", "x") ] "n");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_bounded_reservoir () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"t" "lat" in
+  for i = 1 to 10_000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  checki "count keeps growing" 10_000 (Metrics.hist_count h);
+  checki "reservoir capped" Metrics.reservoir_capacity (Array.length (Metrics.observations h));
+  checkf "max exact" 10_000.0 (Metrics.hist_max h);
+  checkf "min exact" 1.0 (Metrics.hist_min h);
+  (* beyond the reservoir, percentiles are HDR bucket-upper-bound
+     estimates: over-estimates within the 6.25% bucket width, clamped
+     to the tracked max *)
+  let p50 = Metrics.hist_percentile h 50.0 in
+  checkb "p50 within bucket error" true (p50 >= 5000.0 && p50 <= 5000.0 *. 1.0625);
+  let p999 = Metrics.hist_percentile h 99.9 in
+  checkb "p999 near the tail" true (p999 >= 9990.0 && p999 <= 10_000.0);
+  checkb "p999 exported" true (List.mem_assoc "t/lat/p999" (Metrics.flat m))
+
+let test_histogram_p999_exact_path () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"t" "lat" in
+  for i = 1 to 200 do
+    Metrics.observe h (float_of_int i)
+  done;
+  (* 200 samples fit the reservoir: percentiles are exact nearest-rank *)
+  checkf "p999 exact" 200.0 (Metrics.hist_percentile h 99.9);
+  checkf "p50 exact" 100.0 (Metrics.hist_percentile h 50.0)
+
+let test_metrics_merge_semantics () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.inc ~by:3 (Metrics.counter a ~subsystem:"s" "c");
+  Metrics.inc ~by:4 (Metrics.counter b ~subsystem:"s" "c");
+  Metrics.set_at (Metrics.gauge a ~subsystem:"s" "g") ~ts:10.0 1.0;
+  Metrics.set_at (Metrics.gauge b ~subsystem:"s" "g") ~ts:5.0 9.0;
+  let ha = Metrics.histogram a ~subsystem:"s" "h" in
+  let hb = Metrics.histogram b ~subsystem:"s" "h" in
+  List.iter (Metrics.observe ha) [ 1.0; 5.0 ];
+  List.iter (Metrics.observe hb) [ 2.0; 10.0 ];
+  (* b also carries an instrument a never saw *)
+  Metrics.inc (Metrics.counter b ~subsystem:"s" "only_b");
+  let flat = Metrics.flat (Metrics.merge a b) in
+  checkf "counters add" 7.0 (List.assoc "s/c" flat);
+  checkf "later simulated write wins" 1.0 (List.assoc "s/g" flat);
+  checkf "hist count" 4.0 (List.assoc "s/h/count" flat);
+  checkf "hist mean" 4.5 (List.assoc "s/h/mean" flat);
+  checkf "hist max" 10.0 (List.assoc "s/h/max" flat);
+  checkf "b-only instrument survives" 1.0 (List.assoc "s/only_b" flat);
+  checkb "merge commutes on the flat report" true
+    (flat = Metrics.flat (Metrics.merge b a));
+  (* snapshots are isolated deep copies *)
+  let snap = Metrics.snapshot a in
+  Metrics.inc (Metrics.counter a ~subsystem:"s" "c");
+  checkf "snapshot frozen" 3.0 (List.assoc "s/c" (Metrics.flat snap));
+  (* same key, different kind: merge must refuse *)
+  let x = Metrics.create () and y = Metrics.create () in
+  ignore (Metrics.counter x ~subsystem:"s" "k");
+  ignore (Metrics.gauge y ~subsystem:"s" "k");
+  checkb "kind mismatch raises" true
+    (try
+       ignore (Metrics.merge x y);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------ merge properties ------------------------ *)
+
+(* Counter values are ints, so merge is exactly associative and
+   commutative; histogram count/bucket-occupancy/min/max likewise.
+   (Float sums and reservoir order are deliberately excluded: addition
+   is commutative but not associative to the ulp.) *)
+
+let counter_registry kvs =
+  let m = Metrics.create () in
+  List.iter
+    (fun (i, v) ->
+      Metrics.inc ~by:v (Metrics.counter m ~subsystem:"q" (Printf.sprintf "c%d" (i mod 4))))
+    kvs;
+  m
+
+let counters_gen = QCheck.(list (pair small_nat small_nat))
+
+let hist_registry xs =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"q" "h" in
+  List.iter (fun n -> Metrics.observe h (float_of_int (n + 1))) xs;
+  m
+
+let hist_sig m =
+  let h = Metrics.histogram m ~subsystem:"q" "h" in
+  (Metrics.hist_count h, Metrics.bucket_counts h, Metrics.hist_min h, Metrics.hist_max h)
+
+let obs_gen = QCheck.(list small_nat)
+
+let prop_counter_merge_comm =
+  QCheck.Test.make ~name:"counter merge commutative" ~count:100
+    QCheck.(pair counters_gen counters_gen)
+    (fun (xs, ys) ->
+      Metrics.flat (Metrics.merge (counter_registry xs) (counter_registry ys))
+      = Metrics.flat (Metrics.merge (counter_registry ys) (counter_registry xs)))
+
+let prop_counter_merge_assoc =
+  QCheck.Test.make ~name:"counter merge associative" ~count:100
+    QCheck.(triple counters_gen counters_gen counters_gen)
+    (fun (xs, ys, zs) ->
+      let a () = counter_registry xs and b () = counter_registry ys and c () = counter_registry zs in
+      Metrics.flat (Metrics.merge (Metrics.merge (a ()) (b ())) (c ()))
+      = Metrics.flat (Metrics.merge (a ()) (Metrics.merge (b ()) (c ()))))
+
+let prop_hist_merge_comm =
+  QCheck.Test.make ~name:"histogram bucket merge commutative" ~count:100
+    QCheck.(pair obs_gen obs_gen)
+    (fun (xs, ys) ->
+      hist_sig (Metrics.merge (hist_registry xs) (hist_registry ys))
+      = hist_sig (Metrics.merge (hist_registry ys) (hist_registry xs)))
+
+let prop_hist_merge_assoc =
+  QCheck.Test.make ~name:"histogram bucket merge associative" ~count:100
+    QCheck.(triple obs_gen obs_gen obs_gen)
+    (fun (xs, ys, zs) ->
+      let a () = hist_registry xs and b () = hist_registry ys and c () = hist_registry zs in
+      hist_sig (Metrics.merge (Metrics.merge (a ()) (b ())) (c ()))
+      = hist_sig (Metrics.merge (a ()) (Metrics.merge (b ()) (c ()))))
+
+(* ------------------------------- slo ------------------------------ *)
+
+let test_slo_parse_and_evaluate () =
+  let spec = "# header comment\n\na/b p99 <= 10\na/b/count >= 2\nc/d >= 1.5 # trailing\n" in
+  match Slo.parse spec with
+  | Error e -> Alcotest.fail e
+  | Ok objs ->
+      checki "three objectives" 3 (List.length objs);
+      (match objs with
+      | o :: _ -> Alcotest.(check string) "stat expands into the key" "a/b/p99" o.Slo.key
+      | [] -> Alcotest.fail "no objectives");
+      let r = Slo.evaluate objs [ ("a/b/p99", 5.0); ("a/b/count", 2.0); ("c/d", 1.0) ] in
+      checki "one violation" 1 r.Slo.violations;
+      checkb "not ok" false (Slo.ok r);
+      let missing = Slo.evaluate objs [ ("a/b/p99", 5.0) ] in
+      checki "missing keys are violations" 2 missing.Slo.violations;
+      let pass = Slo.evaluate objs [ ("a/b/p99", 10.0); ("a/b/count", 2.0); ("c/d", 1.5) ] in
+      checkb "thresholds are inclusive" true (Slo.ok pass)
+
+let test_slo_parse_errors () =
+  let bad s = match Slo.parse s with Error _ -> true | Ok _ -> false in
+  checkb "bad operator" true (bad "a/b == 1\n");
+  checkb "bad threshold" true (bad "a/b <= fast\n");
+  checkb "unknown stat" true (bad "a/b p42 <= 1\n");
+  checkb "missing threshold" true (bad "a/b <=\n")
+
+let test_slo_report_json () =
+  match Slo.parse "a/b <= 1\nmissing/key >= 0\n" with
+  | Error e -> Alcotest.fail e
+  | Ok objs ->
+      let report = Slo.evaluate objs [ ("a/b", 2.0) ] in
+      let doc = Json.parse (Json_out.to_string (Slo.report_json report)) in
+      checkb "ok false" true (Json.member "ok" doc = Some (Json.Bool false));
+      checkb "violations" true (Json.member "violations" doc = Some (Json.Num 2.0));
+      (match Json.member "results" doc with
+      | Some (Json.Arr [ first; second ]) ->
+          checkb "actual present" true (Json.member "actual" first = Some (Json.Num 2.0));
+          checkb "missing actual is null" true (Json.member "actual" second = Some Json.Null)
+      | _ -> Alcotest.fail "results must list both objectives")
+
 (* ---------------------------- exporters --------------------------- *)
 
 let sample_events =
@@ -337,6 +609,8 @@ let sample_events =
       subsystem = "core.lock_state";
       name = "lock-transition";
       phase = Event.Instant;
+      span = 0;
+      parent = 0;
       args = [ ("from", Event.Str "unlocked"); ("to", Event.Str "locking") ];
     };
     {
@@ -345,6 +619,8 @@ let sample_events =
       subsystem = "crypto.perf";
       name = "aes-charge";
       phase = Event.Complete 512.0;
+      span = 1;
+      parent = 0;
       args = [ ("bytes", Event.Int 4096); ("ok", Event.Bool true) ];
     };
   ]
@@ -467,12 +743,33 @@ let () =
           Alcotest.test_case "span duration" `Quick test_span_duration;
           Alcotest.test_case "recorder handle api" `Quick test_recorder_handle_api;
         ] );
+      ( "spans",
+        [
+          Alcotest.test_case "enter/exit nesting" `Quick test_enter_exit_nesting;
+          Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
+          Alcotest.test_case "top spans" `Quick test_top_spans;
+          Alcotest.test_case "recorder merge" `Quick test_recorder_merge;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counter/gauge" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram_percentiles;
           Alcotest.test_case "flat order independent" `Quick test_metrics_flat_order_independent;
           Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+          Alcotest.test_case "labels" `Quick test_metrics_labels;
+          Alcotest.test_case "bounded reservoir" `Quick test_histogram_bounded_reservoir;
+          Alcotest.test_case "p999 exact path" `Quick test_histogram_p999_exact_path;
+          Alcotest.test_case "merge semantics" `Quick test_metrics_merge_semantics;
+          QCheck_alcotest.to_alcotest prop_counter_merge_comm;
+          QCheck_alcotest.to_alcotest prop_counter_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_hist_merge_comm;
+          QCheck_alcotest.to_alcotest prop_hist_merge_assoc;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse and evaluate" `Quick test_slo_parse_and_evaluate;
+          Alcotest.test_case "parse errors" `Quick test_slo_parse_errors;
+          Alcotest.test_case "report json" `Quick test_slo_report_json;
         ] );
       ( "export",
         [

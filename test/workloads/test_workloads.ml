@@ -197,6 +197,58 @@ let test_kernel_compile_miss_rate_grows () =
   let r6 = Kernel_compile.run ~locked_ways:6 () in
   checkb "miss rate grows" true (r6.Kernel_compile.miss_rate > r0.Kernel_compile.miss_rate)
 
+(* ------------------------------- Fleet ---------------------------- *)
+
+let small_fleet = { Fleet.default with Fleet.cycles = 2 }
+
+let test_fleet_latency_by_class () =
+  let s = Fleet.run small_fleet in
+  checki "three classes" 3 (List.length s.Fleet.latency_by_class);
+  checkb "sorted by class name" true
+    (List.map fst s.Fleet.latency_by_class = [ "large"; "medium"; "small" ]);
+  let total = List.fold_left (fun acc (_, l) -> acc + l.Fleet.count) 0 s.Fleet.latency_by_class in
+  checki "every tenant sampled every cycle" (small_fleet.Fleet.procs * small_fleet.Fleet.cycles)
+    total;
+  checki "raw samples behind the summary" total (List.length s.Fleet.first_touch_samples);
+  List.iter
+    (fun (cls, l) ->
+      let msg what = Printf.sprintf "%s %s" cls what in
+      checkb (msg "sampled") true (l.Fleet.count > 0);
+      checkb (msg "positive latency") true (l.Fleet.p50_ns > 0.0);
+      checkb (msg "p50<=p99") true (l.Fleet.p50_ns <= l.Fleet.p99_ns);
+      checkb (msg "p99<=p999") true (l.Fleet.p99_ns <= l.Fleet.p999_ns);
+      checkb (msg "p999<=max") true (l.Fleet.p999_ns <= l.Fleet.max_ns);
+      checkb (msg "mean bounded by max") true (l.Fleet.mean_ns <= l.Fleet.max_ns))
+    s.Fleet.latency_by_class
+
+let test_fleet_samples_pipeline_independent () =
+  (* the first-touch distribution lives on the simulated clock: the
+     host-side pipeline choice must not move it *)
+  let b = Fleet.run small_fleet in
+  let p = Fleet.run { small_fleet with Fleet.pipeline = Sentry.Per_page } in
+  checkb "identical simulated samples" true
+    (b.Fleet.first_touch_samples = p.Fleet.first_touch_samples)
+
+(* The acceptance bar for shard harvest: feeding the same samples
+   through N shard registries and [Metrics.merge]ing them must
+   reproduce the single global registry bit-for-bit, key for key.
+   (Holds while each histogram fits the exact reservoir — 16 samples
+   here, capacity 256.) *)
+let test_fleet_sharded_metrics_merge_exactly () =
+  let module Metrics = Sentry_obs.Metrics in
+  let global = Metrics.create () in
+  let s = Fleet.run ~metrics:global small_fleet in
+  let shards = Array.init 3 (fun _ -> Metrics.create ()) in
+  List.iteri
+    (fun i sample ->
+      Fleet.record_latencies shards.(i mod 3) ~pipeline:small_fleet.Fleet.pipeline [ sample ])
+    s.Fleet.first_touch_samples;
+  let merged = Metrics.merge (Metrics.merge shards.(0) shards.(1)) shards.(2) in
+  checkb "sharded merge == global registry" true (Metrics.flat merged = Metrics.flat global);
+  (* and shard order must not matter *)
+  let merged' = Metrics.merge shards.(2) (Metrics.merge shards.(1) shards.(0)) in
+  checkb "merge order invisible" true (Metrics.flat merged' = Metrics.flat global)
+
 (* ----------------------------- Daily_use -------------------------- *)
 
 let test_daily_use_estimates () =
@@ -251,6 +303,14 @@ let () =
           Alcotest.test_case "one way <2%" `Quick test_kernel_compile_one_way_under_2pct;
           Alcotest.test_case "monotone" `Quick test_kernel_compile_monotone;
           Alcotest.test_case "miss rate grows" `Quick test_kernel_compile_miss_rate_grows;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "latency by class" `Quick test_fleet_latency_by_class;
+          Alcotest.test_case "pipeline-independent samples" `Quick
+            test_fleet_samples_pipeline_independent;
+          Alcotest.test_case "sharded metrics merge" `Quick
+            test_fleet_sharded_metrics_merge_exactly;
         ] );
       ( "daily_use",
         [
