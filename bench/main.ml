@@ -142,6 +142,34 @@ let run_json ~path ~trials ~slo_spec ids =
           ])
       Sentry_experiments.Exp_fleet.fleet_sizes
   in
+  (* multicore scaling: the sharded fleet at D domains.  The merged
+     lock_pages_per_s is total pages over the wall time of the whole
+     parallel section, so on an N-core host speedup_vs_d1 should
+     approach min(D, N); on a single core it stays flat at ~1.0. *)
+  let fleet_domains =
+    let cfg = { Sentry_workloads.Fleet.default with procs = 16; pages_per_proc = 24; cycles = 3 } in
+    let baseline = ref nan in
+    List.map
+      (fun d ->
+        let sh = Sentry_workloads.Fleet.run_sharded ~domains:d cfg in
+        let rate = sh.Sentry_workloads.Fleet.merged.Sentry_workloads.Fleet.lock_pages_per_s in
+        if d = 1 then baseline := rate;
+        let speedup = rate /. !baseline in
+        Printf.printf
+          "  fleet_domains d=%d shards=%d %.0f pages/s (%.2fx vs d=1)\n%!" d
+          sh.Sentry_workloads.Fleet.shard_count rate speedup;
+        Json_out.Obj
+          [
+            ("domains", Json_out.Int d);
+            ("shards", Json_out.Int sh.Sentry_workloads.Fleet.shard_count);
+            ( "pages_locked",
+              Json_out.Int sh.Sentry_workloads.Fleet.merged.Sentry_workloads.Fleet.pages_locked );
+            ("wall_s", Json_out.Float sh.Sentry_workloads.Fleet.wall_s);
+            ("lock_pages_per_s", Json_out.Float rate);
+            ("speedup_vs_d1", Json_out.Float speedup);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
   (* per-tenant-class latency SLOs over one default fleet run — the
      same objectives the CI gate enforces via `sentry_cli slo`.  The
      spec file is optional so bench still runs from any directory. *)
@@ -165,6 +193,7 @@ let run_json ~path ~trials ~slo_spec ids =
         ("trials", Json_out.Int trials);
         ("experiments", Json_out.List results);
         ("fleet", Json_out.List fleet);
+        ("fleet_domains", Json_out.List fleet_domains);
         ("counters", Json_out.Obj counters);
         ("slo", slo);
       ]

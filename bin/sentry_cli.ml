@@ -375,7 +375,7 @@ let attack_cmd =
 
 (* ----------------------------- fleet ----------------------------- *)
 
-let fleet procs pages cycles wakes io touch per_page json folded =
+let fleet procs pages cycles wakes io touch per_page domains json folded =
   let open Sentry_obs in
   let module F = Sentry_workloads.Fleet in
   let cfg =
@@ -389,7 +389,9 @@ let fleet procs pages cycles wakes io touch per_page json folded =
       pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
     }
   in
-  (* only pay for tracing when the folded-stacks export was asked for *)
+  (* only pay for tracing when the folded-stacks export was asked for;
+     with --domains, installing here is what opts the shards into
+     per-shard recorders (merged deterministically afterwards) *)
   let recorder =
     match folded with
     | None -> None
@@ -398,13 +400,25 @@ let fleet procs pages cycles wakes io touch per_page json folded =
         Trace.install r;
         Some r
   in
-  let s = F.run cfg in
+  let s, sharded =
+    match domains with
+    | None -> (F.run cfg, None)
+    | Some d ->
+        let sh = F.run_sharded ~domains:d cfg in
+        (sh.F.merged, Some sh)
+  in
   Option.iter (fun _ -> Trace.uninstall ()) recorder;
-  (match (folded, recorder) with
-  | Some path, Some r ->
-      Export.write_file ~path (Export.folded (Trace.Recorder.events r));
-      Printf.printf "wrote folded stacks to %s\n" path
-  | _ -> ());
+  (let folded_source =
+     match (folded, sharded) with
+     | Some path, Some sh -> Option.map (fun r -> (path, r)) sh.F.merged_recorder
+     | Some path, None -> Option.map (fun r -> (path, r)) recorder
+     | None, _ -> None
+   in
+   match folded_source with
+   | Some (path, r) ->
+       Export.write_file ~path (Export.folded (Trace.Recorder.events r));
+       Printf.printf "wrote folded stacks to %s\n" path
+   | None -> ());
   if json then begin
     let latency_json (cls, (l : F.latency)) =
       ( cls,
@@ -418,9 +432,20 @@ let fleet procs pages cycles wakes io touch per_page json folded =
             ("max_ns", Json_out.Float l.F.max_ns);
           ] )
     in
+    let shard_fields =
+      match sharded with
+      | None -> []
+      | Some sh ->
+          [
+            ("domains", Json_out.Int sh.F.domains);
+            ("shards", Json_out.Int sh.F.shard_count);
+            ("wall_s", Json_out.Float sh.F.wall_s);
+          ]
+    in
     let doc =
       Json_out.Obj
-        [
+        (shard_fields
+        @ [
           ("procs", Json_out.Int procs);
           ("pages_per_proc", Json_out.Int pages);
           ("cycles", Json_out.Int cycles);
@@ -438,11 +463,14 @@ let fleet procs pages cycles wakes io touch per_page json folded =
           ("unlock_to_first_touch_by_class", Json_out.Obj (List.map latency_json s.F.latency_by_class));
           ("sim_elapsed_ns", Json_out.Float s.F.sim_elapsed_ns);
           ("energy_j", Json_out.Float s.F.energy_j);
-        ]
+        ])
     in
     print_endline (Json_out.to_string doc)
   end
-  else Format.printf "%a@." F.pp s
+  else
+    match sharded with
+    | Some sh -> Format.printf "%a@." F.pp_sharded sh
+    | None -> Format.printf "%a@." F.pp s
 
 let fleet_cmd =
   let doc = "run the multi-tenant fleet churn workload" in
@@ -467,17 +495,23 @@ let fleet_cmd =
   let per_page =
     Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline instead of the batched engine")
   in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
+           ~doc:"shard the tenants and run them on $(docv) OCaml domains; merged outputs are \
+                 identical for every $(docv)")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output") in
   let folded =
     Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
            ~doc:"trace the run and write folded stacks (flamegraph.pl input)")
   in
   Cmd.v (Cmd.info "fleet" ~doc)
-    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json $ folded)
+    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ domains $ json
+          $ folded)
 
 (* ------------------------------ slo ------------------------------ *)
 
-let slo spec procs pages cycles wakes io touch per_page json =
+let slo spec procs pages cycles wakes io touch per_page domains json =
   let open Sentry_obs in
   let module F = Sentry_workloads.Fleet in
   match Slo.load ~path:spec with
@@ -496,9 +530,17 @@ let slo spec procs pages cycles wakes io touch per_page json =
           pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
         }
       in
-      let metrics = Metrics.create () in
-      ignore (F.run ~metrics cfg);
-      let report = Slo.evaluate objectives (Metrics.flat metrics) in
+      (* with --domains the gate runs over the merged per-shard
+         registries — the same snapshot regardless of D *)
+      let flat =
+        match domains with
+        | None ->
+            let metrics = Metrics.create () in
+            ignore (F.run ~metrics cfg);
+            Metrics.flat metrics
+        | Some d -> Metrics.flat (F.run_sharded ~domains:d cfg).F.merged_metrics
+      in
+      let report = Slo.evaluate objectives flat in
       Format.printf "%a@." Slo.pp_report report;
       Option.iter
         (fun path ->
@@ -528,11 +570,16 @@ let slo_cmd =
   let per_page =
     Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline")
   in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
+           ~doc:"run the fleet sharded on $(docv) domains and gate the merged metrics snapshot")
+  in
   let json =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON")
   in
   Cmd.v (Cmd.info "slo" ~doc)
-    Term.(const slo $ spec $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ json)
+    Term.(const slo $ spec $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ domains
+          $ json)
 
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in

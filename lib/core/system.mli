@@ -14,15 +14,24 @@ type t = {
   arena_base : int;
       (** way-aligned top-of-DRAM region reserved for [Locked_cache] *)
   mutable procs : Sentry_kernel.Process.t list;
+  mutable next_pid : int option;
+      (** [Some n] when this system owns its pid space ([boot
+          ~pid_base]): the next [spawn] gets pid [n].  [None]: pids
+          come off the process-global allocator. *)
 }
 
 (** Ways' worth of DRAM reserved for the locked-cache arena. *)
 val arena_ways : int
 
-(** [boot ?seed ?dram_size platform] creates a machine, carves the
-    DRAM layout (kernel reserve | general frames | locked-cache arena)
-    and starts the kernel services. *)
-val boot : ?seed:int -> ?dram_size:int -> Config.platform -> t
+(** [boot ?seed ?dram_size ?pid_base platform] creates a machine,
+    carves the DRAM layout (kernel reserve | general frames |
+    locked-cache arena) and starts the kernel services.  With
+    [~pid_base:n] the system owns a private pid space starting at [n]
+    (successive spawns get [n], [n+1], …, untouched by any other
+    system or domain) — pids feed the per-page ESSIV IVs, so sharded
+    harnesses use disjoint deterministic bases per shard.  Without it,
+    pids come off the process-global allocator as before. *)
+val boot : ?seed:int -> ?dram_size:int -> ?pid_base:int -> Config.platform -> t
 
 val machine : t -> Machine.t
 

@@ -7,10 +7,13 @@
     each own a session once the Domains refactor lands.
 
     Hook points deep in the memory system ([fire]/[poll]) consult the
-    single {e active} session — one ref read, no plumbing, nothing
-    allocated while disarmed — which keeps the lock-path allocation
-    ceilings intact.  The module-level [arm]/[disarm]/[fired] API is a
-    thin compat layer over handles: [arm] is create-and-activate.
+    calling domain's {e active} session — one domain-local read, no
+    plumbing, nothing allocated while disarmed — which keeps the
+    lock-path allocation ceilings intact.  The slot is [Domain.DLS],
+    so every tenant shard on a pool worker owns its own session and
+    arming one shard never perturbs another.  The module-level
+    [arm]/[disarm]/[fired] API is a thin compat layer over handles:
+    [arm] is create-and-activate (in the calling domain).
 
     Active with a [Plan], every [fire]/[poll] arrival at a hook point
     bumps that point's occurrence counter and evaluates the plan's
@@ -65,30 +68,34 @@ let set_bit_flip_handler_of s f = s.bit_flip_handler <- Some f
 
 (* ----------------------- the active session ----------------------- *)
 
-(* The one deliberate global in lib/faults (allowlisted in
-   lint.allow): hook points deep in the memory system read it instead
-   of threading a handle through every cache access. *)
-let active : session option ref = ref None
+(* The active slot is domain-local ([Domain.DLS]): each domain owns
+   its own armed session, so a tenant shard running on a pool worker
+   activates a per-shard session without racing the main domain's (or
+   any sibling shard's).  Freshly spawned domains start disarmed —
+   faults inside a shard are an explicit activate, never inherited.
+   This retired the R1 lint.allow entry the old [ref] needed. *)
+let active_key : session option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let activate s = active := Some s
-let deactivate () = active := None
-let current () = !active
+let current () = Domain.DLS.get active_key
+
+let activate s = Domain.DLS.set active_key (Some s)
+let deactivate () = Domain.DLS.set active_key None
 
 (* ------------------------- compat wrappers ------------------------ *)
 
 let arm plan = activate (create plan)
 let disarm () = deactivate ()
-let armed () = !active <> None
-let plan () = Option.map plan_of !active
+let armed () = current () <> None
+let plan () = Option.map plan_of (current ())
 
 let set_bit_flip_handler f =
-  match !active with
+  match current () with
   | Some s -> set_bit_flip_handler_of s f
   | None -> invalid_arg "Injector.set_bit_flip_handler: not armed"
 
-let fired () = match !active with Some s -> fired_of s | None -> []
+let fired () = match current () with Some s -> fired_of s | None -> []
 
-let occurrences point = match !active with Some s -> occurrences_of s point | None -> 0
+let occurrences point = match current () with Some s -> occurrences_of s point | None -> 0
 
 (* --------------------------- hook points -------------------------- *)
 
@@ -141,7 +148,7 @@ let eval s point =
 (** [fire point] — a hook arrival that cannot report an error value:
     interrupting faults propagate as [Injected]. *)
 let fire point =
-  match !active with
+  match current () with
   | None -> ()
   | Some s -> ( match eval s point with None -> () | Some r -> raise (Injected r))
 
@@ -149,7 +156,7 @@ let fire point =
     DMA engine): a matching [Dma_error] comes back as a value; the
     globally-fatal kinds ([Power_loss], [Reset]) still raise. *)
 let poll point =
-  match !active with
+  match current () with
   | None -> None
   | Some s -> (
       match eval s point with

@@ -1,8 +1,11 @@
 (** Fault-injection engine.  A {!session} is an explicit handle (plan,
     PRNG, occurrence counters, firing log); hook points threaded
-    through the memory/crypto stack consult the single {e active}
-    session, so a disarmed hook is one ref read and allocates
-    nothing.  [arm]/[disarm] are compat wrappers over handles. *)
+    through the memory/crypto stack consult the calling domain's
+    {e active} session (a [Domain.DLS] slot — per-domain, so tenant
+    shards on pool workers own independent sessions and start
+    disarmed), and a disarmed hook is one domain-local read that
+    allocates nothing.  [arm]/[disarm] are compat wrappers over
+    handles, acting on the calling domain's slot. *)
 
 type record = { point : string; kind : Fault.kind; occurrence : int }
 

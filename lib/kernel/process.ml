@@ -21,19 +21,20 @@ type t = {
   mutable faults : int;
 }
 
-(* Pids are OS-process-global on purpose (they mimic a kernel's pid
-   space), but that makes them cross-shard state: an [Atomic.t] keeps
-   allocation race-free once tenant shards run on separate Domains.
-   The remaining coupling — shards interleaving allocations see
-   interleaved numbering — is why deterministic harnesses
-   [reset_pids] before booting; per-shard pid spaces arrive with the
-   machine-handle refactor (ROADMAP 1). *)
+(* The default pid space is OS-process-global (it mimics a kernel's
+   pid space); the [Atomic.t] keeps allocation race-free across
+   Domains.  Interleaved cross-domain allocation is still
+   nondeterministic, though — and pids feed the per-page ESSIV IVs —
+   so sharded harnesses pass an explicit [?pid] (from a per-shard
+   base, via [System.boot ~pid_base]) and never touch this counter;
+   single-domain deterministic harnesses [reset_pids] before
+   booting. *)
 let next_pid = Atomic.make 1
 
 let reset_pids () = Atomic.set next_pid 1
 
-let create ~name ~aspace ~kstack =
-  let pid = Atomic.fetch_and_add next_pid 1 in
+let create ?pid ~name ~aspace ~kstack () =
+  let pid = match pid with Some p -> p | None -> Atomic.fetch_and_add next_pid 1 in
   {
     pid;
     name;

@@ -16,12 +16,19 @@ type t = {
   mutable faults : int;
 }
 
-val create : name:string -> aspace:Address_space.t -> kstack:int -> t
+(** [create ?pid ~name ~aspace ~kstack ()] — an explicit [pid]
+    bypasses the global allocator entirely (the sharded fleet assigns
+    deterministic per-shard pid ranges this way, because pids feed
+    the per-page ESSIV IVs); without it the pid comes off the global
+    atomic counter. *)
+val create : ?pid:int -> name:string -> aspace:Address_space.t -> kstack:int -> unit -> t
 
-(** Restart pid numbering at 1.  Pids are global to the OS process
-    (atomically allocated, so concurrent shards never collide);
-    deterministic harnesses (trace scenarios) reset before booting so
-    repeated runs produce identical event streams. *)
+(** Restart global pid numbering at 1.  Default pids are global to
+    the OS process (atomically allocated, so concurrent domains never
+    collide but do interleave); single-domain deterministic harnesses
+    (trace scenarios) reset before booting so repeated runs produce
+    identical event streams.  Sharded harnesses use explicit
+    per-shard pids instead — see {!create}. *)
 val reset_pids : unit -> unit
 val mark_sensitive : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -18,6 +18,11 @@ type rule =
   | R4_unsafe_escape
       (** [Obj.magic] / [Bytes.unsafe_*] / [Array.unsafe_*] outside
           the audited fast-path modules *)
+  | R5_ambient_in_spawn
+      (** an ambient (module-level compat) trace/fault call lexically
+          inside a closure handed to [Domain.spawn] / [Dpool.submit] /
+          [Dpool.run]: the ambient slots are domain-local and start
+          empty in a fresh domain *)
 
 type severity = Error | Warning
 
@@ -26,25 +31,28 @@ let rule_id = function
   | R2_global_assign -> "R2"
   | R3_toplevel_effect -> "R3"
   | R4_unsafe_escape -> "R4"
+  | R5_ambient_in_spawn -> "R5"
 
 let rule_name = function
   | R1_global_mutable -> "global-mutable"
   | R2_global_assign -> "global-assign"
   | R3_toplevel_effect -> "toplevel-effect"
   | R4_unsafe_escape -> "unsafe-escape"
+  | R5_ambient_in_spawn -> "ambient-in-spawn"
 
 let rule_of_id = function
   | "R1" -> Some R1_global_mutable
   | "R2" -> Some R2_global_assign
   | "R3" -> Some R3_toplevel_effect
   | "R4" -> Some R4_unsafe_escape
+  | "R5" -> Some R5_ambient_in_spawn
   | _ -> None
 
 (* R3 is a warning: module-init effects are a smell (they run before
    any handle exists to thread through) but not by themselves a
    data race.  Every rule gates CI regardless of severity. *)
 let severity = function
-  | R1_global_mutable | R2_global_assign | R4_unsafe_escape -> Error
+  | R1_global_mutable | R2_global_assign | R4_unsafe_escape | R5_ambient_in_spawn -> Error
   | R3_toplevel_effect -> Warning
 
 let severity_name = function Error -> "error" | Warning -> "warning"

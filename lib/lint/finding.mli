@@ -14,11 +14,16 @@ type rule =
   | R4_unsafe_escape
       (** [Obj.magic] / [Bytes.unsafe_*] / [Array.unsafe_*] outside
           the audited fast-path modules *)
+  | R5_ambient_in_spawn
+      (** an ambient (module-level compat) trace/fault call lexically
+          inside a closure handed to [Domain.spawn] / [Dpool.submit] /
+          [Dpool.run]: the ambient slots are domain-local and start
+          empty in a fresh domain *)
 
 type severity = Error | Warning
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R4"] *)
+(** ["R1"] .. ["R5"] *)
 
 val rule_name : rule -> string
 (** e.g. ["global-mutable"] *)

@@ -22,7 +22,17 @@
     - {b R4 unsafe-escape}: [Obj.magic], [Bytes.unsafe_*],
       [Array.unsafe_*], [String.unsafe_*] outside the audited
       fast-path modules (the PR-3/PR-5 zero-allocation kernels, which
-      carry their own differential suites). *)
+      carry their own differential suites).
+    - {b R5 ambient-in-spawn}: an ambient (module-level compat)
+      trace/fault call — [Trace.emit], [Trace.enter_span],
+      [Injector.arm], … — lexically inside a closure handed to
+      [Domain.spawn] / [Dpool.submit] / [Dpool.run].  The ambient
+      slots are domain-local ([Domain.DLS]) and start {e empty} in a
+      fresh domain, so such a call silently no-ops or targets the
+      worker's own state rather than the spawner's.  The blessed
+      per-domain setup calls ([Trace.install], [Injector.activate])
+      and handle-threading APIs ([Trace.Recorder.*]) are not
+      flagged. *)
 
 open Parsetree
 
@@ -187,9 +197,67 @@ let unsafe_path lid =
       Some (m ^ "." ^ name)
   | _ -> None
 
+(* ----------- R5: ambient trace/fault calls inside spawns ----------- *)
+
+(* Entry points whose closure arguments run on another domain. *)
+let spawn_entries = [ "Domain.spawn"; "Dpool.submit"; "Dpool.run" ]
+
+(* The ambient compat surface: emission / arming through the
+   domain-local slot.  [Trace.install] / [Injector.activate] are the
+   blessed per-domain setup and deliberately absent. *)
+let ambient_apis =
+  [ "Trace.emit"; "Trace.span"; "Trace.enter_span"; "Trace.exit_span"; "Trace.start";
+    "Trace.ensure"; "Trace.stop"; "Trace.clear"; "Trace.set_time_source"; "Injector.arm";
+    "Injector.disarm" ]
+
+(* Last two path components: [Sentry_obs.Trace.emit] and [Trace.emit]
+   both yield ["Trace.emit"]. *)
+let last2_of_lid lid =
+  match List.rev (Longident.flatten lid) with
+  | name :: m :: _ -> Some (m ^ "." ^ name)
+  | _ -> None
+
 let scan_expressions ~file ~r4_exempt str =
   let findings = ref [] in
   let assigns = ref [] in
+  (* Nested spawns scan overlapping subtrees; dedupe on (pos, symbol)
+     so an ambient call inside [Domain.spawn (fun () -> Dpool.run …)]
+     is reported once. *)
+  let seen_r5 = Hashtbl.create 8 in
+  let add_r5 loc symbol =
+    let pos = loc.Location.loc_start in
+    let key = (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum, symbol) in
+    if not (Hashtbl.mem seen_r5 key) then begin
+      Hashtbl.add seen_r5 key ();
+      findings :=
+        Finding.make ~rule:Finding.R5_ambient_in_spawn ~file ~loc ~symbol
+          ~message:
+            (Printf.sprintf
+               "%s inside a spawned closure: the ambient slot is domain-local and starts empty \
+                in a fresh domain, so this silently no-ops or targets the worker's own state — \
+                install a per-domain recorder/session in the worker, or thread an explicit \
+                handle"
+               symbol)
+        :: !findings
+    end
+  in
+  let scan_spawn_arg arg =
+    let sub =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } -> (
+                match last2_of_lid txt with
+                | Some path when List.mem path ambient_apis -> add_r5 e.pexp_loc path
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    sub.expr sub arg
+  in
   let add_assign loc lid =
     match lid with
     | Longident.Ldot (prefix, name) ->
@@ -229,6 +297,11 @@ let scan_expressions ~file ~r4_exempt str =
               add_assign e.pexp_loc txt
           | Pexp_setfield ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _, _) ->
               add_assign e.pexp_loc txt
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+              match last2_of_lid txt with
+              | Some entry when List.mem entry spawn_entries ->
+                  List.iter (fun (_, arg) -> scan_spawn_arg arg) args
+              | _ -> ())
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
     }

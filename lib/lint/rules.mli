@@ -19,7 +19,7 @@ type assign = {
 }
 
 type scan = {
-  findings : Finding.t list;  (** R1/R3/R4 — resolvable within one file *)
+  findings : Finding.t list;  (** R1/R3/R4/R5 — resolvable within one file *)
   globals : global list;
   assigns : assign list;  (** R2 candidates, resolved against the corpus *)
 }

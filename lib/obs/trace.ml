@@ -7,11 +7,14 @@
     with {!Recorder.merge}.
 
     Hot-path emitters deep in the memory system still go through the
-    {e ambient} recorder — a single installed handle behind one ref
-    read — because threading a handle through every cache access would
-    cost the zero-allocation fast path its shape.  Mirroring the
-    [Config.track_taint] pattern, nothing is allocated and the guard
-    is a single physical-equality test until a recorder is installed:
+    {e ambient} recorder — the handle installed in the {e calling
+    domain}'s [Domain.DLS] slot — because threading a handle through
+    every cache access would cost the zero-allocation fast path its
+    shape.  The slot is domain-local, so each tenant shard on a pool
+    worker installs its own recorder without racing its siblings.
+    Mirroring the [Config.track_taint] pattern, nothing is allocated
+    and the guard is one domain-local read until a recorder is
+    installed:
 
     {[
       if Trace.on () then
@@ -209,17 +212,21 @@ end
 
 (* ----------------------- the ambient recorder --------------------- *)
 
-(* The one deliberate global in lib/obs (allowlisted in lint.allow):
-   the compat shim behind the module-level emitters.  Everything it
-   does is a one-liner over the handle API above, so callers that
-   thread explicit recorders never touch it. *)
-let current : t option ref = ref None
+(* The ambient slot is domain-local ([Domain.DLS]), not a process
+   global: each domain owns its own installed recorder, so a tenant
+   shard running on a pool worker installs a per-shard recorder
+   without racing the main domain's (or any sibling shard's).  A
+   freshly spawned domain starts with no recorder — tracing inside a
+   shard is an explicit install, never inherited.  This retired the
+   R1 lint.allow entry the old [ref] needed. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install r = current := Some r
-let uninstall () = current := None
-let installed () = !current
+let installed () = Domain.DLS.get current_key
 
-let on () = !current <> None
+let install r = Domain.DLS.set current_key (Some r)
+let uninstall () = Domain.DLS.set current_key None
+
+let on () = installed () <> None
 
 let start ?capacity ?now () = install (make ?capacity ?now ())
 
@@ -229,38 +236,38 @@ let ensure ?capacity ?now () = if not (on ()) then start ?capacity ?now ()
 
 let stop () = uninstall ()
 
-let set_time_source f = match !current with Some t -> set_time_source_r t f | None -> ()
+let set_time_source f = match installed () with Some t -> set_time_source_r t f | None -> ()
 
-let now () = match !current with Some t -> now_r t | None -> 0.0
+let now () = match installed () with Some t -> now_r t | None -> 0.0
 
 let emit ?ts ~cat ~subsystem ?phase ?args name =
-  match !current with
+  match installed () with
   | None -> ()
   | Some t -> emit_r t ?ts ~cat ~subsystem ?phase ?args name
 
 (** Emit a span given its boundaries (simulated ns). *)
 let span ?args ~cat ~subsystem ~start_ns ~end_ns name =
-  match !current with
+  match installed () with
   | None -> ()
   | Some t -> span_r t ?args ~cat ~subsystem ~start_ns ~end_ns name
 
 let enter_span ?ts ~cat ~subsystem name =
-  match !current with None -> () | Some t -> enter_span_r t ?ts ~cat ~subsystem name
+  match installed () with None -> () | Some t -> enter_span_r t ?ts ~cat ~subsystem name
 
 let exit_span ?ts ?args () =
-  match !current with None -> () | Some t -> exit_span_r t ?ts ?args ()
+  match installed () with None -> () | Some t -> exit_span_r t ?ts ?args ()
 
 let stats () =
-  match !current with
+  match installed () with
   | None -> { emitted = 0; dropped = 0; capacity = 0 }
   | Some t -> stats_r t
 
 (** Retained events, oldest first. *)
-let events () = match !current with None -> [] | Some t -> events_r t
+let events () = match installed () with None -> [] | Some t -> events_r t
 
 (** Per-category emission counts (includes dropped events). *)
-let category_counts () = match !current with None -> [] | Some t -> category_counts_r t
+let category_counts () = match installed () with None -> [] | Some t -> category_counts_r t
 
 (** Drop every retained event and reset the counters, keeping the
     recorder installed. *)
-let clear () = match !current with None -> () | Some t -> clear_r t
+let clear () = match installed () with None -> () | Some t -> clear_r t

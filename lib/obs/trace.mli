@@ -3,8 +3,10 @@
     {!Recorder} is the explicit-handle API: create a recorder, thread
     it to whatever harvests events, read it back — one per tenant
     shard in the multicore fleet.  The module-level functions operate
-    on the single {e ambient} recorder ([install]/[start]); hot-path
-    emitters use those so the disabled path stays one ref read with
+    on the calling domain's {e ambient} recorder ([install]/[start] —
+    the slot is [Domain.DLS], so each domain owns its own and freshly
+    spawned pool workers start with none installed); hot-path emitters
+    use those so the disabled path stays one domain-local read with
     zero allocation. *)
 
 type stats = { emitted : int; dropped : int; capacity : int }

@@ -1,0 +1,131 @@
+(** A homegrown fixed-size work pool over [Domain.spawn] — the
+    multicore substrate for the sharded fleet, kept dependency-free
+    (no Domainslib) to match the compiler-libs-only culture.
+
+    A pool owns [domains] worker domains pulling thunks off one
+    mutex-protected queue.  [submit] hands a thunk to the pool and
+    returns a promise; [await] blocks the caller until the thunk ran
+    (re-raising anything it raised).  Task side effects published
+    before a promise is fulfilled are visible to the awaiter — the
+    fulfilment happens under the promise mutex, and [Domain.join] on
+    [shutdown] orders everything else.
+
+    Determinism contract: the pool promises nothing about {e which}
+    domain runs a task or in what order tasks start — callers that
+    need deterministic results must make every task independent
+    (per-shard state only) and fold the results in submission order,
+    which is exactly what [run] does.
+
+    Worker domains are fresh domains: their domain-local state
+    ([Domain.DLS]) starts at the defaults, so the ambient trace
+    recorder / fault-injection session of the submitting domain never
+    leaks into a task.  A task that wants tracing installs its own
+    recorder and hands it back in its result. *)
+
+type job = { work : unit -> unit }
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t array;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_filled : Condition.t;
+  mutable state : 'a state;
+}
+
+let domains t = Array.length t.workers
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some job -> Some job
+    | None ->
+        if pool.closing then None
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          next ()
+        end
+  in
+  let job = next () in
+  Mutex.unlock pool.mutex;
+  match job with
+  | None -> ()
+  | Some { work } ->
+      work ();
+      worker_loop pool
+
+let create ~domains =
+  if domains <= 0 then invalid_arg "Dpool.create: domains must be positive";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let fulfil p state =
+  Mutex.lock p.p_mutex;
+  p.state <- state;
+  Condition.broadcast p.p_filled;
+  Mutex.unlock p.p_mutex
+
+let submit pool f =
+  let p = { p_mutex = Mutex.create (); p_filled = Condition.create (); state = Pending } in
+  let work () =
+    match f () with
+    | v -> fulfil p (Done v)
+    | exception e -> fulfil p (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  Mutex.lock pool.mutex;
+  if pool.closing then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Dpool.submit: pool is shut down"
+  end;
+  Queue.add { work } pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex;
+  p
+
+let await p =
+  Mutex.lock p.p_mutex;
+  while p.state = Pending do
+    Condition.wait p.p_filled p.p_mutex
+  done;
+  let st = p.state in
+  Mutex.unlock p.p_mutex;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closing <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers
+
+(** [run ~domains tasks] — execute every task on a transient pool and
+    return their results in submission order.  The pool is torn down
+    (workers joined) before returning, even if a task raised; the
+    first submitted task's exception wins when several fail. *)
+let run ~domains tasks =
+  let pool = create ~domains in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      let promises = List.map (fun f -> submit pool f) tasks in
+      List.map await promises)

@@ -1,0 +1,34 @@
+(** Fixed-size [Domain.spawn] work pool (no external deps): the
+    multicore substrate for the sharded fleet.  Workers are fresh
+    domains, so domain-local ambient state ([Domain.DLS] — the trace
+    recorder, the active fault-injection session) never leaks from the
+    submitter into a task: each task owns what it installs. *)
+
+type t
+
+type 'a promise
+
+(** [create ~domains] spawns [domains] worker domains.
+    @raise Invalid_argument when [domains <= 0]. *)
+val create : domains:int -> t
+
+(** Number of worker domains. *)
+val domains : t -> int
+
+(** Enqueue a thunk; some worker runs it exactly once.
+    @raise Invalid_argument after [shutdown]. *)
+val submit : t -> (unit -> 'a) -> 'a promise
+
+(** Block until the task ran; returns its value or re-raises its
+    exception (with the task's backtrace). *)
+val await : 'a promise -> 'a
+
+(** Drain the queue, then join every worker.  Idempotent in effect;
+    pending submitted tasks still run before workers exit. *)
+val shutdown : t -> unit
+
+(** [run ~domains tasks] — execute every task on a transient pool,
+    returning results in submission order; workers are joined before
+    returning.  The deterministic-merge entry point: independent
+    tasks in, submission-order results out, regardless of scheduling. *)
+val run : domains:int -> (unit -> 'a) list -> 'a list

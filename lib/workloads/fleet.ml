@@ -19,7 +19,17 @@
     page is faulted in, in spawn order, and the simulated
     unlock-to-first-touch latency is sampled per tenant — so the
     distribution captures queueing behind earlier tenants' faults,
-    which is exactly what the per-class p99/p999 SLOs watch. *)
+    which is exactly what the per-class p99/p999 SLOs watch.
+
+    {b Sharding.}  [run_sharded] partitions the tenants into
+    contiguous shards, each owning a private [System] (machine, clock,
+    energy meter), trace recorder, metrics registry, fault-injector
+    session, PRNG seed and pid range, and executes them on a
+    [Dpool] of OCaml 5 domains.  The partition depends only on
+    [(procs, shards)] — never on how many domains execute it — and
+    every per-shard input is derived deterministically from the shard
+    index, so the merged outputs are bit-identical across domain
+    counts.  See DESIGN.md §13. *)
 
 open Sentry_util
 open Sentry_soc
@@ -50,7 +60,10 @@ let default =
 let pipeline_label = function Sentry.Batched -> "batched" | Sentry.Per_page -> "per-page"
 
 (* Tenant-class assignment by spawn index.  Every 4th process is large
-   (and carries the DMA region); every 4k+3rd small; the rest medium. *)
+   (and carries the DMA region); every 4k+3rd small; the rest medium.
+   Indices are always global (fleet-wide), so a shard spawning tenants
+   [first .. first+count-1] builds exactly the same tenants the serial
+   run would. *)
 let tenant_class ~index =
   match index mod 4 with 0 -> "large" | 3 -> "small" | _ -> "medium"
 
@@ -100,8 +113,50 @@ type stats = {
   energy_j : float;  (** metered AES energy over the run *)
 }
 
-let spawn_fleet system sentry (cfg : config) =
-  List.init cfg.procs (fun i ->
+(** End-of-run digests of a tenant's crypto-relevant state: the ESSIV
+    IV stream over every (pid, vpn) page and the page-table entries
+    (frame, present/encrypted/young/writable).  Pids feed the IVs, so
+    these digests catch any drift in the pid assignment or page-table
+    outcome between execution strategies. *)
+type fingerprint = {
+  tenant_index : int;  (** global spawn index *)
+  tenant_pid : int;
+  tenant_cls : string;
+  essiv_md5 : string;  (** digest over AES_K(SHA256(key))(pid<<24 ^ vpn) per page *)
+  pte_md5 : string;  (** digest over (pid, vpn, frame, present, encrypted, young, writable) *)
+}
+
+(* Fingerprinting reads PTEs and derives IVs through [Page_crypt.iv]
+   (pure host-side AES — no simulated clock or energy side effects),
+   so it never perturbs the run it measures. *)
+let fingerprint_tenant page_crypt ~index (proc, _region, cls) =
+  let essiv = Buffer.create 1024 and ptes = Buffer.create 1024 in
+  let pid = proc.Process.pid in
+  List.iter
+    (fun (r : Address_space.region) ->
+      List.iter
+        (fun (vpn, (pte : Page_table.pte)) ->
+          Buffer.add_bytes essiv (Page_crypt.iv page_crypt ~pid ~vpn);
+          Buffer.add_string ptes
+            (Printf.sprintf "%d:%d:%d:%b:%b:%b:%b;" pid vpn pte.Page_table.frame
+               pte.Page_table.present pte.Page_table.encrypted pte.Page_table.young
+               pte.Page_table.writable))
+        (Address_space.region_ptes proc.Process.aspace r))
+    (Address_space.regions proc.Process.aspace);
+  {
+    tenant_index = index;
+    tenant_pid = pid;
+    tenant_cls = cls;
+    essiv_md5 = Digest.to_hex (Digest.string (Buffer.contents essiv));
+    pte_md5 = Digest.to_hex (Digest.string (Buffer.contents ptes));
+  }
+
+(* Spawn tenants [first .. first+count-1] (global indices: names,
+   classes and region sizes all come from the global index, so a
+   shard's tenants are identical to the serial run's). *)
+let spawn_slice system sentry (cfg : config) ~first ~count =
+  List.init count (fun j ->
+      let i = first + j in
       let name = Printf.sprintf "fleet%03d" i in
       let main_pages = main_pages_for ~index:i ~pages_per_proc:cfg.pages_per_proc in
       let proc = System.spawn system ~name ~bytes:(main_pages * Page.size) in
@@ -176,18 +231,22 @@ let summarize_by_class samples =
         } ))
     classes
 
-let run ?(platform = `Tegra3) ?(seed = 7) ?metrics (cfg : config) =
+let validate (cfg : config) =
   if cfg.procs <= 0 || cfg.pages_per_proc <= 0 || cfg.cycles <= 0 then
-    invalid_arg "Fleet.run: procs, pages_per_proc and cycles must be positive";
-  (* fresh-boot pid numbering: pids feed the per-page ESSIV IVs, so
-     runs are only reproducible (and comparable across pipelines)
-     when each starts from pid 1 *)
-  Process.reset_pids ();
-  let system = System.boot ~seed platform in
+    invalid_arg "Fleet.run: procs, pages_per_proc and cycles must be positive"
+
+(* One shard's (or the whole serial fleet's) worth of work: boot a
+   private system owning pids [pid_base ..], spawn tenants
+   [first .. first+count-1], drive the cycles, and digest every
+   tenant's crypto state.  Everything this touches — machine, clock,
+   energy meter, PRNG, frames — belongs to the private [System], so
+   concurrent slices share no simulated state whatsoever. *)
+let run_slice ~platform ~seed ~pid_base ~first ~count ?metrics (cfg : config) =
+  let system = System.boot ~seed ~pid_base platform in
   let machine = System.machine system in
   let sentry = Sentry.install system (Config.default platform) in
   Sentry.set_pipeline sentry cfg.pipeline;
-  let fleet = spawn_fleet system sentry cfg in
+  let fleet = spawn_slice system sentry cfg ~first ~count in
   let susp = Suspend.create sentry in
   let dev =
     Block_dev.create machine ~kind:Block_dev.Ramdisk
@@ -210,7 +269,9 @@ let run ?(platform = `Tegra3) ?(seed = 7) ?metrics (cfg : config) =
   for cycle = 1 to cfg.cycles do
     (* One enter/exit span per cycle, so each cycle's lock/unlock/fault
        trees nest under it in the flamegraph.  [traced] is captured
-       once per cycle so the pair cannot tear. *)
+       once per cycle so the pair cannot tear.  The ambient recorder is
+       domain-local: a slice on a pool worker sees the recorder its
+       shard installed, never the main domain's. *)
     let traced = Sentry_obs.Trace.on () in
     if traced then
       Sentry_obs.Trace.enter_span ~ts:(System.now system) ~cat:Sentry_obs.Event.Sched
@@ -278,28 +339,240 @@ let run ?(platform = `Tegra3) ?(seed = 7) ?metrics (cfg : config) =
   in
   let samples = List.rev !samples in
   Option.iter (fun m -> record_latencies m ~pipeline:cfg.pipeline samples) metrics;
+  let fingerprints =
+    List.mapi (fun j t -> fingerprint_tenant (Sentry.page_crypt sentry) ~index:(first + j) t) fleet
+  in
+  ( {
+      config = { cfg with procs = count };
+      fleet_pages;
+      pages_locked = !pages_locked;
+      pages_unlocked_eager = !eager;
+      pages_faulted = !faulted;
+      service_wakes_run = !wakes;
+      io_sectors_done = !io_done;
+      lock_wall_s = !lock_wall;
+      unlock_wall_s = !unlock_wall;
+      lock_pages_per_s =
+        (if !lock_wall > 0.0 then float_of_int !pages_locked /. !lock_wall else 0.0);
+      unlock_to_first_touch_ns =
+        (match samples with
+        | [] -> 0.0
+        | _ -> Stats.mean (Array.of_list (List.map snd samples)));
+      first_touch_samples = samples;
+      latency_by_class = summarize_by_class samples;
+      sim_elapsed_ns = System.now system -. sim0;
+      energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
+    },
+    fingerprints )
+
+(* ------------------------------ sharding --------------------------- *)
+
+type shard = {
+  shard_index : int;
+  first_tenant : int;  (** global index of the shard's first tenant *)
+  tenants : int;
+  pid_base : int;  (** first_tenant + 1 — sharded pids equal serial pids *)
+  shard_seed : int;
+  shard_stats : stats;
+  shard_fingerprints : fingerprint list;
+  shard_metrics : Sentry_obs.Metrics.t;
+  shard_recorder : Sentry_obs.Trace.Recorder.t option;
+  shard_faults_fired : int;
+}
+
+type sharded = {
+  domains : int;
+  shard_count : int;
+  wall_s : float;  (** host time over the whole parallel section *)
+  shards : shard list;  (** in shard-index order *)
+  merged : stats;
+  merged_metrics : Sentry_obs.Metrics.t;
+  merged_recorder : Sentry_obs.Trace.Recorder.t option;
+  fingerprints : fingerprint list;  (** concatenated in tenant order *)
+  faults_fired : int;
+}
+
+let default_shards ~procs = max 1 (min procs 16)
+
+(* Contiguous blocks of ceil(procs/shards) tenants.  The partition is
+   a pure function of (procs, shards) — the domain count never enters,
+   which is what makes D=1 and D=4 runs merge to identical outputs. *)
+let shard_plan ~procs ~shards =
+  let shards = max 1 (min shards procs) in
+  let block = (procs + shards - 1) / shards in
+  let rec go s acc =
+    let first = s * block in
+    if first >= procs then List.rev acc
+    else go (s + 1) ((first, min block (procs - first)) :: acc)
+  in
+  go 0 []
+
+(* Per-shard seed: any injective map of the shard index works; the
+   spread keeps neighbouring shards' PRNG streams unrelated. *)
+let seed_for ~seed shard_index = seed + (shard_index * 7919)
+
+let run_sharded ?(platform = `Tegra3) ?(seed = 7) ?shards ?faults ~domains (cfg : config) =
+  validate cfg;
+  if domains <= 0 then invalid_arg "Fleet.run_sharded: domains must be positive";
+  let nshards =
+    match shards with
+    | Some s ->
+        if s <= 0 then invalid_arg "Fleet.run_sharded: shards must be positive";
+        min s cfg.procs
+    | None -> default_shards ~procs:cfg.procs
+  in
+  let plan = shard_plan ~procs:cfg.procs ~shards:nshards in
+  (* Shards trace iff the caller's domain traces, into recorders of
+     the same capacity.  Capture the decision here: the pool workers
+     are fresh domains whose ambient slots start empty. *)
+  let trace_capacity =
+    Option.map
+      (fun r -> (Sentry_obs.Trace.Recorder.stats r).Sentry_obs.Trace.capacity)
+      (Sentry_obs.Trace.installed ())
+  in
+  let tasks =
+    List.mapi
+      (fun s (first, count) ->
+        fun () ->
+          (* Per-domain ambient setup: the shard's recorder and fault
+             session live in this worker's domain-local slots for the
+             duration of the slice, and are torn down even on raise so
+             a pooled worker never leaks them into its next job. *)
+          let recorder =
+            Option.map
+              (fun capacity ->
+                let r = Sentry_obs.Trace.Recorder.create ~capacity () in
+                Sentry_obs.Trace.install r;
+                r)
+              trace_capacity
+          in
+          let session =
+            Option.map
+              (fun (p : Sentry_faults.Plan.t) ->
+                let sess =
+                  Sentry_faults.Injector.create { p with Sentry_faults.Plan.seed = p.seed + s }
+                in
+                Sentry_faults.Injector.activate sess;
+                sess)
+              faults
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Sentry_faults.Injector.deactivate ();
+              Sentry_obs.Trace.uninstall ())
+            (fun () ->
+              let shard_metrics = Sentry_obs.Metrics.create () in
+              let shard_stats, shard_fingerprints =
+                run_slice ~platform ~seed:(seed_for ~seed s) ~pid_base:(first + 1) ~first ~count
+                  ~metrics:shard_metrics cfg
+              in
+              {
+                shard_index = s;
+                first_tenant = first;
+                tenants = count;
+                pid_base = first + 1;
+                shard_seed = seed_for ~seed s;
+                shard_stats;
+                shard_fingerprints;
+                shard_metrics;
+                shard_recorder = recorder;
+                shard_faults_fired =
+                  (match session with
+                  | Some sess -> List.length (Sentry_faults.Injector.fired_of sess)
+                  | None -> 0);
+              }))
+      plan
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Dpool.run ~domains tasks in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* Deterministic merges, always folded in shard-index order
+     ([Dpool.run] returns results in submission order regardless of
+     which worker ran what). *)
+  let samples = List.concat_map (fun sh -> sh.shard_stats.first_touch_samples) results in
+  let stats_list = List.map (fun sh -> sh.shard_stats) results in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 stats_list in
+  let sumf f = List.fold_left (fun a s -> a +. f s) 0.0 stats_list in
+  let pages_locked = sum (fun s -> s.pages_locked) in
+  let merged =
+    {
+      config = cfg;
+      fleet_pages = sum (fun s -> s.fleet_pages);
+      pages_locked;
+      pages_unlocked_eager = sum (fun s -> s.pages_unlocked_eager);
+      pages_faulted = sum (fun s -> s.pages_faulted);
+      service_wakes_run = sum (fun s -> s.service_wakes_run);
+      io_sectors_done = sum (fun s -> s.io_sectors_done);
+      (* Merged walls report fleet-level throughput: the lock wall is
+         the whole parallel section (so lock_pages_per_s is what D
+         domains actually delivered), the unlock wall the summed
+         per-shard pass time. *)
+      lock_wall_s = wall_s;
+      unlock_wall_s = sumf (fun s -> s.unlock_wall_s);
+      lock_pages_per_s = (if wall_s > 0.0 then float_of_int pages_locked /. wall_s else 0.0);
+      unlock_to_first_touch_ns =
+        (match samples with
+        | [] -> 0.0
+        | _ -> Stats.mean (Array.of_list (List.map snd samples)));
+      first_touch_samples = samples;
+      latency_by_class = summarize_by_class samples;
+      (* Shards run concurrently in simulated time too — the fleet's
+         elapsed simulated time is the slowest shard's, not the sum. *)
+      sim_elapsed_ns = List.fold_left (fun a s -> Float.max a s.sim_elapsed_ns) 0.0 stats_list;
+      energy_j = sumf (fun s -> s.energy_j);
+    }
+  in
+  let merged_metrics =
+    List.fold_left
+      (fun acc sh -> Sentry_obs.Metrics.merge acc sh.shard_metrics)
+      (Sentry_obs.Metrics.create ()) results
+  in
+  let merged_recorder =
+    match List.filter_map (fun sh -> sh.shard_recorder) results with
+    | [] -> None
+    | recorders ->
+        Some
+          (List.fold_left Sentry_obs.Trace.Recorder.merge
+             (Sentry_obs.Trace.Recorder.create ~capacity:1 ())
+             recorders)
+  in
   {
-    config = cfg;
-    fleet_pages;
-    pages_locked = !pages_locked;
-    pages_unlocked_eager = !eager;
-    pages_faulted = !faulted;
-    service_wakes_run = !wakes;
-    io_sectors_done = !io_done;
-    lock_wall_s = !lock_wall;
-    unlock_wall_s = !unlock_wall;
-    lock_pages_per_s =
-      (if !lock_wall > 0.0 then float_of_int !pages_locked /. !lock_wall
-       else 0.0);
-    unlock_to_first_touch_ns =
-      (match samples with
-      | [] -> 0.0
-      | _ -> Stats.mean (Array.of_list (List.map snd samples)));
-    first_touch_samples = samples;
-    latency_by_class = summarize_by_class samples;
-    sim_elapsed_ns = System.now system -. sim0;
-    energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
+    domains;
+    shard_count = List.length results;
+    wall_s;
+    shards = results;
+    merged;
+    merged_metrics;
+    merged_recorder;
+    fingerprints = List.concat_map (fun sh -> sh.shard_fingerprints) results;
+    faults_fired = List.fold_left (fun a sh -> a + sh.shard_faults_fired) 0 results;
   }
+
+let run ?(platform = `Tegra3) ?(seed = 7) ?metrics ?domains (cfg : config) =
+  validate cfg;
+  match domains with
+  | Some d ->
+      (* Sharded semantics regardless of D — [~domains:1] partitions
+         and merges exactly like [~domains:4], so the two are
+         bit-comparable (the differential test's whole point). *)
+      let sh = run_sharded ~platform ~seed ~domains:d cfg in
+      Option.iter
+        (fun m -> record_latencies m ~pipeline:cfg.pipeline sh.merged.first_touch_samples)
+        metrics;
+      sh.merged
+  | None ->
+      (* Serial legacy path, bit-identical to the pre-sharding
+         workload: pids feed the per-page ESSIV IVs, so runs are only
+         reproducible (and comparable across pipelines) when each
+         starts from pid 1.  The slice owns its pid space
+         ([pid_base = 1] mirrors the historical reset-then-allocate
+         numbering exactly), and resetting the global allocator keeps
+         the legacy fresh-boot contract for whatever runs next. *)
+      Process.reset_pids ();
+      let stats, _ =
+        run_slice ~platform ~seed ~pid_base:1 ~first:0 ~count:cfg.procs ?metrics cfg
+      in
+      stats
 
 let pp ppf (s : stats) =
   Fmt.pf ppf
@@ -325,3 +598,20 @@ let pp ppf (s : stats) =
     s.latency_by_class;
   Fmt.pf ppf "@\n  simulated time      %.2f ms, AES energy %.3f J" (s.sim_elapsed_ns /. 1e6)
     s.energy_j
+
+let pp_sharded ppf (s : sharded) =
+  Fmt.pf ppf "fleet (sharded): %d shards on %d domain%s, %.1f ms wall@\n"
+    s.shard_count s.domains
+    (if s.domains = 1 then "" else "s")
+    (s.wall_s *. 1e3);
+  List.iter
+    (fun sh ->
+      Fmt.pf ppf
+        "  shard %d: tenants %d..%d  pids %d..%d  seed %d  %d pages locked  %d faults fired@\n"
+        sh.shard_index sh.first_tenant
+        (sh.first_tenant + sh.tenants - 1)
+        sh.pid_base
+        (sh.pid_base + sh.tenants - 1)
+        sh.shard_seed sh.shard_stats.pages_locked sh.shard_faults_fired)
+    s.shards;
+  pp ppf s.merged

@@ -3,7 +3,15 @@
     cycles with dm-crypt I/O interleaved while locked.  The stress
     case for the batched lock/unlock pipeline, and the source of the
     per-tenant-class unlock-to-first-touch latency distributions the
-    SLO gate watches. *)
+    SLO gate watches.
+
+    [run_sharded] splits the tenants into contiguous shards, each
+    owning a private [System], trace recorder, metrics registry,
+    fault-injector session, PRNG seed and pid range, and runs them on
+    a {!Sentry_util.Dpool} of OCaml 5 domains.  The partition and all
+    per-shard inputs depend only on [(procs, shards)] — never on the
+    domain count — so merged outputs are bit-identical across [D].
+    See DESIGN.md §13. *)
 
 open Sentry_core
 
@@ -24,9 +32,9 @@ val default : config
 (** Stable label for a pipeline ("batched" / "per-page"). *)
 val pipeline_label : Sentry.pipeline -> string
 
-(** Tenant class by spawn index: every 4th process is ["large"] (2×M
-    pages + a DMA region), every 4k+3rd ["small"] (M/2 pages), the
-    rest ["medium"] (M pages). *)
+(** Tenant class by (global) spawn index: every 4th process is
+    ["large"] (2×M pages + a DMA region), every 4k+3rd ["small"] (M/2
+    pages), the rest ["medium"] (M pages). *)
 val tenant_class : index:int -> string
 
 type latency = {
@@ -46,9 +54,13 @@ type stats = {
   pages_faulted : int;  (** lazy decrypt faults served *)
   service_wakes_run : int;
   io_sectors_done : int;  (** dm-crypt sectors written + read *)
-  lock_wall_s : float;  (** host time inside the lock passes *)
-  unlock_wall_s : float;  (** host time inside the unlock passes *)
-  lock_pages_per_s : float;  (** pages_locked / lock_wall_s (host) *)
+  lock_wall_s : float;
+      (** host time inside the lock passes; in a {!sharded} merge,
+          host time over the whole parallel section *)
+  unlock_wall_s : float;  (** host time inside the unlock passes (summed) *)
+  lock_pages_per_s : float;
+      (** pages_locked / lock_wall_s (host) — in a merge this is the
+          fleet-level wall-clock throughput [D] domains delivered *)
   unlock_to_first_touch_ns : float;
       (** simulated ns from unlock start to a tenant's first page
           being readable, averaged over every tenant and cycle *)
@@ -57,8 +69,23 @@ type stats = {
           the raw distribution behind [latency_by_class] *)
   latency_by_class : (string * latency) list;
       (** per-tenant-class summary, sorted by class name *)
-  sim_elapsed_ns : float;  (** simulated time the whole run consumed *)
+  sim_elapsed_ns : float;
+      (** simulated time the run consumed; in a merge, the slowest
+          shard's (shards are concurrent in simulated time too) *)
   energy_j : float;  (** metered AES energy over the run *)
+}
+
+(** End-of-run digests of one tenant's crypto-relevant state: the
+    ESSIV IV stream over every (pid, vpn) page, and the page-table
+    entries.  Pids feed the IVs, so these digests catch any drift in
+    pid assignment or page-table outcome between execution
+    strategies — the differential D=1 vs D=4 test compares them. *)
+type fingerprint = {
+  tenant_index : int;  (** global spawn index *)
+  tenant_pid : int;
+  tenant_cls : string;
+  essiv_md5 : string;
+  pte_md5 : string;
 }
 
 (** Feed first-touch samples into a registry as the labeled histogram
@@ -68,6 +95,67 @@ type stats = {
 val record_latencies :
   Sentry_obs.Metrics.t -> pipeline:Sentry.pipeline -> (string * float) list -> unit
 
+(** One shard's results: the slice stats plus everything the shard
+    owned privately (registry, recorder, fault tally, identifying
+    inputs). *)
+type shard = {
+  shard_index : int;
+  first_tenant : int;  (** global index of the shard's first tenant *)
+  tenants : int;
+  pid_base : int;  (** [first_tenant + 1] — sharded pids equal serial pids *)
+  shard_seed : int;
+  shard_stats : stats;
+  shard_fingerprints : fingerprint list;
+  shard_metrics : Sentry_obs.Metrics.t;
+  shard_recorder : Sentry_obs.Trace.Recorder.t option;
+      (** present iff the calling domain had a recorder installed *)
+  shard_faults_fired : int;
+}
+
+type sharded = {
+  domains : int;  (** pool size the run executed on *)
+  shard_count : int;
+  wall_s : float;  (** host time over the whole parallel section *)
+  shards : shard list;  (** in shard-index order *)
+  merged : stats;  (** deterministic fold over shard stats *)
+  merged_metrics : Sentry_obs.Metrics.t;  (** [Metrics.merge] fold, shard order *)
+  merged_recorder : Sentry_obs.Trace.Recorder.t option;
+      (** [Trace.Recorder.merge] fold, shard order; [None] unless the
+          calling domain had a recorder installed at launch *)
+  fingerprints : fingerprint list;  (** concatenated in tenant order *)
+  faults_fired : int;  (** summed over shards *)
+}
+
+(** Default shard count for [procs] tenants: [min procs 16]. *)
+val default_shards : procs:int -> int
+
+(** [(first_tenant, tenants)] per shard: contiguous blocks of
+    ⌈procs/shards⌉.  Pure in [(procs, shards)]; [shards] is clamped to
+    [procs].  The executing domain count never enters. *)
+val shard_plan : procs:int -> shards:int -> (int * int) list
+
+(** [run_sharded ~domains cfg] partitions the fleet with
+    {!shard_plan}, runs every shard as an independent slice on a
+    [domains]-wide {!Sentry_util.Dpool} (each worker installs its
+    shard's recorder and fault session in its own domain-local ambient
+    slots), and folds the per-shard results through the deterministic
+    merges in shard-index order.  [?faults] arms a per-shard copy of
+    the plan (seed offset by shard index) in each worker; interrupting
+    fault kinds propagate out of [run_sharded] like they would out of
+    [run].  With [?shards] the shard count overrides
+    {!default_shards}.  Merged outputs are invariant in [domains];
+    only [wall_s] (and the merged wall-clock throughput) changes.
+    @raise Invalid_argument on invalid [cfg], [domains <= 0] or
+    [shards <= 0]. *)
+val run_sharded :
+  ?platform:Config.platform ->
+  ?seed:int ->
+  ?shards:int ->
+  ?faults:Sentry_faults.Plan.t ->
+  domains:int ->
+  config ->
+  sharded
+
 (** [run cfg] boots a fresh system, spawns the fleet (heterogeneous
     tenant classes, large tenants carry a DMA region), and drives
     [cfg.cycles] rounds of suspend → service wakes (dm-crypt I/O) →
@@ -76,9 +164,24 @@ val record_latencies :
     [cfg.pipeline] changes.  With [?metrics], first-touch samples are
     recorded via {!record_latencies}; with a trace recorder installed,
     each cycle is wrapped in a ["fleet-cycle"] span.
+
+    Without [?domains] this is the serial legacy path, bit-identical
+    to the pre-sharding workload.  With [~domains:d] it delegates to
+    {!run_sharded} and returns the merged stats — sharded semantics
+    even at [d = 1], so a [~domains:1] run is bit-comparable to a
+    [~domains:4] one.
     @raise Invalid_argument on non-positive [procs], [pages_per_proc]
     or [cycles]. *)
 val run :
-  ?platform:Config.platform -> ?seed:int -> ?metrics:Sentry_obs.Metrics.t -> config -> stats
+  ?platform:Config.platform ->
+  ?seed:int ->
+  ?metrics:Sentry_obs.Metrics.t ->
+  ?domains:int ->
+  config ->
+  stats
 
 val pp : Format.formatter -> stats -> unit
+
+(** Per-shard lines (tenant/pid/seed ranges, pages locked, faults
+    fired) followed by the merged {!pp}. *)
+val pp_sharded : Format.formatter -> sharded -> unit

@@ -701,6 +701,24 @@ let qcheck_tests =
         Bytes.equal want (Vm.read system.System.vm proc ~vaddr:region.Address_space.vstart ~len));
   ]
 
+(* --------------------------- pid spaces ---------------------------- *)
+
+(* [boot ~pid_base] gives a system a private pid space (pids feed the
+   per-page ESSIV IVs, so sharded fleets need disjoint deterministic
+   ranges); systems booted without it keep drawing from the global
+   allocator, unperturbed by private-space spawns. *)
+let test_system_pid_base_private_space () =
+  Process.reset_pids ();
+  let global_sys = System.boot `Tegra3 ~seed:1 in
+  let g0 = System.spawn global_sys ~name:"g0" ~bytes:Page.size in
+  let owned = System.boot `Tegra3 ~seed:2 ~pid_base:100 in
+  let a = System.spawn owned ~name:"a" ~bytes:Page.size in
+  let b = System.spawn owned ~name:"b" ~bytes:Page.size in
+  checki "first pid is the base" 100 a.Process.pid;
+  checki "pids consecutive" 101 b.Process.pid;
+  let g1 = System.spawn global_sys ~name:"g1" ~bytes:Page.size in
+  checki "global allocator untouched by the private space" (g0.Process.pid + 1) g1.Process.pid
+
 let () =
   Alcotest.run "sentry_core"
     [
@@ -744,6 +762,8 @@ let () =
           Alcotest.test_case "invalid transitions" `Quick test_lock_state_invalid_transitions;
         ] );
       ("share_policy", [ Alcotest.test_case "policy" `Quick test_share_policy ]);
+      ( "pid_space",
+        [ Alcotest.test_case "pid_base private space" `Quick test_system_pid_base_private_space ] );
       ( "sentry",
         [
           Alcotest.test_case "lock encrypts, unlock restores" `Quick

@@ -111,6 +111,32 @@ let test_session_handle_api () =
   checki "s1 untouched" 1 (List.length (Injector.fired_of s1));
   checki "s2 independent" 0 (List.length (Injector.fired_of s2))
 
+(* The active-session slot is [Domain.DLS]: a fresh domain starts
+   disarmed even while the spawner has a session active, a worker's
+   activate stays its own, and firings land on the worker's session
+   handle only — the isolation each fleet shard's fault session
+   relies on. *)
+let test_session_domain_local () =
+  let s_main = Injector.create (one ~point:"m" ~kind:Fault.Dma_error ~at:(Plan.Nth 1)) in
+  Injector.activate s_main;
+  Fun.protect ~finally:Injector.deactivate (fun () ->
+      let worker =
+        Domain.spawn (fun () ->
+            let inherited = Injector.armed () in
+            let mine = Injector.create (one ~point:"w" ~kind:Fault.Dma_error ~at:(Plan.Nth 1)) in
+            Injector.activate mine;
+            let fired_here = Injector.poll "w" <> None in
+            Injector.deactivate ();
+            (inherited, fired_here, List.length (Injector.fired_of mine)))
+      in
+      let inherited, fired_here, worker_firings = Domain.join worker in
+      checkb "fresh domain starts disarmed" false inherited;
+      checkb "worker session fires in its domain" true fired_here;
+      checki "firings on the worker handle" 1 worker_firings;
+      checkb "main session still active" true
+        (match Injector.current () with Some x -> x == s_main | None -> false);
+      checki "main session saw nothing" 0 (List.length (Injector.fired_of s_main)))
+
 (* --------------------------- subsystem hooks ---------------------- *)
 
 let test_dma_transfer_fault () =
@@ -426,6 +452,7 @@ let () =
           Alcotest.test_case "prob deterministic" `Quick test_prob_deterministic;
           Alcotest.test_case "bit flip handler" `Quick test_bit_flip_invokes_handler_and_continues;
           Alcotest.test_case "session handle api" `Quick test_session_handle_api;
+          Alcotest.test_case "session is domain-local" `Quick test_session_domain_local;
         ] );
       ( "hooks",
         [

@@ -18,7 +18,7 @@ let boot ?(dram_size = 8 * Units.mib) ?(seed = 1) () =
 let make_proc machine frames ~bytes =
   let aspace = Address_space.create machine ~frames in
   ignore (Address_space.map_region aspace ~name:"main" ~kind:Address_space.Normal ~bytes);
-  Process.create ~name:"test" ~aspace ~kstack:(Frame_alloc.alloc frames)
+  Process.create ~name:"test" ~aspace ~kstack:(Frame_alloc.alloc frames) ()
 
 (* ------------------------------ Page ------------------------------ *)
 

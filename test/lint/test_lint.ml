@@ -17,7 +17,8 @@ let fx name = Filename.concat "fixtures" name
 let scan ?(r4_exempt = false) name =
   Rules.scan_file ~file:(fx name) ~r4_exempt (Driver.parse_file (fx name))
 
-let corpus = [ "bad_r1.ml"; "bad_r2.ml"; "bad_r3.ml"; "bad_r4.ml"; "clean.ml" ]
+let corpus =
+  [ "bad_r1.ml"; "bad_r2.ml"; "bad_r3.ml"; "bad_r4.ml"; "bad_r5.ml"; "clean.ml" ]
 let run_corpus ?allow () = Driver.run ?allow ~roots:(List.map fx corpus) ()
 
 (** (rule, symbol, line) — the full identity a fixture pins down. *)
@@ -59,6 +60,21 @@ let test_r4_and_fastpath_exemption () =
   let exempt = scan ~r4_exempt:true "bad_r4.ml" in
   triple_list "audited fast path: same file, no findings" [] (shapes exempt.Rules.findings)
 
+let test_r5_spawned_closures () =
+  let s = scan "bad_r5.ml" in
+  triple_list "exact R5 set"
+    [
+      ("R5", "Trace.emit", 9);
+      ("R5", "Injector.arm", 10);
+      ("R5", "Trace.enter_span", 14);
+      ("R5", "Trace.exit_span", 17);
+    ]
+    (shapes s.Rules.findings);
+  (* install/activate-style setup and Recorder handles not flagged;
+     the nested spawn reported exactly once *)
+  checki "no globals" 0 (List.length s.Rules.globals);
+  checki "no assigns" 0 (List.length s.Rules.assigns)
+
 let test_clean_file () =
   let s = scan "clean.ml" in
   triple_list "no findings" [] (shapes s.Rules.findings);
@@ -79,11 +95,15 @@ let expected_corpus =
     ("R3", "_", 5);
     ("R4", "Bytes.unsafe_get", 4);
     ("R4", "Obj.magic", 5);
+    ("R5", "Trace.emit", 9);
+    ("R5", "Injector.arm", 10);
+    ("R5", "Trace.enter_span", 14);
+    ("R5", "Trace.exit_span", 17);
   ]
 
 let test_corpus_exact () =
   let r = run_corpus () in
-  checki "all five files scanned" 5 r.Driver.files_scanned;
+  checki "all six files scanned" 6 r.Driver.files_scanned;
   triple_list "exact corpus findings" expected_corpus (shapes r.Driver.findings);
   checkb "not clean" false (Driver.clean r);
   checki "nothing allowlisted" 0 (List.length r.Driver.allowed)
@@ -97,7 +117,7 @@ let test_allow_suppresses_exactly_one () =
   let allow = allow_of_string "R1 fixtures/bad_r1.ml hits # fixture exercise\n" in
   let r = run_corpus ~allow () in
   checki "one allowed" 1 (List.length r.Driver.allowed);
-  checki "rest still violations" 9 (List.length r.Driver.unallowed);
+  checki "rest still violations" 13 (List.length r.Driver.unallowed);
   checkb "suppressed the right one" false
     (List.exists (fun f -> shape f = ("R1", "hits", 6)) r.Driver.unallowed);
   checki "no stale entries" 0 (List.length r.Driver.stale_allows)
@@ -111,20 +131,21 @@ let test_allow_everything_is_clean () =
              | "R1" -> "bad_r1.ml"
              | "R2" -> "bad_r2.ml"
              | "R3" -> "bad_r3.ml"
-             | _ -> "bad_r4.ml"
+             | "R4" -> "bad_r4.ml"
+             | _ -> "bad_r5.ml"
            in
            Printf.sprintf "%s fixtures/%s %s # blanket fixture grant" rule file symbol)
     |> String.concat "\n"
   in
   let r = run_corpus ~allow:(allow_of_string text) () in
   checkb "clean under a full grant" true (Driver.clean r);
-  checki "all ten allowed" 10 (List.length r.Driver.allowed)
+  checki "all fourteen allowed" 14 (List.length r.Driver.allowed)
 
 let test_stale_allow_reported () =
   let allow = allow_of_string "R1 fixtures/clean.ml ghost # long gone\n" in
   let r = run_corpus ~allow () in
   checki "stale entry surfaced" 1 (List.length r.Driver.stale_allows);
-  checkb "and grants nothing" true (List.length r.Driver.unallowed = 10)
+  checkb "and grants nothing" true (List.length r.Driver.unallowed = 14)
 
 let test_justification_is_mandatory () =
   checkb "no justification, no parse" true
@@ -145,7 +166,7 @@ let test_json_report_shape () =
   in
   checkb "schema tag" true (contains "sentry-lint/v1");
   checkb "carries the rule ids" true (contains "\"R1\"" && contains "\"R4\"");
-  checkb "violation total" true (contains "10")
+  checkb "violation total" true (contains "14")
 
 let () =
   Alcotest.run "sentry_lint"
@@ -156,6 +177,7 @@ let () =
           Alcotest.test_case "R2 needs the corpus" `Quick test_r2_needs_the_corpus;
           Alcotest.test_case "R3 both spellings" `Quick test_r3_both_spellings;
           Alcotest.test_case "R4 and fast-path exemption" `Quick test_r4_and_fastpath_exemption;
+          Alcotest.test_case "R5 spawned closures" `Quick test_r5_spawned_closures;
           Alcotest.test_case "clean file" `Quick test_clean_file;
         ] );
       ( "driver",

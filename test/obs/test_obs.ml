@@ -731,12 +731,43 @@ let test_chrome_export_of_scenario_parses () =
   | Json.Obj _ -> ()
   | _ -> Alcotest.fail "chrome trace must be a JSON object"
 
+(* --------------------- ambient slot is per-domain ------------------ *)
+
+(* The ambient recorder lives in [Domain.DLS]: a freshly spawned
+   domain starts untraced, a worker's install never clobbers the
+   spawner's, and nothing the worker records lands in the main
+   domain's recorder.  This is what lets each fleet shard own a
+   private recorder on a pool worker. *)
+let test_trace_ambient_domain_local () =
+  let r = Trace.Recorder.create ~capacity:16 () in
+  Trace.install r;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let worker =
+        Domain.spawn (fun () ->
+            let inherited = Trace.on () in
+            let mine = Trace.Recorder.create ~capacity:16 () in
+            Trace.install mine;
+            Trace.Recorder.emit mine ~ts:1.0 ~cat:Event.Sched ~subsystem:"test" "worker-event";
+            let own = match Trace.installed () with Some x -> x == mine | None -> false in
+            let seen = (Trace.Recorder.stats mine).Trace.emitted in
+            Trace.uninstall ();
+            (inherited, own, seen))
+      in
+      let inherited, own, seen = Domain.join worker in
+      checkb "fresh domain starts untraced" false inherited;
+      checkb "worker sees its own install" true own;
+      checki "worker recorder saw its event" 1 seen;
+      checkb "main slot untouched" true
+        (match Trace.installed () with Some x -> x == r | None -> false);
+      checki "main recorder saw nothing" 0 (Trace.Recorder.stats r).Trace.emitted)
+
 let () =
   Alcotest.run "sentry_obs"
     [
       ( "trace",
         [
           Alcotest.test_case "off is silent" `Quick test_trace_off_is_silent;
+          Alcotest.test_case "ambient is domain-local" `Quick test_trace_ambient_domain_local;
           Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
           Alcotest.test_case "overflow keeps newest" `Quick test_ring_overflow_keeps_newest;
           Alcotest.test_case "clear keeps recorder" `Quick test_trace_clear_keeps_recorder;

@@ -288,6 +288,50 @@ let qcheck_tests =
         Stats.percentile 25.0 a <= Stats.percentile 75.0 a);
   ]
 
+(* ------------------------------ dpool ------------------------------ *)
+
+let test_dpool_run_order () =
+  (* results come back in submission order however many workers race *)
+  List.iter
+    (fun domains ->
+      let tasks = List.init 17 (fun i () -> i * i) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "order preserved at %d domains" domains)
+        (List.init 17 (fun i -> i * i))
+        (Dpool.run ~domains tasks))
+    [ 1; 2; 4 ]
+
+let test_dpool_exception_propagates () =
+  Alcotest.check_raises "task exception re-raised at await" (Failure "task 2 boom") (fun () ->
+      ignore (Dpool.run ~domains:2 [ (fun () -> 1); (fun () -> failwith "task 2 boom") ]))
+
+let test_dpool_more_workers_than_tasks () =
+  Alcotest.(check (list int)) "8 domains, 2 tasks" [ 10; 20 ]
+    (Dpool.run ~domains:8 [ (fun () -> 10); (fun () -> 20) ])
+
+let test_dpool_submit_await_reuse () =
+  let pool = Dpool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let p1 = Dpool.submit pool (fun () -> "a") in
+      let p2 = Dpool.submit pool (fun () -> "b") in
+      Alcotest.(check string) "first" "a" (Dpool.await p1);
+      Alcotest.(check string) "second" "b" (Dpool.await p2);
+      (* await is idempotent: the settled state is kept *)
+      Alcotest.(check string) "first again" "a" (Dpool.await p1))
+
+let test_dpool_shutdown_rejects_submit () =
+  let pool = Dpool.create ~domains:1 in
+  Dpool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Dpool.submit: pool is shut down") (fun () ->
+      ignore (Dpool.submit pool (fun () -> ())))
+
+let test_dpool_invalid_domains () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Dpool.create: domains must be positive")
+    (fun () -> ignore (Dpool.create ~domains:0))
+
 let () =
   Alcotest.run "sentry_util"
     [
@@ -345,6 +389,15 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
           Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "run preserves order" `Quick test_dpool_run_order;
+          Alcotest.test_case "exception propagates" `Quick test_dpool_exception_propagates;
+          Alcotest.test_case "more workers than tasks" `Quick test_dpool_more_workers_than_tasks;
+          Alcotest.test_case "submit/await reuse" `Quick test_dpool_submit_await_reuse;
+          Alcotest.test_case "shutdown rejects submit" `Quick test_dpool_shutdown_rejects_submit;
+          Alcotest.test_case "invalid domains" `Quick test_dpool_invalid_domains;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

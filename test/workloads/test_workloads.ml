@@ -249,6 +249,94 @@ let test_fleet_sharded_metrics_merge_exactly () =
   let merged' = Metrics.merge shards.(2) (Metrics.merge shards.(1) shards.(0)) in
   checkb "merge order invisible" true (Metrics.flat merged' = Metrics.flat global)
 
+(* ---------------------- Fleet sharded (domains) -------------------- *)
+
+let diff_cfg = { Fleet.default with Fleet.procs = 10; Fleet.pages_per_proc = 8; Fleet.cycles = 2 }
+
+let run_sharded_traced ~domains cfg =
+  let module Trace = Sentry_obs.Trace in
+  let r = Trace.Recorder.create ~capacity:8192 () in
+  Trace.install r;
+  Fun.protect ~finally:Trace.uninstall (fun () -> Fleet.run_sharded ~domains cfg)
+
+(* Host walls (and the throughput derived from them) are the only
+   fields allowed to move with the domain count. *)
+let strip_walls (s : Fleet.stats) =
+  { s with Fleet.lock_wall_s = 0.0; unlock_wall_s = 0.0; lock_pages_per_s = 0.0 }
+
+let test_fleet_shard_plan_pure () =
+  Alcotest.(check (list (pair int int)))
+    "10 tenants over 4 shards" [ (0, 3); (3, 3); (6, 3); (9, 1) ]
+    (Fleet.shard_plan ~procs:10 ~shards:4);
+  Alcotest.(check (list (pair int int)))
+    "shards clamped to procs" [ (0, 1); (1, 1) ]
+    (Fleet.shard_plan ~procs:2 ~shards:8);
+  checki "default shards" 10 (Fleet.default_shards ~procs:10);
+  checki "default capped at 16" 16 (Fleet.default_shards ~procs:64)
+
+(* The PR's acceptance gate: a --domains 1 and a --domains 4 run must
+   merge to identical flat metrics, identical summed trace category
+   counts, and identical per-tenant ESSIV/PTE fingerprints.  The shard
+   partition depends only on (procs, shards), so D is pure execution
+   parallelism. *)
+let test_fleet_domains_differential () =
+  let module Metrics = Sentry_obs.Metrics in
+  let module Trace = Sentry_obs.Trace in
+  let a = run_sharded_traced ~domains:1 diff_cfg in
+  let b = run_sharded_traced ~domains:4 diff_cfg in
+  checkb "merged flat metrics identical" true
+    (Metrics.flat a.Fleet.merged_metrics = Metrics.flat b.Fleet.merged_metrics);
+  (match (a.Fleet.merged_recorder, b.Fleet.merged_recorder) with
+  | Some ra, Some rb ->
+      checkb "summed trace category counts identical" true
+        (Trace.Recorder.category_counts ra = Trace.Recorder.category_counts rb);
+      checkb "recorders saw events" true
+        ((Trace.Recorder.stats ra).Trace.emitted > 0)
+  | _ -> Alcotest.fail "sharded runs should carry merged recorders");
+  checkb "per-tenant ESSIV/PTE fingerprints identical" true
+    (a.Fleet.fingerprints = b.Fleet.fingerprints);
+  checkb "merged stats identical up to host walls" true
+    (strip_walls a.Fleet.merged = strip_walls b.Fleet.merged);
+  checki "one fingerprint per tenant" diff_cfg.Fleet.procs (List.length a.Fleet.fingerprints);
+  (* contiguous shard blocks with pid_base = first_tenant + 1 keep the
+     serial run's pid assignment: tenant i holds pid i+1 *)
+  List.iteri
+    (fun i (fp : Fleet.fingerprint) ->
+      checki "global tenant index" i fp.Fleet.tenant_index;
+      checki "serial pid preserved" (i + 1) fp.Fleet.tenant_pid;
+      checkb "class from global index" true (fp.Fleet.tenant_cls = Fleet.tenant_class ~index:i))
+    a.Fleet.fingerprints
+
+let test_fleet_sharded_repeatable () =
+  let a = run_sharded_traced ~domains:2 diff_cfg in
+  let b = run_sharded_traced ~domains:2 diff_cfg in
+  checkb "same D twice: identical merge and fingerprints" true
+    (strip_walls a.Fleet.merged = strip_walls b.Fleet.merged
+    && a.Fleet.fingerprints = b.Fleet.fingerprints)
+
+let test_fleet_sharded_faults_invariant () =
+  let module Plan = Sentry_faults.Plan in
+  let plan =
+    Plan.make ~name:"shard-flips"
+      [
+        Plan.trigger ~point:Sentry_faults.Injector.Points.dm_crypt_sector
+          ~kind:(Sentry_faults.Fault.Bit_flip 2) ~at:(Plan.Every 3);
+      ]
+  in
+  let a = Fleet.run_sharded ~faults:plan ~domains:1 diff_cfg in
+  let b = Fleet.run_sharded ~faults:plan ~domains:4 diff_cfg in
+  checkb "faults fired" true (a.Fleet.faults_fired > 0);
+  checki "fault occurrence totals D-invariant" a.Fleet.faults_fired b.Fleet.faults_fired;
+  checkb "fingerprints identical under faults" true (a.Fleet.fingerprints = b.Fleet.fingerprints)
+
+let test_fleet_run_domains_delegates () =
+  (* Fleet.run ~domains uses sharded semantics at every D, so its
+     simulated outputs match run_sharded's merge, not the serial path *)
+  let s = Fleet.run ~domains:1 diff_cfg in
+  let sh = Fleet.run_sharded ~domains:1 diff_cfg in
+  checkb "run ~domains matches the sharded merge" true
+    (strip_walls s = strip_walls sh.Fleet.merged)
+
 (* ----------------------------- Daily_use -------------------------- *)
 
 let test_daily_use_estimates () =
@@ -311,6 +399,15 @@ let () =
             test_fleet_samples_pipeline_independent;
           Alcotest.test_case "sharded metrics merge" `Quick
             test_fleet_sharded_metrics_merge_exactly;
+        ] );
+      ( "fleet_sharded",
+        [
+          Alcotest.test_case "shard plan pure" `Quick test_fleet_shard_plan_pure;
+          Alcotest.test_case "D=1 vs D=4 differential" `Quick test_fleet_domains_differential;
+          Alcotest.test_case "repeatable at same D" `Quick test_fleet_sharded_repeatable;
+          Alcotest.test_case "fault totals D-invariant" `Quick
+            test_fleet_sharded_faults_invariant;
+          Alcotest.test_case "run ~domains delegates" `Quick test_fleet_run_domains_delegates;
         ] );
       ( "daily_use",
         [
