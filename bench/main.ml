@@ -170,6 +170,19 @@ let run_json ~path ~trials ~slo_spec ids =
           ])
       [ 1; 2; 4; 8 ]
   in
+  (* the serve front end: one quiet default run (zero sheds expected)
+     and one chaos soak — both fully simulated, so the section is
+     deterministic and diffable across snapshot refreshes *)
+  let serve =
+    let module Sv = Sentry_serve.Server in
+    let quiet = Sv.run Sv.default in
+    let soak = Sv.run { Sv.default with Sv.soak = true } in
+    Printf.printf
+      "  serve: %d served / %d requests (shed rate %.3f); soak %d crash(es), %d audit finding(s)\n%!"
+      quiet.Sv.served quiet.Sv.requests quiet.Sv.shed_rate soak.Sv.crashes_injected
+      soak.Sv.audit_findings;
+    Json_out.Obj [ ("quiet", Sv.json quiet); ("soak", Sv.json soak) ]
+  in
   (* per-tenant-class latency SLOs over one default fleet run — the
      same objectives the CI gate enforces via `sentry_cli slo`.  The
      spec file is optional so bench still runs from any directory. *)
@@ -181,6 +194,9 @@ let run_json ~path ~trials ~slo_spec ids =
     | Ok objectives ->
         let metrics = Metrics.create () in
         ignore (Sentry_workloads.Fleet.run ~metrics Sentry_workloads.Fleet.default);
+        (* serve rides along in the same snapshot: the spec's
+           queue-wait / shed-rate objectives need its keys *)
+        ignore (Sentry_serve.Server.run ~metrics Sentry_serve.Server.default);
         let report = Slo.evaluate objectives (Metrics.flat metrics) in
         Printf.printf "  slo: %d objective(s), %d violation(s)\n%!"
           (List.length report.Slo.outcomes) report.Slo.violations;
@@ -194,6 +210,7 @@ let run_json ~path ~trials ~slo_spec ids =
         ("experiments", Json_out.List results);
         ("fleet", Json_out.List fleet);
         ("fleet_domains", Json_out.List fleet_domains);
+        ("serve", serve);
         ("counters", Json_out.Obj counters);
         ("slo", slo);
       ]

@@ -509,6 +509,99 @@ let fleet_cmd =
     Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ domains $ json
           $ folded)
 
+(* ----------------------------- serve ----------------------------- *)
+
+let serve tenants pages rate burst duration queue_depth backlog batch seed soak soak_period
+    per_page domains json =
+  let module Sv = Sentry_serve.Server in
+  let cfg =
+    {
+      Sv.tenants;
+      pages_per_proc = pages;
+      rate_hz = rate;
+      burst;
+      duration_s = duration;
+      queue_depth;
+      backlog_pages_max = backlog;
+      batch_max = batch;
+      seed;
+      soak;
+      soak_period;
+      pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+    }
+  in
+  let stats, sharded =
+    match domains with
+    | None -> (Sv.run cfg, None)
+    | Some d ->
+        let sh = Sv.run_sharded ~domains:d cfg in
+        (sh.Sv.merged, Some sh)
+  in
+  if json then print_endline (Sentry_obs.Json_out.to_string (Sv.json stats))
+  else begin
+    (match sharded with
+    | Some sh -> Format.printf "%a@." Sv.pp_sharded sh
+    | None -> Format.printf "%a@." Sv.pp stats);
+    if stats.Sv.audit_findings > 0 then
+      Printf.printf "WARNING: %d post-recovery consistency finding(s)\n" stats.Sv.audit_findings
+  end;
+  (* soak contract: the run only counts as surviving chaos if crashes
+     actually fired, every one recovered, and the audit stayed clean *)
+  if
+    soak
+    && (stats.Sv.crashes_injected = 0
+       || stats.Sv.recoveries <> stats.Sv.crashes_injected
+       || stats.Sv.audit_findings > 0)
+  then exit 1
+
+let serve_cmd =
+  let doc = "run the open-loop lock/unlock server (admission backpressure, optional chaos soak)" in
+  let tenants =
+    Arg.(value & opt int 8 & info [ "tenants" ] ~docv:"N" ~doc:"tenant pool size (fleet class mix)")
+  in
+  let pages =
+    Arg.(value & opt int 8 & info [ "pages" ] ~docv:"M" ~doc:"pages per medium tenant main region")
+  in
+  let rate =
+    Arg.(value & opt float 40.0 & info [ "rate" ] ~docv:"HZ" ~doc:"base Poisson arrival rate (simulated Hz)")
+  in
+  let burst =
+    Arg.(value & opt float 3.0 & info [ "burst" ] ~docv:"X" ~doc:"peak-quarter rate multiplier (diurnal profile)")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S" ~doc:"simulated arrival-generation span (seconds)")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"D" ~doc:"admission FIFO depth (overflow sheds)")
+  in
+  let backlog =
+    Arg.(value & opt int 512 & info [ "backlog-pages" ] ~docv:"P"
+           ~doc:"pending page backlog cap (journal/iRAM saturation rejects)")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"requests served per unlock/lock cycle")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"schedule / system PRNG seed") in
+  let soak =
+    Arg.(value & flag & info [ "soak" ] ~doc:"chaos soak: inject a lock-walk crash into every \
+                                              $(b,--soak-period)th re-lock and recover mid-traffic")
+  in
+  let soak_period =
+    Arg.(value & opt int 4 & info [ "soak-period" ] ~docv:"K" ~doc:"crash every Kth batch when soaking")
+  in
+  let per_page =
+    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
+           ~doc:"shard the tenant pool and serve on $(docv) OCaml domains; merged outputs are \
+                 identical for every $(docv)")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output (deterministic fields only)") in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve $ tenants $ pages $ rate $ burst $ duration $ queue_depth $ backlog $ batch
+          $ seed $ soak $ soak_period $ per_page $ domains $ json)
+
 (* ------------------------------ slo ------------------------------ *)
 
 let slo spec procs pages cycles wakes io touch per_page domains json =
@@ -531,14 +624,21 @@ let slo spec procs pages cycles wakes io touch per_page domains json =
         }
       in
       (* with --domains the gate runs over the merged per-shard
-         registries — the same snapshot regardless of D *)
+         registries — the same snapshot regardless of D.  The serve
+         workload rides along in the same snapshot so the queue-wait
+         and shed-rate objectives are gated by the same invocation. *)
+      let module Sv = Sentry_serve.Server in
       let flat =
         match domains with
         | None ->
             let metrics = Metrics.create () in
             ignore (F.run ~metrics cfg);
+            ignore (Sv.run ~metrics Sv.default);
             Metrics.flat metrics
-        | Some d -> Metrics.flat (F.run_sharded ~domains:d cfg).F.merged_metrics
+        | Some d ->
+            let fleet_metrics = (F.run_sharded ~domains:d cfg).F.merged_metrics in
+            let serve_metrics = (Sv.run_sharded ~domains:d Sv.default).Sv.merged_metrics in
+            Metrics.flat (Metrics.merge fleet_metrics serve_metrics)
       in
       let report = Slo.evaluate objectives flat in
       Format.printf "%a@." Slo.pp_report report;
@@ -588,5 +688,5 @@ let () =
        (Cmd.group (Cmd.info "sentry-cli" ~doc)
           [
             list_cmd; exp_cmd; demo_cmd; attack_cmd; analyze_cmd; trace_cmd; faults_cmd; fleet_cmd;
-            slo_cmd;
+            serve_cmd; slo_cmd;
           ]))

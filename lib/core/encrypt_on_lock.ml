@@ -33,14 +33,20 @@ let encrypt_process ?journal pc ~all_procs proc =
         List.iter
           (fun (vpn, pte) ->
             if pte.Page_table.present && not pte.Page_table.encrypted then begin
-              Page_crypt.encrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
-              (* ordering is fail-secure: ciphertext lands in memory,
-                 then the PTE flags, then the journal.  A crash in any
-                 gap at worst re-encrypts a page on recovery — never
-                 leaves cleartext believed encrypted. *)
-              pte.Page_table.encrypted <- true;
-              incr pages;
-              Option.iter (fun j -> Lock_journal.record j ~pid) journal
+              (* ordering is fail-secure and idempotent: ciphertext
+                 lands in memory, then — inside the same crash unit,
+                 before the page-boundary fault hook — the PTE flags
+                 and the journal records.  A crash mid-transform
+                 leaves the page cleartext and unflagged (recovery
+                 re-encrypts it); a crash at the page boundary leaves
+                 it flagged (recovery skips it).  Neither gap ever
+                 leaves cleartext believed encrypted, and no page is
+                 ever encrypted twice. *)
+              Page_crypt.encrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame
+                ~commit:(fun () ->
+                  pte.Page_table.encrypted <- true;
+                  incr pages;
+                  Option.iter (fun j -> Lock_journal.record j ~pid) journal)
             end;
             pte.Page_table.young <- false)
           (Address_space.region_ptes aspace region)
@@ -157,8 +163,9 @@ let run ?journal pc (system : System.t) ~sensitive ~background =
   in
   Page_crypt.encrypt_batch pc items ~complete:(fun i ->
       let pid, _, pte = work.(i) in
-      (* fail-secure: ciphertext already in memory, now the PTE flag,
-         then the (coalesced) journal *)
+      (* fail-secure and idempotent: ciphertext already in memory,
+         now the PTE flag, then the (coalesced) journal — all before
+         the page-boundary fault hook, as in [encrypt_frame] *)
       pte.Page_table.encrypted <- true;
       match journal with
       | Some j ->

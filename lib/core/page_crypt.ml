@@ -68,20 +68,28 @@ let trace_frame t name ~pid ~vpn ~frame =
           ("frame", Sentry_obs.Event.Int frame);
         ]
 
-let encrypt_frame t ~pid ~vpn ~frame =
+let encrypt_frame ?(commit = fun () -> ()) t ~pid ~vpn ~frame =
   trace_frame t "encrypt-frame" ~pid ~vpn ~frame;
   Machine.read_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
   t.bytes_encrypted <- t.bytes_encrypted + Page.size;
   (* fault hook: a reset here dies mid-call — the frame is still
-     cleartext in memory (the staging buffer is not addressable) *)
+     cleartext in memory (the staging buffer is not addressable), so
+     recovery's re-encryption of this unflagged page is idempotent *)
   Sentry_faults.Injector.fire Sentry_faults.Injector.Points.frame_transform;
   (* in place over the staging buffer: read, transform, write back *)
   Aes_on_soc.bulk_into t.aes ~dir:`Encrypt ~iv:(iv t ~pid ~vpn) ~src:t.page_buf ~src_off:0
     ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
   Machine.with_taint t.machine Taint.Ciphertext (fun () ->
       Machine.write_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
+  (* the caller's commit (PTE flag + journal record) belongs to the
+     same crash unit as the write-back: it must land before the
+     page-boundary fault hook, or a crash at the hook would leave
+     this frame as ciphertext that the PTE still calls cleartext —
+     and the recovery sweep (keyed off PTE bits) would encrypt it a
+     second time, garbling the page for good *)
+  commit ();
   (* fault hook: power loss after the Nth encrypted page fires here —
-     ciphertext is in memory but the PTE has not been flagged yet *)
+     ciphertext, PTE flag and journal record have all committed *)
   Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_encrypted
 
 (** Decrypt a frame in place (lazy unlock path); the recovered bytes
@@ -124,17 +132,19 @@ let transform_item t ~(dir : [ `Encrypt | `Decrypt ]) { pid; vpn; frame } =
     ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
   let level = match dir with `Encrypt -> Taint.Ciphertext | `Decrypt -> Taint.Secret_cleartext in
   Machine.with_taint t.machine level (fun () ->
-      Machine.write_run_from t.machine frame t.page_buf ~off:0 ~len:Page.size);
-  Sentry_faults.Injector.fire
-    (match dir with
-    | `Encrypt -> Sentry_faults.Injector.Points.page_encrypted
-    | `Decrypt -> Sentry_faults.Injector.Points.page_decrypted)
+      Machine.write_run_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
+
+let fire_page_done = function
+  | `Encrypt -> Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_encrypted
+  | `Decrypt -> Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_decrypted
 
 (** [encrypt_batch t items ~complete] — the lock path's batch engine:
     encrypt every item's frame in place, calling [complete i]
-    immediately after item [i]'s ciphertext (and its fault hook) lands
-    — the caller flips the PTE and journals there, preserving the
-    per-page fail-secure ordering of [encrypt_frame]. *)
+    immediately after item [i]'s ciphertext lands and {e before} the
+    [page_encrypted] fault hook — the caller flips the PTE and
+    journals there, matching [encrypt_frame]'s [?commit] slot, so a
+    crash at any page boundary leaves every ciphertext page flagged
+    and recovery's PTE-keyed roll-forward idempotent. *)
 let encrypt_batch t items ~complete =
   let traced = Sentry_obs.Trace.on () in
   if traced then
@@ -144,7 +154,8 @@ let encrypt_batch t items ~complete =
   Array.iteri
     (fun i item ->
       transform_item t ~dir:`Encrypt item;
-      complete i)
+      complete i;
+      fire_page_done `Encrypt)
     items;
   if traced then
     Sentry_obs.Trace.exit_span
@@ -166,6 +177,7 @@ let decrypt_batch t items ~prepare ~complete =
     (fun i item ->
       prepare i;
       transform_item t ~dir:`Decrypt item;
+      fire_page_done `Decrypt;
       complete i)
     items;
   if traced then

@@ -20,8 +20,13 @@ val iv : t -> pid:int -> vpn:int -> Bytes.t
 val encrypt_bytes : t -> pid:int -> vpn:int -> Bytes.t -> Bytes.t
 val decrypt_bytes : t -> pid:int -> vpn:int -> Bytes.t -> Bytes.t
 
-(** Encrypt a physical frame in place through the cached path. *)
-val encrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
+(** Encrypt a physical frame in place through the cached path.
+    [?commit] runs after the ciphertext write-back and {e before} the
+    [page_encrypted] fault hook — flip the PTE and journal there, so
+    a crash at the page boundary never leaves committed ciphertext
+    that the PTE still calls cleartext (recovery would re-encrypt
+    it: a double-encrypt that garbles the page). *)
+val encrypt_frame : ?commit:(unit -> unit) -> t -> pid:int -> vpn:int -> frame:int -> unit
 
 (** Decrypt a physical frame in place. *)
 val decrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
@@ -38,9 +43,10 @@ val decrypt_frame : t -> pid:int -> vpn:int -> frame:int -> unit
 (** One page of a batch; [frame] is the physical frame address. *)
 type batch_item = { pid : int; vpn : int; frame : int }
 
-(** Encrypt every item in order; [complete i] fires right after item
-    [i]'s ciphertext and its [page_encrypted] fault hook — flip the
-    PTE and journal there (fail-secure ordering). *)
+(** Encrypt every item in order; [complete i] runs right after item
+    [i]'s ciphertext lands and before its [page_encrypted] fault hook
+    — flip the PTE and journal there (fail-secure {e and} idempotent
+    ordering, as [encrypt_frame]'s [?commit]). *)
 val encrypt_batch : t -> batch_item array -> complete:(int -> unit) -> unit
 
 (** Decrypt every item in order; [prepare i] fires before item [i] is

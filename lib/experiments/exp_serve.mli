@@ -1,0 +1,10 @@
+(** Serve: open-loop arrival-rate sweep over the lock/unlock server —
+    requests/served/shed/rejected counts, shed rate and tail latencies
+    per base rate at a fixed small admission queue. *)
+
+val rates : float list
+
+(** The sweep's server config at one base rate. *)
+val config : rate:float -> Sentry_serve.Server.config
+
+val run : unit -> Sentry_util.Table.t list

@@ -29,6 +29,7 @@ let all =
     { id = "ablations"; description = "design-choice ablations"; run = Exp_ablations.run };
     { id = "pinned"; description = "S10 pin-on-SoC architecture suggestion"; run = Exp_pinned.run };
     { id = "fleet"; description = "batched vs per-page fleet lock throughput"; run = Exp_fleet.run };
+    { id = "serve"; description = "open-loop serve: arrival rate vs backpressure"; run = Exp_serve.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -254,10 +254,39 @@ let snapshot t =
   Hashtbl.iter (fun k i -> Hashtbl.replace table k (copy_instrument i)) t.table;
   { table }
 
+(* Merge the exact-sample reservoirs.  While the combined count still
+   fits the reservoir, concatenation keeps every sample and the exact
+   percentile path stays lossless.  Beyond that the old code kept
+   [h]'s reservoir and appended a *prefix* of [h']'s — a biased
+   subsample (shard 0's earliest arrivals crowd out everything else).
+   Instead, deterministically downsample both sides with a stride
+   keyed on (retained, quota): each side gets a slot share
+   proportional to its *total* observation count, and slot [j] takes
+   retained sample [j * retained / quota] — an order-of-merge
+   artifact-free spread over each side's retained window.  (Merged
+   percentiles beyond the reservoir come from the bucket counts,
+   which add exactly; the reservoir only feeds [observations] and the
+   exact path, so representativeness is what matters here.) *)
 let merge_hist h h' =
   let va = min h.n reservoir_capacity and vb = min h'.n reservoir_capacity in
-  let take = min vb (reservoir_capacity - va) in
-  if take > 0 then Array.blit h'.res 0 h.res va take;
+  if va + vb <= reservoir_capacity then begin
+    if vb > 0 then Array.blit h'.res 0 h.res va vb
+  end
+  else begin
+    let total = float_of_int (h.n + h'.n) in
+    let ka = int_of_float (Float.round (float_of_int reservoir_capacity *. float_of_int h.n /. total)) in
+    (* clamp so each side's quota is coverable by its retained samples *)
+    let ka = max (reservoir_capacity - vb) (min ka va) in
+    let kb = reservoir_capacity - ka in
+    let out = Array.make reservoir_capacity 0.0 in
+    for j = 0 to ka - 1 do
+      out.(j) <- h.res.(j * va / ka)
+    done;
+    for j = 0 to kb - 1 do
+      out.(ka + j) <- h'.res.(j * vb / kb)
+    done;
+    Array.blit out 0 h.res 0 reservoir_capacity
+  end;
   if h'.n > 0 then
     if h.n = 0 then begin
       h.minv <- h'.minv;
@@ -276,8 +305,9 @@ let merge_hist h h' =
 (** [merge a b] — a fresh registry combining both: counters add,
     gauges keep the later write (simulated timestamp, value ties
     broken toward the larger value so the operation is commutative),
-    histograms add bucket occupancy / count / sum and keep the
-    concatenated reservoir prefix.
+    histograms add bucket occupancy / count / sum and keep a
+    count-weighted deterministic downsample of both reservoirs
+    (lossless concatenation while the combined count still fits).
     @raise Invalid_argument if a key exists in both with different
     instrument kinds. *)
 let merge a b =

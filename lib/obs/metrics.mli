@@ -79,10 +79,11 @@ val snapshot : t -> t
     gauges keep the later write by simulated timestamp (value ties
     broken toward the larger value, so merge is commutative);
     histograms add count/sum/bucket occupancy, keep global min/max
-    and the concatenated reservoir prefix.  Associative and — on
-    everything except reservoir insertion order, which the flat
-    report ignores — commutative; merging shard registries whose
-    histograms fit the reservoir reproduces a single global registry
-    key-for-key.
+    and a count-weighted deterministic downsample of both reservoirs
+    (lossless concatenation while the combined count fits, so merging
+    shard registries whose histograms fit the reservoir reproduces a
+    single global registry key-for-key).  Bucket counts, count,
+    min/max — and therefore every percentile the flat report exports —
+    merge exactly regardless of merge order.
     @raise Invalid_argument on instrument-kind mismatch. *)
 val merge : t -> t -> t

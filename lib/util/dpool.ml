@@ -59,7 +59,11 @@ let rec worker_loop pool =
   match job with
   | None -> ()
   | Some { work } ->
-      work ();
+      (* a conforming job never raises — [submit] boxes the outcome
+         into the promise — but a worker must survive one that does: a
+         dead worker strands every job still queued behind it and
+         deadlocks their awaiters *)
+      (try work () with _ -> ());
       worker_loop pool
 
 let create ~domains =
@@ -129,3 +133,15 @@ let run ~domains tasks =
     (fun () ->
       let promises = List.map (fun f -> submit pool f) tasks in
       List.map await promises)
+
+(** [run_results ~domains tasks] — like [run], but a raising task
+    costs only its own slot: every task still runs, and the outcomes
+    come back in submission order as [Ok]/[Error].  ([run] re-raises
+    the first failure, which forfeits the later results.) *)
+let run_results ~domains tasks =
+  let pool = create ~domains in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      let promises = List.map (fun f -> submit pool f) tasks in
+      List.map (fun p -> match await p with v -> Ok v | exception e -> Error e) promises)

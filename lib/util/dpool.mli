@@ -32,3 +32,8 @@ val shutdown : t -> unit
     returning.  The deterministic-merge entry point: independent
     tasks in, submission-order results out, regardless of scheduling. *)
 val run : domains:int -> (unit -> 'a) list -> 'a list
+
+(** Like [run], but a raising task costs only its own slot: every
+    task still runs and the outcomes come back in submission order.
+    ([run] re-raises the first failure and forfeits later results.) *)
+val run_results : domains:int -> (unit -> 'a) list -> ('a, exn) result list

@@ -37,6 +37,16 @@ val pipeline_label : Sentry.pipeline -> string
     pages), the rest ["medium"] (M pages). *)
 val tenant_class : index:int -> string
 
+(** Main-region pages for the tenant at [index] when a medium tenant
+    gets [pages_per_proc] (large 2×, small half, floor 1).  Exposed so
+    other harnesses (the serve front end) can reproduce the exact
+    fleet footprint mix. *)
+val main_pages_for : index:int -> pages_per_proc:int -> int
+
+(** DMA-region pages for the tenant at [index]: a quarter of
+    [pages_per_proc] for large tenants (floor 1), 0 for the rest. *)
+val dma_pages_for : index:int -> pages_per_proc:int -> int
+
 type latency = {
   count : int;
   mean_ns : float;

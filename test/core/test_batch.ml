@@ -253,7 +253,7 @@ let test_journal_coalesced_roll_forward () =
       checkb "recovery re-encrypted the tail" true (r.Sentry.pages_fixed > 0);
       (match r.Sentry.journal_entry with
       | Some e ->
-          (* 5 pages transformed, 4 completed, one coalesce group flushed *)
+          (* 5 pages transformed and completed, one coalesce group flushed *)
           checki "coalesced pages_done" Lock_journal.coalesce e.Lock_journal.pages_done
       | None -> Alcotest.fail "journal entry missing")
   | None -> Alcotest.fail "recovery did not run");

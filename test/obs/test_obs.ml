@@ -559,6 +559,74 @@ let prop_hist_merge_assoc =
       hist_sig (Metrics.merge (Metrics.merge (a ()) (b ())) (c ()))
       = hist_sig (Metrics.merge (a ()) (Metrics.merge (b ()) (c ()))))
 
+(* The reservoir merge must not bias percentiles toward any shard's
+   earliest samples (the pre-fix behavior kept shard 0's reservoir and
+   a *prefix* of each later shard's).  Pool random shards in a random
+   merge order and require every exported percentile to match the
+   pooled ground truth: exactly while the pooled count fits the
+   reservoir, within the 6.25% HDR bucket width beyond it — and to be
+   identical across merge orders either way. *)
+let hist_registry_values vs =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"q" "h" in
+  List.iter (fun v -> Metrics.observe h (float_of_int v)) vs;
+  m
+
+let merge_in_order rs = function
+  | [] -> invalid_arg "merge_in_order"
+  | perm ->
+      let arr = Array.of_list rs in
+      (match List.map (fun i -> arr.(i)) perm with
+      | r0 :: rest -> List.fold_left Metrics.merge r0 rest
+      | [] -> assert false)
+
+(* Deterministic pin of the same fix: two equal-weight shards past the
+   reservoir must both survive in the merged exact-sample window (the
+   pre-fix prefix-take kept only shard 0's), in either merge order. *)
+let test_merged_reservoir_weighted () =
+  let lo = hist_registry_values (List.init 300 (fun _ -> 1_000)) in
+  let hi = hist_registry_values (List.init 300 (fun _ -> 3_000)) in
+  List.iter
+    (fun (name, m) ->
+      let h = Metrics.histogram m ~subsystem:"q" "h" in
+      let obs = Metrics.observations h in
+      checki (name ^ ": reservoir full") Metrics.reservoir_capacity (Array.length obs);
+      let n_lo = Array.fold_left (fun a v -> if v = 1_000.0 then a + 1 else a) 0 obs in
+      let n_hi = Array.fold_left (fun a v -> if v = 3_000.0 then a + 1 else a) 0 obs in
+      checki (name ^ ": nothing else") Metrics.reservoir_capacity (n_lo + n_hi);
+      checki (name ^ ": equal shard weights split the window") n_lo n_hi)
+    [ ("lo-hi", Metrics.merge lo hi); ("hi-lo", Metrics.merge hi lo) ]
+
+let prop_hist_merge_unbiased =
+  let shards_gen =
+    QCheck.(pair (list_of_size Gen.(2 -- 5) (list_of_size Gen.(0 -- 300) (1 -- 100_000))) small_nat)
+  in
+  QCheck.Test.make ~name:"merged percentiles track pooled samples in any merge order" ~count:60
+    shards_gen
+    (fun (shards, seed) ->
+      let shards = if shards = [] then [ [ 1 ] ] else shards in
+      let rs = List.map hist_registry_values shards in
+      let k = List.length rs in
+      let ids = List.init k Fun.id in
+      (* a deterministic pseudo-random permutation, plus its reverse *)
+      let perm =
+        List.map snd (List.sort compare (List.map (fun i -> (Hashtbl.hash (seed, i), i)) ids))
+      in
+      let ha = Metrics.histogram (merge_in_order rs perm) ~subsystem:"q" "h" in
+      let hb = Metrics.histogram (merge_in_order rs (List.rev perm)) ~subsystem:"q" "h" in
+      let pooled = Array.of_list (List.concat_map (List.map float_of_int) shards) in
+      let n = Array.length pooled in
+      n = 0
+      || List.for_all
+           (fun p ->
+             let truth = Sentry_util.Stats.percentile p pooled in
+             let est = Metrics.hist_percentile ha p in
+             Metrics.hist_percentile hb p = est
+             &&
+             if n <= Metrics.reservoir_capacity then est = truth
+             else est >= truth && est <= truth *. 1.0625 *. (1.0 +. 1e-9))
+           [ 50.0; 90.0; 99.0; 99.9 ])
+
 (* ------------------------------- slo ------------------------------ *)
 
 let test_slo_parse_and_evaluate () =
@@ -795,6 +863,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_counter_merge_assoc;
           QCheck_alcotest.to_alcotest prop_hist_merge_comm;
           QCheck_alcotest.to_alcotest prop_hist_merge_assoc;
+          Alcotest.test_case "merged reservoir is count-weighted" `Quick
+            test_merged_reservoir_weighted;
+          QCheck_alcotest.to_alcotest prop_hist_merge_unbiased;
         ] );
       ( "slo",
         [

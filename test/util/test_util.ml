@@ -321,6 +321,51 @@ let test_dpool_submit_await_reuse () =
       (* await is idempotent: the settled state is kept *)
       Alcotest.(check string) "first again" "a" (Dpool.await p1))
 
+(* A raising job must cost only its own promise: workers survive it,
+   every later submission still runs, and results stay in submission
+   order — on the same still-open pool. *)
+let test_dpool_raise_ok_mixture () =
+  let pool = Dpool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let promises =
+        List.init 20 (fun i ->
+            ( i,
+              Dpool.submit pool (fun () ->
+                  if i mod 3 = 0 then failwith (Printf.sprintf "boom %d" i) else i * 10) ))
+      in
+      List.iter
+        (fun (i, p) ->
+          if i mod 3 = 0 then
+            Alcotest.check_raises
+              (Printf.sprintf "task %d re-raises at await" i)
+              (Failure (Printf.sprintf "boom %d" i))
+              (fun () -> ignore (Dpool.await p))
+          else Alcotest.(check int) (Printf.sprintf "task %d result" i) (i * 10) (Dpool.await p))
+        promises;
+      (* the pool is still healthy after a burst of failures *)
+      Alcotest.(check string) "post-failure submission runs" "alive"
+        (Dpool.await (Dpool.submit pool (fun () -> "alive"))))
+
+let test_dpool_run_results_mixture () =
+  let outcomes =
+    Dpool.run_results ~domains:4
+      (List.init 9 (fun i () -> if i mod 2 = 1 then failwith "odd" else i))
+  in
+  Alcotest.(check int) "every task has an outcome" 9 (List.length outcomes);
+  List.iteri
+    (fun i o ->
+      match o with
+      | Ok v ->
+          Alcotest.(check bool) "even tasks succeed" true (i mod 2 = 0);
+          Alcotest.(check int) "in submission order" i v
+      | Error (Failure m) ->
+          Alcotest.(check bool) "odd tasks fail" true (i mod 2 = 1);
+          Alcotest.(check string) "their own exception" "odd" m
+      | Error e -> raise e)
+    outcomes
+
 let test_dpool_shutdown_rejects_submit () =
   let pool = Dpool.create ~domains:1 in
   Dpool.shutdown pool;
@@ -396,6 +441,8 @@ let () =
           Alcotest.test_case "exception propagates" `Quick test_dpool_exception_propagates;
           Alcotest.test_case "more workers than tasks" `Quick test_dpool_more_workers_than_tasks;
           Alcotest.test_case "submit/await reuse" `Quick test_dpool_submit_await_reuse;
+          Alcotest.test_case "raise/ok mixture" `Quick test_dpool_raise_ok_mixture;
+          Alcotest.test_case "run_results mixture" `Quick test_dpool_run_results_mixture;
           Alcotest.test_case "shutdown rejects submit" `Quick test_dpool_shutdown_rejects_submit;
           Alcotest.test_case "invalid domains" `Quick test_dpool_invalid_domains;
         ] );
