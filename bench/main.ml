@@ -183,6 +183,57 @@ let run_json ~path ~trials ~slo_spec ids =
       soak.Sv.audit_findings;
     Json_out.Obj [ ("quiet", Sv.json quiet); ("soak", Sv.json soak) ]
   in
+  (* the protection-backend race: per-backend app-cycle numbers and
+     the measured lock-size crossover between the batched CPU path and
+     the MemShield-style offload queue — all simulated, so the section
+     is deterministic and diffable across snapshot refreshes *)
+  let backends =
+    let module EB = Sentry_experiments.Exp_backends in
+    let kname = Sentry_core.Backend.kind_name in
+    let crossover = EB.lock_crossover_pages () in
+    Printf.printf "  backends: offload lock crossover %s; fault ns %s\n%!"
+      (match crossover with
+      | Some n -> Printf.sprintf "at %d pages" n
+      | None -> "not reached")
+      (String.concat ", "
+         (List.map
+            (fun b -> Printf.sprintf "%s %.0f" (kname b) (EB.fault_elapsed_ns b))
+            EB.backends));
+    let sweep =
+      List.map
+        (fun n ->
+          Json_out.Obj
+            [
+              ("pages", Json_out.Int n);
+              ("batched_lock_ns", Json_out.Float (EB.lock_elapsed_ns Sentry_core.Sentry.Batched ~pages:n));
+              ("offload_lock_ns", Json_out.Float (EB.lock_elapsed_ns Sentry_core.Sentry.Offload ~pages:n));
+            ])
+        EB.sweep_sizes
+    in
+    let app =
+      List.map
+        (fun (b, (m : Sentry_experiments.Exp_apps.metrics)) ->
+          ( kname b,
+            Json_out.Obj
+              [
+                ("lock_s", Json_out.Float m.Sentry_experiments.Exp_apps.lock_s);
+                ("lock_mb", Json_out.Float m.Sentry_experiments.Exp_apps.lock_mb);
+                ("unlock_s", Json_out.Float m.Sentry_experiments.Exp_apps.unlock_s);
+              ] ))
+        (EB.app_race ())
+    in
+    let faults =
+      List.map (fun b -> (kname b, Json_out.Float (EB.fault_elapsed_ns b))) EB.backends
+    in
+    Json_out.Obj
+      [
+        ( "lock_crossover_pages",
+          match crossover with Some n -> Json_out.Int n | None -> Json_out.Null );
+        ("lock_sweep", Json_out.List sweep);
+        ("fault_ns", Json_out.Obj faults);
+        ("app_mp3", Json_out.Obj app);
+      ]
+  in
   (* per-tenant-class latency SLOs over one default fleet run — the
      same objectives the CI gate enforces via `sentry_cli slo`.  The
      spec file is optional so bench still runs from any directory. *)
@@ -211,6 +262,7 @@ let run_json ~path ~trials ~slo_spec ids =
         ("fleet", Json_out.List fleet);
         ("fleet_domains", Json_out.List fleet_domains);
         ("serve", serve);
+        ("backends", backends);
         ("counters", Json_out.Obj counters);
         ("slo", slo);
       ]

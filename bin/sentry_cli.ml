@@ -13,6 +13,25 @@ open Sentry_soc
 open Sentry_kernel
 open Sentry_core
 
+(* Shared --backend plumbing: every workload-ish subcommand takes
+   --backend NAME, with the older --per-page flag kept as an alias for
+   --backend per-page. *)
+let backend_names = String.concat "|" (List.map Backend.kind_name Backend.all_kinds)
+
+let resolve_backend ~per_page = function
+  | Some name -> (
+      match Backend.kind_of_string name with
+      | Some b -> b
+      | None ->
+          Printf.eprintf "unknown backend %S (%s)\n" name backend_names;
+          exit 1)
+  | None -> if per_page then Sentry.Per_page else Sentry.Batched
+
+let backend_arg =
+  Arg.(value & opt (some string) None
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"protection backend: batched|per-page|offload|no-access")
+
 (* ------------------------------ list ----------------------------- *)
 
 let list_cmd =
@@ -251,7 +270,7 @@ let trace_cmd =
 
 (* ----------------------------- faults ---------------------------- *)
 
-let faults plan_name platform variant list_plans =
+let faults plan_name platform variant backend list_plans =
   let open Sentry_analysis in
   if list_plans then
     List.iter
@@ -259,6 +278,7 @@ let faults plan_name platform variant list_plans =
       Fault_scenario.plans
   else begin
     let platform = platform_of_string platform in
+    let backend = resolve_backend ~per_page:false backend in
     let variant =
       match variant with
       | "warm" -> Sentry_attacks.Cold_boot.Os_reboot
@@ -281,7 +301,7 @@ let faults plan_name platform variant list_plans =
     let ok =
       List.for_all
         (fun (name, plan) ->
-          let o = Fault_scenario.run ~platform ~variant plan in
+          let o = Fault_scenario.run ~platform ~variant ~backend plan in
           Printf.printf "plan %s: %s\n" name (Sentry_faults.Plan.describe plan);
           List.iter
             (fun (r : Sentry_faults.Injector.record) ->
@@ -328,7 +348,8 @@ let faults_cmd =
          & info [ "variant" ] ~docv:"VARIANT" ~doc:"cold-boot attack mounted after recovery: warm|reflash|reset")
   in
   let list_plans = Arg.(value & flag & info [ "list" ] ~doc:"print the canned plans, then exit") in
-  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ plan $ platform $ variant $ list_plans)
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const faults $ plan $ platform $ variant $ backend_arg $ list_plans)
 
 (* ----------------------------- attack ---------------------------- *)
 
@@ -375,7 +396,7 @@ let attack_cmd =
 
 (* ----------------------------- fleet ----------------------------- *)
 
-let fleet procs pages cycles wakes io touch per_page domains json folded =
+let fleet procs pages cycles wakes io touch per_page backend domains json folded =
   let open Sentry_obs in
   let module F = Sentry_workloads.Fleet in
   let cfg =
@@ -386,7 +407,7 @@ let fleet procs pages cycles wakes io touch per_page domains json folded =
       touch_fraction = touch;
       service_wakes = wakes;
       io_sectors = io;
-      pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+      backend = resolve_backend ~per_page backend;
     }
   in
   (* only pay for tracing when the folded-stacks export was asked for;
@@ -449,7 +470,7 @@ let fleet procs pages cycles wakes io touch per_page domains json folded =
           ("procs", Json_out.Int procs);
           ("pages_per_proc", Json_out.Int pages);
           ("cycles", Json_out.Int cycles);
-          ("pipeline", Json_out.Str (F.pipeline_label cfg.F.pipeline));
+          ("backend", Json_out.Str (F.backend_label cfg.F.backend));
           ("fleet_pages", Json_out.Int s.F.fleet_pages);
           ("pages_locked", Json_out.Int s.F.pages_locked);
           ("pages_unlocked_eager", Json_out.Int s.F.pages_unlocked_eager);
@@ -493,7 +514,7 @@ let fleet_cmd =
     Arg.(value & opt float 0.25 & info [ "touch" ] ~docv:"FRAC" ~doc:"fraction of pages faulted in after unlock")
   in
   let per_page =
-    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline instead of the batched engine")
+    Arg.(value & flag & info [ "per-page" ] ~doc:"alias for --backend per-page")
   in
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
@@ -506,13 +527,13 @@ let fleet_cmd =
            ~doc:"trace the run and write folded stacks (flamegraph.pl input)")
   in
   Cmd.v (Cmd.info "fleet" ~doc)
-    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ domains $ json
-          $ folded)
+    Term.(const fleet $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ backend_arg
+          $ domains $ json $ folded)
 
 (* ----------------------------- serve ----------------------------- *)
 
 let serve tenants pages rate burst duration queue_depth backlog batch seed soak soak_period
-    per_page domains json =
+    per_page backend domains json =
   let module Sv = Sentry_serve.Server in
   let cfg =
     {
@@ -527,7 +548,7 @@ let serve tenants pages rate burst duration queue_depth backlog batch seed soak 
       seed;
       soak;
       soak_period;
-      pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+      backend = resolve_backend ~per_page backend;
     }
   in
   let stats, sharded =
@@ -590,7 +611,7 @@ let serve_cmd =
     Arg.(value & opt int 4 & info [ "soak-period" ] ~docv:"K" ~doc:"crash every Kth batch when soaking")
   in
   let per_page =
-    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline")
+    Arg.(value & flag & info [ "per-page" ] ~doc:"alias for --backend per-page")
   in
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
@@ -600,11 +621,11 @@ let serve_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output (deterministic fields only)") in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const serve $ tenants $ pages $ rate $ burst $ duration $ queue_depth $ backlog $ batch
-          $ seed $ soak $ soak_period $ per_page $ domains $ json)
+          $ seed $ soak $ soak_period $ per_page $ backend_arg $ domains $ json)
 
 (* ------------------------------ slo ------------------------------ *)
 
-let slo spec procs pages cycles wakes io touch per_page domains json =
+let slo spec procs pages cycles wakes io touch per_page backend domains json =
   let open Sentry_obs in
   let module F = Sentry_workloads.Fleet in
   match Slo.load ~path:spec with
@@ -620,7 +641,7 @@ let slo spec procs pages cycles wakes io touch per_page domains json =
           touch_fraction = touch;
           service_wakes = wakes;
           io_sectors = io;
-          pipeline = (if per_page then Sentry.Per_page else Sentry.Batched);
+          backend = resolve_backend ~per_page backend;
         }
       in
       (* with --domains the gate runs over the merged per-shard
@@ -668,7 +689,7 @@ let slo_cmd =
     Arg.(value & opt float 0.25 & info [ "touch" ] ~docv:"FRAC" ~doc:"fraction of pages faulted in after unlock")
   in
   let per_page =
-    Arg.(value & flag & info [ "per-page" ] ~doc:"use the page-at-a-time reference pipeline")
+    Arg.(value & flag & info [ "per-page" ] ~doc:"alias for --backend per-page")
   in
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D"
@@ -678,8 +699,8 @@ let slo_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"also write the report as JSON")
   in
   Cmd.v (Cmd.info "slo" ~doc)
-    Term.(const slo $ spec $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ domains
-          $ json)
+    Term.(const slo $ spec $ procs $ pages $ cycles $ wakes $ io $ touch $ per_page $ backend_arg
+          $ domains $ json)
 
 let () =
   let doc = "Sentry: on-SoC protection against memory attacks (simulator)" in

@@ -215,7 +215,9 @@ end
     walk breaks and [Sentry.recover] restores.  "No cleartext after an
     interrupted lock": every present page of a should-encrypt region
     is ciphertext with its young bit clear (unless resident in locked
-    cache via the background pager), and every non-background
+    cache via the background pager, or mapping-revoked by the
+    [No_access] backend — whose cleartext-in-DRAM concession the
+    cold-boot/DMA checkers score instead), and every non-background
     sensitive process is parked un-schedulable. *)
 module Locked_state_consistent = struct
   type t =
@@ -246,6 +248,15 @@ module Locked_state_consistent = struct
                                (* resident in a locked-cache page: the
                                   cleartext never reaches DRAM *)
                                None
+                             else if pte.Page_table.no_access then
+                               (* No_access backend: the mapping is
+                                  revoked, so the page is protected in
+                                  this rule's sense (the CPU cannot
+                                  reach it) even though DRAM keeps
+                                  cleartext — the cold-boot/DMA
+                                  checkers score that concession *)
+                               if pte.Page_table.young then Some (Stale_young { pid; vpn })
+                               else None
                              else if not pte.Page_table.encrypted then
                                Some (Cleartext_page { pid; vpn })
                              else if pte.Page_table.young then Some (Stale_young { pid; vpn })

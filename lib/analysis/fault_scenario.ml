@@ -115,14 +115,19 @@ let reboot_of_fault = function
   | Fault.Reset -> Machine.Warm
   | Fault.Dma_error | Fault.Bit_flip _ -> assert false (* non-interrupting *)
 
-(** [run ?platform ?variant plan] — execute the scenario under [plan].
-    [variant] picks the cold-boot attack mounted after recovery
-    (default: the 2-second reset, the strongest in Table 2). *)
-let run ?(platform = `Nexus4) ?(variant = Sentry_attacks.Cold_boot.Two_second_reset) plan =
+(** [run ?platform ?variant ?backend plan] — execute the scenario
+    under [plan].  [variant] picks the cold-boot attack mounted after
+    recovery (default: the 2-second reset, the strongest in Table 2);
+    [backend] the protection backend the interrupted walk runs under
+    (default [Batched] — note [No_access] concedes the cold boot by
+    design, so [survived] is expected to be [false] there). *)
+let run ?(platform = `Nexus4) ?(variant = Sentry_attacks.Cold_boot.Two_second_reset)
+    ?(backend = Sentry.Batched) plan =
   let system = System.boot platform in
   let machine = System.machine system in
   let config = { (Config.default platform) with track_taint = true; journal = true } in
   let sentry = Sentry.install system config in
+  Sentry.set_backend sentry backend;
   let engine = Engine.attach sentry in
   ignore (spawn_workload system sentry);
   (* an explicit session handle: firings and occurrence counts are

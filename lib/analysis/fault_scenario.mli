@@ -47,11 +47,15 @@ val spawn_workload :
 (** Flip random DRAM bits — what armed [Bit_flip] triggers invoke. *)
 val bit_flip_handler : Sentry_soc.Machine.t -> point:string -> bits:int -> unit
 
-(** [run ?platform ?variant plan] — execute the scenario under [plan].
-    [variant] picks the cold-boot attack mounted after recovery
-    (default: the 2-second reset, the strongest in Table 2). *)
+(** [run ?platform ?variant ?backend plan] — execute the scenario
+    under [plan].  [variant] picks the cold-boot attack mounted after
+    recovery (default: the 2-second reset, the strongest in Table 2);
+    [backend] the protection backend the interrupted walk runs under
+    (default [Batched] — [No_access] concedes the cold boot by design,
+    so [survived] is expected to be [false] there). *)
 val run :
   ?platform:Sentry_core.Config.platform ->
   ?variant:Sentry_attacks.Cold_boot.variant ->
+  ?backend:Sentry_core.Sentry.backend ->
   Sentry_faults.Plan.t ->
   outcome

@@ -31,6 +31,42 @@ let fault_handler pc : Vm.fault_handler =
     pte.Page_table.encrypted <- false;
     Page_crypt.decrypt_frame pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame
   end;
+  (* a leftover no-access mapping (page locked under the No_access
+     backend, backend switched while unlocked before it was touched)
+     is restored here too — the handler's job is "make this page
+     accessible cleartext", whichever bits protect it *)
+  pte.Page_table.no_access <- false;
+  pte.Page_table.young <- true
+
+(** Offload twin of the lazy handler: the single-page decrypt goes
+    through the command queue and blocks on its completion — each
+    first touch pays the engine's full fixed latency.  This is the
+    losing side of the Offload crossover [exp_backends] measures. *)
+let fault_handler_offload pc : Vm.fault_handler =
+ fun proc ~vaddr pte ->
+  let vpn = Page.vpn_of vaddr in
+  if pte.Page_table.encrypted then begin
+    pte.Page_table.encrypted <- false;
+    Page_crypt.decrypt_frame_offload pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame
+  end;
+  pte.Page_table.no_access <- false;
+  pte.Page_table.young <- true
+
+(** No_access lazy handler: restore the mapping — a permission write
+    and a TLB shootdown, no crypto.  Residual ciphertext pages from a
+    cycle run under a crypto backend (switched while unlocked) still
+    decrypt, fail-secure order unchanged. *)
+let fault_handler_no_access pc : Vm.fault_handler =
+ fun proc ~vaddr pte ->
+  let vpn = Page.vpn_of vaddr in
+  if pte.Page_table.encrypted then begin
+    pte.Page_table.encrypted <- false;
+    Page_crypt.decrypt_frame pc ~pid:proc.Process.pid ~vpn ~frame:pte.Page_table.frame
+  end;
+  if pte.Page_table.no_access then begin
+    pte.Page_table.no_access <- false;
+    Clock.advance (Machine.clock (Page_crypt.machine pc)) Calib.pte_protect_ns
+  end;
   pte.Page_table.young <- true
 
 (* Pre-DMA coherence maintenance for an eagerly-decrypted DMA region:
@@ -81,6 +117,7 @@ let decrypt_region ?journal pc proc (region : Address_space.region) =
            to recovery. *)
         pte.Page_table.encrypted <- false;
         Page_crypt.decrypt_frame pc ~pid ~vpn ~frame:pte.Page_table.frame;
+        pte.Page_table.no_access <- false;
         pte.Page_table.young <- true;
         incr pages;
         Option.iter (fun j -> Lock_journal.record j ~pid) journal
@@ -104,7 +141,7 @@ let decrypt_region ?journal pc proc (region : Address_space.region) =
     [Page_crypt.decrypt_batch]; per-page fail-secure ordering (bit
     cleared in [prepare], before the transform) and the trailing DMA
     coherence sweep are identical. *)
-let decrypt_region_batched ?journal pc proc (region : Address_space.region) =
+let decrypt_region_batch_with ~decrypt_batch ?journal pc proc (region : Address_space.region) =
   let pid = proc.Process.pid in
   let work =
     Array.of_list
@@ -123,9 +160,10 @@ let decrypt_region_batched ?journal pc proc (region : Address_space.region) =
       pending := 0
     end
   in
-  Page_crypt.decrypt_batch pc items
+  decrypt_batch pc items
     ~prepare:(fun i -> (snd work.(i)).Page_table.encrypted <- false)
     ~complete:(fun i ->
+      (snd work.(i)).Page_table.no_access <- false;
       (snd work.(i)).Page_table.young <- true;
       match journal with
       | Some j ->
@@ -140,10 +178,41 @@ let decrypt_region_batched ?journal pc proc (region : Address_space.region) =
   | Address_space.Normal | Address_space.Shared _ -> ());
   Array.length items
 
+let decrypt_region_batched ?journal pc proc region =
+  decrypt_region_batch_with ~decrypt_batch:Page_crypt.decrypt_batch ?journal pc proc region
+
+(** Offload twin: the region batch is pipelined into the command
+    queue, one completion poll per region. *)
+let decrypt_region_offload ?journal pc proc region =
+  decrypt_region_batch_with ~decrypt_batch:Page_crypt.decrypt_batch_offload ?journal pc proc
+    region
+
+(** No_access eager pass over one region: restore every revoked
+    mapping — PTE writes only, no crypto, no coherence sweep (the
+    frame bytes never changed).  Residual ciphertext pages (from a
+    crypto backend's earlier cycle) go through the batched decrypt so
+    devices never DMA ciphertext. *)
+let restore_region_no_access ?journal pc proc (region : Address_space.region) =
+  let pid = proc.Process.pid in
+  let clock = Machine.clock (Page_crypt.machine pc) in
+  let residual = decrypt_region_batched ?journal pc proc region in
+  let pages = ref residual in
+  List.iter
+    (fun ((_vpn : int), pte) ->
+      if pte.Page_table.present && pte.Page_table.no_access then begin
+        pte.Page_table.no_access <- false;
+        pte.Page_table.young <- true;
+        Clock.advance clock Calib.pte_protect_ns;
+        incr pages;
+        Option.iter (fun j -> Lock_journal.record j ~pid) journal
+      end)
+    (Address_space.region_ptes proc.Process.aspace region);
+  !pages
+
 (* The eager part of unlock, parameterized over the region-decrypt
-   engine (batched or per-page): decrypt DMA regions, re-admit
-   processes, install the lazy handler. *)
-let run_with ~region_decrypt ?journal pc (system : System.t) ~sensitive =
+   engine and the lazy handler to install: decrypt DMA regions,
+   re-admit processes, install the handler. *)
+let run_with ~region_decrypt ~handler ?journal pc (system : System.t) ~sensitive =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
@@ -165,7 +234,7 @@ let run_with ~region_decrypt ?journal pc (system : System.t) ~sensitive =
       Sched.make_schedulable system.System.sched proc)
     sensitive;
   Option.iter Lock_journal.commit journal;
-  Vm.set_fault_handler system.System.vm (fault_handler pc);
+  Vm.set_fault_handler system.System.vm (handler pc);
   {
     dma_pages_eager = !dma_pages;
     dma_bytes_eager = !dma_pages * Page.size;
@@ -181,14 +250,28 @@ let run_with ~region_decrypt ?journal pc (system : System.t) ~sensitive =
     mid-unlock can be rolled back to fully-locked ([Sentry.recover]
     re-encrypts the already-decrypted pages and aborts the unlock). *)
 let run ?journal pc system ~sensitive =
-  run_with ~region_decrypt:decrypt_region_batched ?journal pc system ~sensitive
+  run_with ~region_decrypt:decrypt_region_batched ~handler:fault_handler ?journal pc system
+    ~sensitive
 
 (** The page-at-a-time reference unlock. *)
 let run_per_page ?journal pc system ~sensitive =
-  run_with ~region_decrypt:decrypt_region ?journal pc system ~sensitive
+  run_with ~region_decrypt:decrypt_region ~handler:fault_handler ?journal pc system ~sensitive
+
+(** Offload unlock: eager DMA batches pipeline into the command queue
+    (amortized fixed latency), and the installed lazy handler pays the
+    full round trip per first touch. *)
+let run_offload ?journal pc system ~sensitive =
+  run_with ~region_decrypt:decrypt_region_offload ~handler:fault_handler_offload ?journal pc
+    system ~sensitive
+
+(** No_access unlock: eagerly restore DMA-region mappings (PTE writes
+    only), install the mapping-restore lazy handler. *)
+let run_no_access ?journal pc system ~sensitive =
+  run_with ~region_decrypt:restore_region_no_access ~handler:fault_handler_no_access ?journal
+    pc system ~sensitive
 
 (* The eager-everything ablation, parameterized like [run_with]. *)
-let run_eager_with ~region_decrypt pc (system : System.t) ~sensitive =
+let run_eager_with ~region_decrypt ~handler pc (system : System.t) ~sensitive =
   let pages = ref 0 in
   List.iter
     (fun proc ->
@@ -197,14 +280,26 @@ let run_eager_with ~region_decrypt pc (system : System.t) ~sensitive =
         (Address_space.regions proc.Process.aspace);
       Sched.make_schedulable system.System.sched proc)
     sensitive;
-  Vm.set_fault_handler system.System.vm (fault_handler pc);
+  Vm.set_fault_handler system.System.vm (handler pc);
   !pages
 
 (** Eager-everything alternative (the ablation Fig 2 is compared
     against): decrypt every page of every sensitive process now,
     region by region through the batch engine. *)
-let run_eager pc system ~sensitive = run_eager_with ~region_decrypt:decrypt_region_batched pc system ~sensitive
+let run_eager pc system ~sensitive =
+  run_eager_with ~region_decrypt:decrypt_region_batched ~handler:fault_handler pc system
+    ~sensitive
 
 (** The page-at-a-time eager ablation. *)
 let run_eager_per_page pc system ~sensitive =
-  run_eager_with ~region_decrypt:decrypt_region pc system ~sensitive
+  run_eager_with ~region_decrypt:decrypt_region ~handler:fault_handler pc system ~sensitive
+
+(** Eager-everything through the offload engine. *)
+let run_eager_offload pc system ~sensitive =
+  run_eager_with ~region_decrypt:decrypt_region_offload ~handler:fault_handler_offload pc
+    system ~sensitive
+
+(** Eager-everything under No_access: restore every mapping now. *)
+let run_eager_no_access pc system ~sensitive =
+  run_eager_with ~region_decrypt:restore_region_no_access ~handler:fault_handler_no_access pc
+    system ~sensitive

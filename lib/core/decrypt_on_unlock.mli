@@ -18,6 +18,17 @@ type stats = {
     recovery sweep. *)
 val fault_handler : Page_crypt.t -> Vm.fault_handler
 
+(** Offload twin of [fault_handler]: the single-page decrypt is one
+    command submitted to the [Offload_engine] queue and polled to
+    completion — every first touch pays the engine's full fixed
+    latency (the losing side of the Offload crossover). *)
+val fault_handler_offload : Page_crypt.t -> Vm.fault_handler
+
+(** No_access lazy handler: restore the revoked mapping (PTE write +
+    TLB shootdown, no crypto); residual ciphertext pages from a
+    crypto backend's earlier cycle still decrypt, fail-secure. *)
+val fault_handler_no_access : Page_crypt.t -> Vm.fault_handler
+
 (** Decrypt every still-encrypted page of one region now; returns the
     page count.  DMA regions end with the pre-DMA coherence sweep
     (decrypted lines cleaned out to DRAM, contiguous frames coalesced
@@ -43,9 +54,27 @@ val run : ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Proce
 val run_per_page :
   ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
 
+(** Offload unlock: eager DMA batches pipeline into the command queue;
+    the installed lazy handler is [fault_handler_offload]. *)
+val run_offload :
+  ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
+
+(** No_access unlock: eagerly restore DMA-region mappings (PTE writes
+    only, no coherence sweep — the bytes never moved); the installed
+    lazy handler is [fault_handler_no_access]. *)
+val run_no_access :
+  ?journal:Lock_journal.t -> Page_crypt.t -> System.t -> sensitive:Process.t list -> stats
+
 (** The eager-everything ablation: decrypt every page of every
     sensitive process at unlock time; returns total pages. *)
 val run_eager : Page_crypt.t -> System.t -> sensitive:Process.t list -> int
 
 (** The page-at-a-time eager ablation. *)
 val run_eager_per_page : Page_crypt.t -> System.t -> sensitive:Process.t list -> int
+
+(** The eager-everything ablation through the offload engine. *)
+val run_eager_offload : Page_crypt.t -> System.t -> sensitive:Process.t list -> int
+
+(** The eager-everything ablation under No_access: restore every
+    revoked mapping now. *)
+val run_eager_no_access : Page_crypt.t -> System.t -> sensitive:Process.t list -> int

@@ -113,7 +113,7 @@ let run_per_page ?journal pc (system : System.t) ~sensitive ~background =
     PTE flag, then journal) are exactly [run_per_page]'s; journal
     records are coalesced per [Lock_journal.coalesce] pages, an
     under-count recovery tolerates by design. *)
-let run ?journal pc (system : System.t) ~sensitive ~background =
+let run_batch_with ~encrypt_batch ?journal pc (system : System.t) ~sensitive ~background =
   let machine = system.System.machine in
   let clock = Machine.clock machine in
   let start = Clock.now clock in
@@ -161,7 +161,7 @@ let run ?journal pc (system : System.t) ~sensitive ~background =
       pending := 0
     end
   in
-  Page_crypt.encrypt_batch pc items ~complete:(fun i ->
+  encrypt_batch pc items ~complete:(fun i ->
       let pid, _, pte = work.(i) in
       (* fail-secure and idempotent: ciphertext already in memory,
          now the PTE flag, then the (coalesced) journal — all before
@@ -178,6 +178,75 @@ let run ?journal pc (system : System.t) ~sensitive ~background =
   {
     pages_encrypted = Array.length work;
     bytes_encrypted = Array.length work * Page.size;
+    pages_skipped_shared = !skipped;
+    freed_pages_zeroed = zeroed;
+    elapsed_ns = Clock.elapsed clock ~since:start;
+    energy_j = Energy.category (Machine.energy machine) "aes" -. energy0;
+  }
+
+let run ?journal pc system ~sensitive ~background =
+  run_batch_with ~encrypt_batch:Page_crypt.encrypt_batch ?journal pc system ~sensitive
+    ~background
+
+(** [run_offload] — the batched driver pipelining the frame-sorted run
+    into the MemShield-style command queue ([Offload] backend): same
+    gather/sort/commit machinery, crypto time/energy accounted by the
+    engine, one completion poll per run. *)
+let run_offload ?journal pc system ~sensitive ~background =
+  run_batch_with ~encrypt_batch:Page_crypt.encrypt_batch_offload ?journal pc system ~sensitive
+    ~background
+
+(** [run_no_access] — the MProtect-inspired lock walk ([No_access]
+    backend): revoke each sensitive page's mapping instead of
+    encrypting it.  No bytes move — the frame keeps its {e cleartext}
+    contents, which is exactly the attack surface the Table-3 checkers
+    must flag (cold boot and DMA read secrets out of locked DRAM).
+    Each page still journals and fires the [page_encrypted] boundary
+    hook so crash plans and recovery replay work unchanged; the walk
+    is idempotent keyed off the [no_access] bit. *)
+let run_no_access ?journal pc (system : System.t) ~sensitive ~background =
+  ignore pc;
+  let machine = system.System.machine in
+  let clock = Machine.clock machine in
+  let start = Clock.now clock in
+  let energy0 = Energy.category (Machine.energy machine) "aes" in
+  (* freed-page barrier: freed frames are not mapped at all, so the
+     zero scrub matters even more here — it is the only thing standing
+     between a de-allocated cleartext frame and a dump *)
+  let zeroed = Zerod.drain system.System.zerod in
+  let pages = ref 0 and skipped = ref 0 in
+  Option.iter
+    (fun j ->
+      let pid = match sensitive with p :: _ -> p.Process.pid | [] -> 0 in
+      Lock_journal.begin_pass j Lock_journal.Lock_pass ~pid)
+    journal;
+  List.iter
+    (fun proc ->
+      let pid = proc.Process.pid in
+      let aspace = proc.Process.aspace in
+      List.iter
+        (fun region ->
+          if Share_policy.should_encrypt ~all_procs:system.System.procs region then
+            List.iter
+              (fun (_vpn, pte) ->
+                if pte.Page_table.present && not pte.Page_table.no_access then begin
+                  (* permission write + single-entry TLB shootdown:
+                     the whole per-page cost of this backend *)
+                  pte.Page_table.no_access <- true;
+                  incr pages;
+                  Clock.advance clock Calib.pte_protect_ns;
+                  Option.iter (fun j -> Lock_journal.record j ~pid) journal;
+                  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_encrypted
+                end;
+                pte.Page_table.young <- false)
+              (Address_space.region_ptes aspace region)
+          else skipped := !skipped + region.Address_space.npages)
+        (Address_space.regions aspace))
+    sensitive;
+  finish_lock ?journal system ~sensitive ~background;
+  {
+    pages_encrypted = !pages;
+    bytes_encrypted = 0;
     pages_skipped_shared = !skipped;
     freed_pages_zeroed = zeroed;
     elapsed_ns = Clock.elapsed clock ~since:start;

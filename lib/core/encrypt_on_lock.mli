@@ -39,3 +39,28 @@ val run_per_page :
   sensitive:Sentry_kernel.Process.t list ->
   background:(Sentry_kernel.Process.t -> bool) ->
   stats
+
+(** MemShield-style offload driver ([Backend.Offload]): the batched
+    gather/sort/commit machinery pipelining frame-sorted runs into the
+    [Offload_engine] command queue, with one completion poll per run.
+    Simulated DRAM/PTE/taint evolution is bit-identical to [run]. *)
+val run_offload :
+  ?journal:Lock_journal.t ->
+  Page_crypt.t ->
+  System.t ->
+  sensitive:Sentry_kernel.Process.t list ->
+  background:(Sentry_kernel.Process.t -> bool) ->
+  stats
+
+(** MProtect-style no-access walk ([Backend.No_access]): revoke each
+    sensitive page's mapping instead of encrypting it.  DRAM keeps the
+    cleartext — cold boot and DMA succeed against it by design; the
+    Table-3 checkers flag exactly that.  [stats.bytes_encrypted] is 0;
+    [stats.pages_encrypted] counts protected (revoked) pages. *)
+val run_no_access :
+  ?journal:Lock_journal.t ->
+  Page_crypt.t ->
+  System.t ->
+  sensitive:Sentry_kernel.Process.t list ->
+  background:(Sentry_kernel.Process.t -> bool) ->
+  stats

@@ -13,6 +13,7 @@ open Sentry_kernel
 type t = {
   machine : Machine.t;
   aes : Aes_on_soc.t;
+  engine : Offload_engine.t; (* MemShield-style command queue (Offload backend) *)
   mutable essiv : Essiv.t; (* replaced when recovery re-keys after power loss *)
   page_buf : Bytes.t; (* reused staging buffer for the frame paths *)
   iv_buf : Bytes.t; (* reused IV buffer for the batch paths *)
@@ -24,6 +25,7 @@ let create machine ~aes ~volatile_key =
   {
     machine;
     aes;
+    engine = Offload_engine.create machine;
     essiv = Essiv.create ~key:volatile_key;
     page_buf = Bytes.create Page.size;
     iv_buf = Bytes.create 16;
@@ -32,6 +34,7 @@ let create machine ~aes ~volatile_key =
   }
 
 let machine t = t.machine
+let engine t = t.engine
 
 (** [rekey t ~volatile_key] — rebuild the per-page IV derivation under
     a fresh volatile key (crash recovery: the old key died with the
@@ -185,6 +188,85 @@ let decrypt_batch t items ~prepare ~complete =
       ~ts:(Clock.now (Machine.clock t.machine))
       ~args:[ ("pages", Sentry_obs.Event.Int (Array.length items)) ]
       ()
+
+(* ----------------------- offload pipeline ------------------------ *)
+
+(* Offload twin of [transform_item]: same cached read, counters, fault
+   hooks, IVs, taint-labelled write-back and the same fused cipher
+   kernel (via [bulk_fused_raw]), so the simulated DRAM/PTE/taint
+   evolution is bit-identical to the CPU path.  Only the time/energy
+   accounting changes: instead of [Perf.charge] inside an IRQ bracket,
+   each page is a command submitted to the [Offload_engine] queue. *)
+let transform_item_offload t ~(dir : [ `Encrypt | `Decrypt ]) { pid; vpn; frame } =
+  trace_frame t (match dir with `Encrypt -> "encrypt-frame" | `Decrypt -> "decrypt-frame") ~pid
+    ~vpn ~frame;
+  Machine.read_run_into t.machine frame t.page_buf ~off:0 ~len:Page.size;
+  (match dir with
+  | `Encrypt -> t.bytes_encrypted <- t.bytes_encrypted + Page.size
+  | `Decrypt -> t.bytes_decrypted <- t.bytes_decrypted + Page.size);
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.frame_transform;
+  Essiv.iv_into t.essiv ~sector:((pid lsl 24) lxor vpn) t.iv_buf 0;
+  Aes_on_soc.bulk_fused_raw t.aes ~dir ~iv:t.iv_buf ~iv_off:0 ~src:t.page_buf ~src_off:0
+    ~dst:t.page_buf ~dst_off:0 ~len:Page.size;
+  Offload_engine.submit t.engine ~bytes:Page.size;
+  let level = match dir with `Encrypt -> Taint.Ciphertext | `Decrypt -> Taint.Secret_cleartext in
+  Machine.with_taint t.machine level (fun () ->
+      Machine.write_run_from t.machine frame t.page_buf ~off:0 ~len:Page.size)
+
+(** Offload twin of [encrypt_batch]: pipelines frame-sorted runs into
+    the command queue and polls for completion once, after the last
+    page — the fixed per-command latency is amortized over the batch.
+    Commit ordering per page is unchanged ([complete i] before the
+    [page_encrypted] hook), so crash units and recovery are identical
+    to the batched CPU path. *)
+let encrypt_batch_offload t items ~complete =
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Crypto ~subsystem:"core.page_crypt" "encrypt-batch-offload";
+  Array.iteri
+    (fun i item ->
+      transform_item_offload t ~dir:`Encrypt item;
+      complete i;
+      fire_page_done `Encrypt)
+    items;
+  Offload_engine.flush t.engine;
+  if traced then
+    Sentry_obs.Trace.exit_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~args:[ ("pages", Sentry_obs.Event.Int (Array.length items)) ]
+      ()
+
+(** Offload twin of [decrypt_batch]; same [prepare]/[complete] slots,
+    one completion poll per run. *)
+let decrypt_batch_offload t items ~prepare ~complete =
+  let traced = Sentry_obs.Trace.on () in
+  if traced then
+    Sentry_obs.Trace.enter_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~cat:Sentry_obs.Event.Crypto ~subsystem:"core.page_crypt" "decrypt-batch-offload";
+  Array.iteri
+    (fun i item ->
+      prepare i;
+      transform_item_offload t ~dir:`Decrypt item;
+      fire_page_done `Decrypt;
+      complete i)
+    items;
+  Offload_engine.flush t.engine;
+  if traced then
+    Sentry_obs.Trace.exit_span
+      ~ts:(Clock.now (Machine.clock t.machine))
+      ~args:[ ("pages", Sentry_obs.Event.Int (Array.length items)) ]
+      ()
+
+(** Single-page lazy decrypt through the offload engine — the losing
+    side of the crossover: submit one command, then block on the full
+    fixed completion latency before the faulting process can run. *)
+let decrypt_frame_offload t ~pid ~vpn ~frame =
+  transform_item_offload t ~dir:`Decrypt { pid; vpn; frame };
+  Offload_engine.flush t.engine;
+  Sentry_faults.Injector.fire Sentry_faults.Injector.Points.page_decrypted
 
 let counters t = (t.bytes_encrypted, t.bytes_decrypted)
 

@@ -9,6 +9,10 @@ val create : Machine.t -> aes:Sentry_crypto.Aes_on_soc.t -> volatile_key:Bytes.t
 
 val machine : t -> Machine.t
 
+(** The MemShield-style command queue behind the [Offload] backend
+    (created with the [t]; idle unless the offload paths run). *)
+val engine : t -> Sentry_crypto.Offload_engine.t
+
 (** Rebuild the IV derivation under a fresh volatile key (crash
     recovery after power loss); the [t] and every reference to it
     stay valid.  Re-key the AES context separately. *)
@@ -53,6 +57,23 @@ val encrypt_batch : t -> batch_item array -> complete:(int -> unit) -> unit
     read (clear the PTE's encrypted bit there — fail-secure), and
     [complete i] after the cleartext and the [page_decrypted] hook. *)
 val decrypt_batch : t -> batch_item array -> prepare:(int -> unit) -> complete:(int -> unit) -> unit
+
+(** {2 Offload pipeline}
+
+    Twins of the batch engine that submit each page as a command to
+    the [Offload_engine] queue instead of charging the CPU cipher.
+    Simulated DRAM/PTE/taint evolution is bit-identical to the CPU
+    paths (same fused kernel via [Aes_on_soc.bulk_fused_raw], same
+    hooks and commit slots); only time/energy accounting differs. *)
+
+val encrypt_batch_offload : t -> batch_item array -> complete:(int -> unit) -> unit
+
+val decrypt_batch_offload :
+  t -> batch_item array -> prepare:(int -> unit) -> complete:(int -> unit) -> unit
+
+(** Single-page lazy decrypt through the engine: one command, then a
+    blocking completion poll — pays the full fixed latency. *)
+val decrypt_frame_offload : t -> pid:int -> vpn:int -> frame:int -> unit
 
 (** (bytes encrypted, bytes decrypted) since the last reset — the
     counters behind the Figs 2-4 "MBytes" series. *)

@@ -19,13 +19,20 @@ open Sentry_kernel
 
 type resumed = Resumed_lock | Rolled_back_unlock
 
-(** Which lock/unlock engine drives the walks.  [Batched] (the
-    default) gathers, frame-sorts and transforms pages through the
-    batch engine with coalesced journal records; [Per_page] is the
-    page-at-a-time reference pipeline.  Per-page simulated observables
-    are identical; the two differ only in journal granularity and
-    host-side speed. *)
-type pipeline = Batched | Per_page
+(** Which protection backend drives the walks (see [Backend]).
+    [Batched] (the default) gathers, frame-sorts and transforms pages
+    through the batch engine with coalesced journal records;
+    [Per_page] is the page-at-a-time reference pipeline; [Offload]
+    pipelines the batched walks into the MemShield-style command
+    queue; [No_access] revokes mappings instead of encrypting
+    (MProtect-style — DRAM keeps cleartext).  [Batched], [Per_page]
+    and [Offload] have bit-identical per-page simulated DRAM/PTE/taint
+    observables and differ in journal granularity and time/energy;
+    [No_access] diverges by design. *)
+type backend = Backend.kind = Batched | Per_page | Offload | No_access
+
+type pipeline = backend
+(** Historical alias from when only [Batched]/[Per_page] existed. *)
 
 type recovery_stats = {
   resumed : resumed;
@@ -51,7 +58,7 @@ type t = {
      Never lives in simulated memory, so it is invisible to the
      modeled attacks. *)
   volatile_key_check : Bytes.t;
-  mutable pipeline : pipeline;
+  mutable backend : (module Backend.S);
   mutable sensitive : Process.t list;
   mutable background_enabled : Process.t list;
   mutable last_lock : Encrypt_on_lock.stats option;
@@ -158,7 +165,7 @@ let install (system : System.t) (config : Config.t) =
     background;
     journal;
     volatile_key_check = Bytes.copy volatile_key;
-    pipeline = Batched;
+    backend = Backend.of_kind Backend.Batched;
     sensitive = [];
     background_enabled = [];
     last_lock = None;
@@ -167,18 +174,40 @@ let install (system : System.t) (config : Config.t) =
   }
 
 let state t = Lock_state.state t.lock_state
-let pipeline t = t.pipeline
-let set_pipeline t p = t.pipeline <- p
 
-(* Pipeline-dispatched walk drivers. *)
+let backend t =
+  let module B = (val t.backend : Backend.S) in
+  B.kind
+
+(** [set_backend t b] — switch the protection backend.  Only legal
+    while [Unlocked]: each backend fixes the journal granularity and
+    walk driver [recover] assumes, so a switch between lock and unlock
+    (or mid-recovery) would replay an interrupted walk under the wrong
+    engine.  Switching to the already-installed backend is a no-op in
+    any state.
+    @raise Invalid_argument outside [Unlocked]. *)
+let set_backend t b =
+  if b <> backend t then begin
+    if Lock_state.state t.lock_state <> Lock_state.Unlocked then
+      invalid_arg
+        (Printf.sprintf "Sentry.set_backend: cannot switch to %s while %s"
+           (Backend.kind_name b)
+           (Lock_state.state_name (Lock_state.state t.lock_state)));
+    t.backend <- Backend.of_kind b
+  end
+
+let pipeline = backend
+let set_pipeline = set_backend
+
+(* Backend-dispatched walk drivers. *)
 let lock_walk t =
-  (match t.pipeline with Batched -> Encrypt_on_lock.run | Per_page -> Encrypt_on_lock.run_per_page)
-    ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
+  let module B = (val t.backend : Backend.S) in
+  B.lock_walk ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
     ~background:(fun p -> List.memq p t.background_enabled)
 
 let unlock_walk t =
-  (match t.pipeline with Batched -> Decrypt_on_unlock.run | Per_page -> Decrypt_on_unlock.run_per_page)
-    ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
+  let module B = (val t.backend : Backend.S) in
+  B.unlock_walk ?journal:t.journal t.pc t.system ~sensitive:t.sensitive
 let is_locked t = state t = Lock_state.Locked || state t = Lock_state.Deep_locked
 
 (** Mark an application for protection (the systems-settings menu
@@ -302,6 +331,10 @@ let recover t =
           ~subsystem:"core.recovery" "crash-recovery";
       let journal_entry = Option.bind t.journal Lock_journal.load in
       let rekeyed = ensure_key t in
+      (* backend-specific crash teardown (e.g. the offload engine's
+         command queue does not survive a reset) *)
+      let module B = (val t.backend : Backend.S) in
+      B.on_recover t.pc;
       (* The sweep is the lock walk itself: every present, unencrypted
          page of a should-encrypt region gets ciphertext — completing
          an interrupted lock and un-doing an interrupted unlock alike.
@@ -354,10 +387,8 @@ let unlock_eager t ~pin =
   | Ok () ->
       Option.iter Background.evict_all t.background;
       let pages =
-        (match t.pipeline with
-        | Batched -> Decrypt_on_unlock.run_eager
-        | Per_page -> Decrypt_on_unlock.run_eager_per_page)
-          t.pc t.system ~sensitive:t.sensitive
+        let module B = (val t.backend : Backend.S) in
+        B.unlock_eager t.pc t.system ~sensitive:t.sensitive
       in
       Lock_state.finish_unlock t.lock_state;
       Ok pages

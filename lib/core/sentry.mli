@@ -26,15 +26,33 @@ val install : System.t -> Config.t -> t
 val state : t -> Lock_state.state
 val is_locked : t -> bool
 
-(** Which engine drives lock/unlock walks: [Batched] (default —
-    gather, frame-sort, batch-transform, coalesced journal records) or
-    the page-at-a-time [Per_page] reference.  Per-page simulated
-    observables are identical; only journal granularity and host-side
-    speed differ. *)
-type pipeline = Batched | Per_page
+(** Which protection backend drives lock/unlock walks (see [Backend]):
+    [Batched] (default — gather, frame-sort, batch-transform,
+    coalesced journal records), the page-at-a-time [Per_page]
+    reference, the MemShield-style [Offload] command queue, or the
+    MProtect-style [No_access] mapping revocation.  The three crypto
+    backends have bit-identical per-page simulated observables;
+    [No_access] leaves cleartext in DRAM by design. *)
+type backend = Backend.kind = Batched | Per_page | Offload | No_access
 
-val pipeline : t -> pipeline
-val set_pipeline : t -> pipeline -> unit
+type pipeline = backend
+(** Historical alias from when only [Batched]/[Per_page] existed. *)
+
+val backend : t -> backend
+
+(** Switch the protection backend.  Only legal while [Unlocked]: each
+    backend fixes the journal granularity and walk driver [recover]
+    assumes, so a switch between lock and unlock (or mid-recovery)
+    would replay an interrupted walk under the wrong engine.
+    Switching to the installed backend is a no-op in any state.
+    @raise Invalid_argument outside [Unlocked]. *)
+val set_backend : t -> backend -> unit
+
+val pipeline : t -> backend
+(** Alias of [backend]. *)
+
+val set_pipeline : t -> backend -> unit
+(** Alias of [set_backend] (including the [Unlocked] guard). *)
 
 (** Mark an application for protection (the settings-menu extension
     of §7). *)

@@ -172,6 +172,22 @@ let bulk_fused_into t ~(dir : [ `Encrypt | `Decrypt ]) ~iv ~iv_off ~src ~src_off
         ]
       (match dir with `Encrypt -> "bulk-encrypt" | `Decrypt -> "bulk-decrypt")
 
+(** Host-side transform only: the same fused page kernel as
+    [bulk_fused_into] but with no [Perf.charge] and no IRQ bracket.
+    For engine models that account simulated time/energy themselves —
+    the [Offload_engine] command queue — while ciphertext must stay
+    bit-identical to the CPU path.  The key never transits CPU
+    registers here (it lives in the engine), so there is nothing to
+    protect with an IRQ window. *)
+let bulk_fused_raw t ~(dir : [ `Encrypt | `Decrypt ]) ~iv ~iv_off ~src ~src_off ~dst ~dst_off
+    ~len =
+  if iv_off < 0 || iv_off + 16 > Bytes.length iv then
+    invalid_arg "Aes_on_soc.bulk_fused_raw: bad IV";
+  if len mod 16 <> 0 then invalid_arg "Aes_on_soc.bulk_fused_raw: not block aligned";
+  match dir with
+  | `Encrypt -> Aes.cbc_encrypt_into t.fast_key ~iv ~iv_off src src_off dst dst_off (len / 16)
+  | `Decrypt -> Aes.cbc_decrypt_into t.fast_key ~iv ~iv_off dst dst_off (len / 16)
+
 (** Allocating wrapper over [bulk_into]; identical cost and trace. *)
 let bulk t ~(dir : [ `Encrypt | `Decrypt ]) ~iv data =
   let n = Bytes.length data in

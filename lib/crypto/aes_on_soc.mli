@@ -71,6 +71,22 @@ val bulk_fused_into :
   len:int ->
   unit
 
+(** Host-side transform only — same fused kernel as [bulk_fused_into]
+    with no [Perf.charge] and no IRQ bracket, for engine models
+    ([Offload_engine]) that account simulated time/energy themselves
+    while ciphertext must stay bit-identical to the CPU path. *)
+val bulk_fused_raw :
+  t ->
+  dir:[ `Encrypt | `Decrypt ] ->
+  iv:Bytes.t ->
+  iv_off:int ->
+  src:Bytes.t ->
+  src_off:int ->
+  dst:Bytes.t ->
+  dst_off:int ->
+  len:int ->
+  unit
+
 (** Re-key: rewrites the on-SoC context and the bulk twin together. *)
 val set_key : t -> Bytes.t -> unit
 

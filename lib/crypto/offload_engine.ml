@@ -1,0 +1,116 @@
+(** MemShield-style bulk-crypto offload engine (ROADMAP item 3).
+
+    Models a dedicated crypto unit behind a deep command queue: the
+    CPU rings a doorbell per page ([submit]), the engine transforms
+    commands back-to-back at accelerator line rate, and each command
+    additionally pays a large fixed completion latency (queue
+    traversal, completion interrupt).  Completion is only observable
+    by explicit polling ([flush]) or implicitly when a full queue
+    blocks the next submit.
+
+    The consequence the [exp_backends] experiment measures: pipelined
+    frame-sorted runs amortize the fixed latency over the whole batch
+    and beat the CPU cipher on bulk lock, while a single-page lazy
+    fault eats the full round trip and loses to it.
+
+    Only simulated time/energy live here; the byte transform itself is
+    performed host-side by the caller ([Aes_on_soc.bulk_fused_raw]) so
+    ciphertext stays bit-identical across backends. *)
+
+open Sentry_soc
+
+type stats = {
+  mutable submitted : int;
+  mutable completed : int;
+  mutable stalls : int;  (* submits that blocked on a full queue *)
+  mutable flushes : int;
+  mutable stall_ns : float;  (* CPU time spent waiting on the engine *)
+}
+
+type t = {
+  machine : Machine.t;
+  queue_depth : int;
+  submit_ns : float;
+  fixed_latency_ns : float;
+  line_mb_s : float;
+  j_per_byte : float;
+  inflight : float Queue.t;  (* absolute completion times, FIFO *)
+  mutable engine_free_ns : float;  (* engine timeline: next idle instant *)
+  stats : stats;
+}
+
+let create ?(queue_depth = Calib.offload_queue_depth) machine =
+  {
+    machine;
+    queue_depth;
+    submit_ns = Calib.offload_submit_ns;
+    fixed_latency_ns = Calib.offload_fixed_latency_ns;
+    line_mb_s = Calib.offload_line_mb_s;
+    j_per_byte = Calib.offload_j_per_byte;
+    inflight = Queue.create ();
+    engine_free_ns = 0.0;
+    stats = { submitted = 0; completed = 0; stalls = 0; flushes = 0; stall_ns = 0.0 };
+  }
+
+let depth t = Queue.length t.inflight
+let stats t = t.stats
+
+(* Retire every command whose completion time has passed. *)
+let retire t ~now =
+  while (not (Queue.is_empty t.inflight)) && Queue.peek t.inflight <= now do
+    ignore (Queue.pop t.inflight);
+    t.stats.completed <- t.stats.completed + 1
+  done
+
+let wait_until t ~target =
+  let clock = Machine.clock t.machine in
+  let now = Clock.now clock in
+  if target > now then begin
+    t.stats.stall_ns <- t.stats.stall_ns +. (target -. now);
+    Clock.advance clock (target -. now);
+    if Sentry_obs.Trace.on () then
+      Sentry_obs.Trace.span ~cat:Sentry_obs.Event.Crypto ~subsystem:"crypto.offload"
+        ~start_ns:now ~end_ns:target
+        ~args:[ ("inflight", Sentry_obs.Event.Int (Queue.length t.inflight)) ]
+        "offload-wait"
+  end;
+  retire t ~now:(Clock.now clock)
+
+let submit t ~bytes =
+  let clock = Machine.clock t.machine in
+  Clock.advance clock t.submit_ns;
+  retire t ~now:(Clock.now clock);
+  (* Backpressure: a full queue blocks the CPU until the oldest
+     command completes — this is what makes a deep batch run at
+     engine line rate rather than doorbell rate. *)
+  if Queue.length t.inflight >= t.queue_depth then begin
+    t.stats.stalls <- t.stats.stalls + 1;
+    wait_until t ~target:(Queue.peek t.inflight)
+  end;
+  let now = Clock.now clock in
+  let crypto_ns =
+    Sentry_util.Units.bytes_to_mb bytes /. t.line_mb_s *. Sentry_util.Units.s
+  in
+  let start = Float.max now t.engine_free_ns in
+  let done_ns = start +. crypto_ns in
+  t.engine_free_ns <- done_ns;
+  Queue.add (done_ns +. t.fixed_latency_ns) t.inflight;
+  t.stats.submitted <- t.stats.submitted + 1;
+  Energy.charge (Machine.energy t.machine) ~category:"aes"
+    (float_of_int bytes *. t.j_per_byte)
+
+(* Explicit completion polling: block until every in-flight command
+   has retired.  The batched lock/unlock walks call this once per run;
+   the lazy fault handler calls it per page — the crossover. *)
+let flush t =
+  t.stats.flushes <- t.stats.flushes + 1;
+  if not (Queue.is_empty t.inflight) then begin
+    let last = Queue.fold Float.max 0.0 t.inflight in
+    wait_until t ~target:last
+  end
+
+(* Crash recovery: the queue does not survive a reset; recovery
+   re-submits whatever the journal replays. *)
+let reset t =
+  Queue.clear t.inflight;
+  t.engine_free_ns <- 0.0

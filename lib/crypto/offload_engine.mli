@@ -1,0 +1,37 @@
+(** MemShield-style bulk-crypto offload engine: a deep command queue
+    in front of a dedicated crypto unit.  High line rate, high fixed
+    per-command completion latency, explicit completion polling — so
+    pipelined batches win over the CPU cipher while single-page lazy
+    faults lose.  Models simulated time/energy only; callers perform
+    the byte transform host-side ([Aes_on_soc.bulk_fused_raw]) so
+    ciphertext is bit-identical across backends. *)
+
+type stats = {
+  mutable submitted : int;
+  mutable completed : int;
+  mutable stalls : int;  (** submits that blocked on a full queue *)
+  mutable flushes : int;
+  mutable stall_ns : float;  (** CPU time spent waiting on the engine *)
+}
+
+type t
+
+val create : ?queue_depth:int -> Sentry_soc.Machine.t -> t
+
+(** Queue one page-sized command: charges the doorbell cost, blocks if
+    the queue is full, advances the engine timeline and charges engine
+    energy.  The command's data must already have been transformed
+    host-side. *)
+val submit : t -> bytes:int -> unit
+
+(** Block until every in-flight command has completed. *)
+val flush : t -> unit
+
+(** Commands currently in flight. *)
+val depth : t -> int
+
+(** Drop all queue state (crash recovery: the queue does not survive a
+    reset; the journal replay re-submits). *)
+val reset : t -> unit
+
+val stats : t -> stats

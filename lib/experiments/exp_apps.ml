@@ -25,10 +25,11 @@ type metrics = {
 
 let mb_of_bytes b = float_of_int b /. float_of_int Units.mib
 
-let run_app (profile : App.profile) =
+let run_app ?(backend = Sentry.Batched) (profile : App.profile) =
   let system = System.boot `Nexus4 ~dram_size:(96 * Units.mib) ~seed:(Hashtbl.hash profile.App.app_name) in
   let machine = System.machine system in
   let sentry = Sentry.install system (Config.default `Nexus4) in
+  Sentry.set_backend sentry backend;
   let app = App.launch system profile in
   Sentry.mark_sensitive sentry app.App.proc;
   let pc = Sentry.page_crypt sentry in
@@ -68,7 +69,8 @@ let run_app (profile : App.profile) =
     script_mb = mb_of_bytes dec;
   }
 
-(* Memoized app-cycle results, shared by Figs 2-5 within one trial.
+(* Memoized app-cycle results (default backend only), shared by
+   Figs 2-5 within one trial.
    A resettable ref rather than [Lazy.t]: the bench harness calls
    [reset] between trials so each trial re-runs the app cycles — with
    the lazy, only the first trial did the work and the committed
@@ -81,7 +83,7 @@ let all () =
   match !cache with
   | Some m -> m
   | None ->
-      let m = List.map run_app Apps.all in
+      let m = List.map (fun p -> run_app p) Apps.all in
       cache := Some m;
       m
 

@@ -15,7 +15,10 @@ type metrics = {
   script_mb : float;
 }
 
-val run_app : Sentry_workloads.App.profile -> metrics
+(** Run one app cycle under [backend] (default [Batched]).  Only the
+    default-backend results are memoized by [all]. *)
+val run_app :
+  ?backend:Sentry_core.Sentry.backend -> Sentry_workloads.App.profile -> metrics
 
 (** All four apps, computed once per trial and shared by Figs 2-5. *)
 val all : unit -> metrics list

@@ -36,8 +36,8 @@ let measure ?(trials = 3) n =
       io_sectors = 8;
     }
   in
-  let batched = best_of ~trials { cfg with Fleet.pipeline = Sentry_core.Sentry.Batched } in
-  let per_page = best_of ~trials { cfg with Fleet.pipeline = Sentry_core.Sentry.Per_page } in
+  let batched = best_of ~trials { cfg with Fleet.backend = Sentry_core.Sentry.Batched } in
+  let per_page = best_of ~trials { cfg with Fleet.backend = Sentry_core.Sentry.Per_page } in
   (batched, per_page)
 
 let run () =

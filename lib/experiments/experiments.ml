@@ -30,14 +30,20 @@ let all =
     { id = "pinned"; description = "S10 pin-on-SoC architecture suggestion"; run = Exp_pinned.run };
     { id = "fleet"; description = "batched vs per-page fleet lock throughput"; run = Exp_fleet.run };
     { id = "serve"; description = "open-loop serve: arrival rate vs backpressure"; run = Exp_serve.run };
+    { id = "backends"; description = "protection backend race: batched/per-page/offload/no-access"; run = Exp_backends.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 (** Drop every cross-experiment memo (today: the shared Figs 2-5 app
-    cycles) so the next run starts cold.  The bench harness calls this
-    between trials to keep them i.i.d. *)
-let reset_caches () = Exp_apps.reset ()
+    cycles) so the next run starts cold, and compact the host heap —
+    the bench harness calls this between trials to keep them i.i.d.
+    Without the compaction, major-heap garbage from earlier trials
+    piles GC work onto later ones: the committed fig5 timings showed
+    mean 9.9 s with stddev 6.6 s purely from that accumulation. *)
+let reset_caches () =
+  Exp_apps.reset ();
+  Gc.compact ()
 
 let run_and_print (e : entry) =
   Printf.printf "### %s — %s\n\n" e.id e.description;

@@ -12,13 +12,25 @@ type pte = {
   mutable young : bool; (* ARM access flag; cleared => trap on access *)
   mutable writable : bool;
   mutable encrypted : bool; (* frame currently holds ciphertext *)
+  mutable no_access : bool;
+      (* MProtect-style protection: the mapping is revoked while the
+         frame keeps its (cleartext) contents; any access traps and,
+         unless a backend handler clears the bit, segfaults *)
   mutable backing : int option;
       (* original DRAM frame while the page is resident in a locked
          L2-backed frame (background paging) *)
 }
 
 let make_pte ~frame =
-  { frame; present = true; young = true; writable = true; encrypted = false; backing = None }
+  {
+    frame;
+    present = true;
+    young = true;
+    writable = true;
+    encrypted = false;
+    no_access = false;
+    backing = None;
+  }
 
 type t = { entries : (int, pte) Hashtbl.t (* vpn -> pte *) }
 

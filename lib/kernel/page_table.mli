@@ -9,6 +9,9 @@ type pte = {
   mutable young : bool;  (** cleared => trap on next access *)
   mutable writable : bool;
   mutable encrypted : bool;  (** frame currently holds ciphertext *)
+  mutable no_access : bool;
+      (** MProtect-style revoked mapping: frame keeps cleartext, any
+          access traps (and segfaults unless a handler clears it) *)
   mutable backing : int option;
       (** original DRAM frame while resident in a locked-cache page *)
 }

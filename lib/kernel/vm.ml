@@ -30,7 +30,8 @@ let pte_of t proc vaddr =
 
 (** Fire the fault path for [pte] if it would trap. *)
 let maybe_fault t proc ~vaddr pte =
-  if (not pte.Page_table.present) || not pte.Page_table.young then begin
+  if (not pte.Page_table.present) || (not pte.Page_table.young) || pte.Page_table.no_access
+  then begin
     let was_present = pte.Page_table.present in
     proc.Process.faults <- proc.Process.faults + 1;
     Clock.advance (Machine.clock t.machine) Calib.page_fault_ns;
@@ -56,8 +57,10 @@ let maybe_fault t proc ~vaddr pte =
             ("young_trap", Sentry_obs.Event.Bool was_present);
           ]
         ();
-    if (not pte.Page_table.present) || not pte.Page_table.young then
-      raise (Segfault { pid = proc.Process.pid; vaddr })
+    (* The default handler only emulates the access flag; a no-access
+       mapping it did not clear is a real protection fault. *)
+    if (not pte.Page_table.present) || (not pte.Page_table.young) || pte.Page_table.no_access
+    then raise (Segfault { pid = proc.Process.pid; vaddr })
   end
 
 (** Translate one address (faulting as needed) to a physical one. *)

@@ -40,11 +40,16 @@ let backlog_pages t = t.backlog_pages
 (* Depth is checked before backlog: a full queue sheds regardless of
    how light the request is, so [Shed] counts pure arrival overload
    and [Rejected] counts page-weight saturation of a queue that still
-   had slots. *)
+   had slots.  An empty queue always admits: a tenant whose footprint
+   alone exceeds [backlog_pages_max] would otherwise be rejected
+   forever, even with the server idle — the cap bounds *pending* work,
+   and one oversized request pending is the closest realisable state
+   to the bound. *)
 let offer t ~pages req =
   if pages <= 0 then invalid_arg "Admission.offer: pages must be positive";
   if Queue.length t.q >= t.depth then Shed
-  else if t.backlog_pages + pages > t.backlog_pages_max then Rejected
+  else if t.backlog_pages + pages > t.backlog_pages_max && not (Queue.is_empty t.q) then
+    Rejected
   else begin
     Queue.add (req, pages) t.q;
     t.backlog_pages <- t.backlog_pages + pages;

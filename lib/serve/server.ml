@@ -8,7 +8,8 @@
     {!Admission} queue in batches: each cycle PIN-unlocks, serves
     every request in the batch by faulting in its tenant's first page
     (sampling simulated queue-wait and unlock-to-first-touch per
-    tenant class), and re-locks through [Sentry.pipeline].  Arrivals
+    tenant class), and re-locks through the installed protection
+    backend ([Sentry.backend]).  Arrivals
     are open loop — they land on the simulated clock whether or not
     the queue drains, so overload shows up as [Shed]/[Rejected]
     verdicts rather than as a conveniently slower generator.
@@ -53,7 +54,7 @@ type config = {
   seed : int;
   soak : bool;  (** inject crashes into periodic re-locks *)
   soak_period : int;  (** crash every Nth batch when soaking *)
-  pipeline : Sentry.pipeline;
+  backend : Sentry.backend;
 }
 
 let default =
@@ -69,7 +70,7 @@ let default =
     seed = 7;
     soak = false;
     soak_period = 4;
-    pipeline = Sentry.Batched;
+    backend = Sentry.Batched;
   }
 
 type dist = {
@@ -183,7 +184,7 @@ let run_slice ~platform ~seed ~pid_base ~first ~count ?metrics (cfg : config) =
   let system = System.boot ~seed ~pid_base platform in
   let machine = System.machine system in
   let sentry = Sentry.install system { (Config.default platform) with Config.journal = true } in
-  Sentry.set_pipeline sentry cfg.pipeline;
+  Sentry.set_backend sentry cfg.backend;
   (* the tenant pool, global indices — same footprint mix as the
      fleet workload so per-class tails are comparable *)
   let pool =
@@ -512,7 +513,7 @@ let json (s : stats) =
       ("batch_max", Json_out.Int s.config.batch_max);
       ("seed", Json_out.Int s.config.seed);
       ("soak", Json_out.Bool s.config.soak);
-      ("pipeline", Json_out.Str (Fleet.pipeline_label s.config.pipeline));
+      ("backend", Json_out.Str (Fleet.backend_label s.config.backend));
       ("requests", Json_out.Int s.requests);
       ("served", Json_out.Int s.served);
       ("shed", Json_out.Int s.shed);

@@ -1,7 +1,8 @@
 (** Sentry-as-a-service: an open-loop lock/unlock server over the
     batched pipeline — bounded admission with backpressure verdicts,
     a Poisson/diurnal arrival schedule on the simulated clock, batch
-    serving through [Sentry.pipeline], and an optional chaos-soak mode
+    serving through the installed protection backend, and an optional
+    chaos-soak mode
     that injects lock-walk crashes mid-traffic and recovers without
     stopping arrivals.  See DESIGN.md §14. *)
 
@@ -19,7 +20,7 @@ type config = {
   seed : int;
   soak : bool;  (** inject crashes into periodic re-locks *)
   soak_period : int;  (** crash every Nth batch when soaking *)
-  pipeline : Sentry.pipeline;
+  backend : Sentry.backend;
 }
 
 (** 8 tenants × 8 pages, 40 req/s base with a 3× peak quarter over

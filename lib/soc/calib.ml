@@ -115,6 +115,32 @@ let pl310_op_ns = 0.3 *. us
 let onsoc_irq_window_ns = 160.0 *. us
 
 (* ------------------------------------------------------------------ *)
+(* Alternative protection backends (ROADMAP item 3).                  *)
+(* ------------------------------------------------------------------ *)
+
+(** MemShield-style bulk-crypto offload engine: a deep command queue
+    in front of a dedicated crypto unit.  Line rate is accelerator
+    class (MemShield reports GPU AES well above CPU rates; we model a
+    conservative 120 MB/s, ~3x the Nexus kernel-crypto CPU path), but
+    each command pays a large fixed completion latency — doorbell,
+    queue traversal, completion interrupt — so single-page lazy
+    faults lose to the CPU path while pipelined frame-sorted runs
+    win.  Submission itself costs the CPU a couple of microseconds. *)
+let offload_line_mb_s = 120.0
+
+let offload_submit_ns = 2.0 *. us
+let offload_fixed_latency_ns = 450.0 *. us
+let offload_queue_depth = 64
+
+(** Energy per byte of the offload engine: dedicated-engine class,
+    same ballpark as the awake hardware AES path (Fig 12). *)
+let offload_j_per_byte = 0.026e-6
+
+(** MProtect-style no-access management: revoking/restoring one PTE
+    mapping (permission write + TLB shootdown of one entry). *)
+let pte_protect_ns = 0.5 *. us
+
+(* ------------------------------------------------------------------ *)
 (* Platform energy facts.                                             *)
 (* ------------------------------------------------------------------ *)
 

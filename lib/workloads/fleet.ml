@@ -43,7 +43,7 @@ type config = {
   touch_fraction : float;  (** fraction of pages faulted in after unlock *)
   service_wakes : int;  (** background timer wakes per locked period *)
   io_sectors : int;  (** dm-crypt sectors written+read per wake *)
-  pipeline : Sentry.pipeline;
+  backend : Sentry.backend;  (** protection backend driving every slice *)
 }
 
 let default =
@@ -54,10 +54,10 @@ let default =
     touch_fraction = 0.25;
     service_wakes = 1;
     io_sectors = 8;
-    pipeline = Sentry.Batched;
+    backend = Sentry.Batched;
   }
 
-let pipeline_label = function Sentry.Batched -> "batched" | Sentry.Per_page -> "per-page"
+let backend_label = Backend.kind_name
 
 (* Tenant-class assignment by spawn index.  Every 4th process is large
    (and carries the DMA region); every 4k+3rd small; the rest medium.
@@ -198,16 +198,16 @@ let service_io dm ~io_sectors ~wake =
   2 * io_sectors
 
 (** Record first-touch samples into a metrics registry under
-    [workloads.fleet/unlock_to_first_touch_ns{pipeline=…,tenant_class=…}]
+    [workloads.fleet/unlock_to_first_touch_ns{backend=…,tenant_class=…}]
     — the labeled-histogram fan-in a sharded fleet run merges.  Kept
     separate from [run] so per-shard registries can be fed from raw
     samples. *)
-let record_latencies metrics ~pipeline samples =
+let record_latencies metrics ~backend samples =
   List.iter
     (fun (cls, ns) ->
       Sentry_obs.Metrics.observe
         (Sentry_obs.Metrics.histogram metrics ~subsystem:"workloads.fleet"
-           ~labels:[ ("pipeline", pipeline_label pipeline); ("tenant_class", cls) ]
+           ~labels:[ ("backend", backend_label backend); ("tenant_class", cls) ]
            "unlock_to_first_touch_ns")
         ns)
     samples
@@ -245,7 +245,7 @@ let run_slice ~platform ~seed ~pid_base ~first ~count ?metrics (cfg : config) =
   let system = System.boot ~seed ~pid_base platform in
   let machine = System.machine system in
   let sentry = Sentry.install system (Config.default platform) in
-  Sentry.set_pipeline sentry cfg.pipeline;
+  Sentry.set_backend sentry cfg.backend;
   let fleet = spawn_slice system sentry cfg ~first ~count in
   let susp = Suspend.create sentry in
   let dev =
@@ -338,7 +338,7 @@ let run_slice ~platform ~seed ~pid_base ~first ~count ?metrics (cfg : config) =
       0 fleet
   in
   let samples = List.rev !samples in
-  Option.iter (fun m -> record_latencies m ~pipeline:cfg.pipeline samples) metrics;
+  Option.iter (fun m -> record_latencies m ~backend:cfg.backend samples) metrics;
   let fingerprints =
     List.mapi (fun j t -> fingerprint_tenant (Sentry.page_crypt sentry) ~index:(first + j) t) fleet
   in
@@ -557,7 +557,7 @@ let run ?(platform = `Tegra3) ?(seed = 7) ?metrics ?domains (cfg : config) =
          bit-comparable (the differential test's whole point). *)
       let sh = run_sharded ~platform ~seed ~domains:d cfg in
       Option.iter
-        (fun m -> record_latencies m ~pipeline:cfg.pipeline sh.merged.first_touch_samples)
+        (fun m -> record_latencies m ~backend:cfg.backend sh.merged.first_touch_samples)
         metrics;
       sh.merged
   | None ->
@@ -583,9 +583,7 @@ let pp ppf (s : stats) =
     \  service wakes       %d (%d dm-crypt sectors)@\n\
     \  unlock->first touch %.1f us simulated (mean over %d tenant samples)"
     s.config.procs s.config.pages_per_proc
-    (match s.config.pipeline with
-    | Sentry.Batched -> "batched"
-    | Sentry.Per_page -> "per-page")
+    (backend_label s.config.backend)
     s.pages_locked (s.lock_wall_s *. 1e3) s.lock_pages_per_s
     s.pages_unlocked_eager s.pages_faulted s.service_wakes_run
     s.io_sectors_done

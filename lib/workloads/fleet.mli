@@ -22,15 +22,16 @@ type config = {
   touch_fraction : float;  (** fraction of pages faulted in after unlock *)
   service_wakes : int;  (** background timer wakes per locked period *)
   io_sectors : int;  (** dm-crypt sectors written+read per wake *)
-  pipeline : Sentry.pipeline;
+  backend : Sentry.backend;  (** protection backend driving every slice *)
 }
 
 (** 8 procs × 16 pages, 3 cycles, 25% touch, 1 wake × 8 sectors,
     batched. *)
 val default : config
 
-(** Stable label for a pipeline ("batched" / "per-page"). *)
-val pipeline_label : Sentry.pipeline -> string
+(** Stable label for a backend ("batched" / "per-page" / "offload" /
+    "no-access"); alias of [Backend.kind_name]. *)
+val backend_label : Sentry.backend -> string
 
 (** Tenant class by (global) spawn index: every 4th process is
     ["large"] (2×M pages + a DMA region), every 4k+3rd ["small"] (M/2
@@ -99,11 +100,11 @@ type fingerprint = {
 }
 
 (** Feed first-touch samples into a registry as the labeled histogram
-    [workloads.fleet/unlock_to_first_touch_ns{pipeline=…,tenant_class=…}].
+    [workloads.fleet/unlock_to_first_touch_ns{backend=…,tenant_class=…}].
     Exposed so per-shard registries can be built from raw samples and
     [Metrics.merge]d. *)
 val record_latencies :
-  Sentry_obs.Metrics.t -> pipeline:Sentry.pipeline -> (string * float) list -> unit
+  Sentry_obs.Metrics.t -> backend:Sentry.backend -> (string * float) list -> unit
 
 (** One shard's results: the slice stats plus everything the shard
     owned privately (registry, recorder, fault tally, identifying
@@ -170,8 +171,8 @@ val run_sharded :
     tenant classes, large tenants carry a DMA region), and drives
     [cfg.cycles] rounds of suspend → service wakes (dm-crypt I/O) →
     unlock → per-tenant first-touch sampling → touch churn.  Simulated
-    outputs are pipeline-independent; host wall-clock is what
-    [cfg.pipeline] changes.  With [?metrics], first-touch samples are
+    outputs are backend-independent across the crypto backends; host
+    wall-clock is what [cfg.backend] changes.  With [?metrics], first-touch samples are
     recorded via {!record_latencies}; with a trace recorder installed,
     each cycle is wrapped in a ["fleet-cycle"] span.
 

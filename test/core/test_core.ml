@@ -478,6 +478,30 @@ let test_sentry_journal_flag () =
   checkb "idle system: recover is a no-op" true (Sentry.recover sentry2 = None);
   checkb "no stats recorded" true (Sentry.last_recovery_stats sentry2 = None)
 
+(* Regression: [set_pipeline] (now [set_backend]) used to accept a
+   switch in any state — swapping the walk driver and journal
+   granularity out from under a Locked system, so a later unlock (or a
+   recovery replaying an interrupted walk) ran under the wrong engine.
+   The switch must be confined to [Unlocked]; re-selecting the
+   installed backend stays a state-independent no-op. *)
+let test_sentry_backend_switch_guarded () =
+  let system = boot ~seed:32 () in
+  let sentry = install system in
+  let proc, _ = spawn_filled system ~bytes:(32 * Units.kib) in
+  Sentry.mark_sensitive sentry proc;
+  ignore (Sentry.lock sentry);
+  Alcotest.check_raises "switch rejected while locked"
+    (Invalid_argument "Sentry.set_backend: cannot switch to per-page while locked")
+    (fun () -> Sentry.set_pipeline sentry Sentry.Per_page);
+  checkb "backend unchanged" true (Sentry.pipeline sentry = Sentry.Batched);
+  Sentry.set_pipeline sentry Sentry.Batched;
+  checkb "no-op re-select kept the lock" true (Sentry.is_locked sentry);
+  (match Sentry.unlock sentry ~pin:"1234" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unlock");
+  Sentry.set_pipeline sentry Sentry.Per_page;
+  checkb "switch allowed while unlocked" true (Sentry.pipeline sentry = Sentry.Per_page)
+
 (* ---------------------------- Background -------------------------- *)
 
 let boot_background ?(budget = 256 * Units.kib) ?(bytes = 512 * Units.kib) () =
@@ -779,6 +803,8 @@ let () =
           Alcotest.test_case "config validation" `Quick test_sentry_config_validation;
           Alcotest.test_case "crypto api registration" `Quick test_sentry_registers_crypto_api;
           Alcotest.test_case "journal flag" `Quick test_sentry_journal_flag;
+          Alcotest.test_case "backend switch guarded" `Quick
+            test_sentry_backend_switch_guarded;
         ] );
       ( "background",
         [

@@ -80,6 +80,26 @@ let test_admission_reject_on_backlog () =
     (Admission.offer q ~pages:1 (req ~id:2 ~tenant:1) = Admission.Queued);
   checki "backlog accounted" 4 (Admission.backlog_pages q)
 
+(* Regression: a request whose page weight alone exceeds
+   [backlog_pages_max] used to be [Rejected] even against an empty
+   queue — with every slot and zero backlog free — starving its tenant
+   permanently.  An idle queue must admit it; the cap still holds once
+   anything is pending. *)
+let test_admission_oversized_admits_when_idle () =
+  let q = Admission.create ~depth:4 ~backlog_pages_max:4 in
+  Alcotest.(check bool)
+    "oversized request admitted by idle queue" true
+    (Admission.offer q ~pages:9 (req ~id:0 ~tenant:0) = Admission.Queued);
+  checki "backlog carries the overweight" 9 (Admission.backlog_pages q);
+  Alcotest.(check bool)
+    "cap still rejects once pending" true
+    (Admission.offer q ~pages:1 (req ~id:1 ~tenant:1) = Admission.Rejected);
+  ignore (Admission.take_batch q ~max:1);
+  checki "backlog released" 0 (Admission.backlog_pages q);
+  Alcotest.(check bool)
+    "admits again after drain" true
+    (Admission.offer q ~pages:9 (req ~id:2 ~tenant:0) = Admission.Queued)
+
 let test_admission_take_batch_fifo () =
   let q = Admission.create ~depth:10 ~backlog_pages_max:100 in
   List.iter
@@ -136,6 +156,22 @@ let test_shed_rate_monotone () =
   in
   checkb "shed rate monotone in arrival rate" true (monotone (quiet :: sheds));
   checkb "overload actually sheds" true (List.exists (fun r -> r > 0.0) sheds)
+
+(* Regression (server level): with [backlog_pages_max] below a large
+   tenant's request footprint (first-touch page + eager-DMA churn),
+   large tenants used to be rejected on every arrival forever — even
+   against an idle server.  They must still get served, and every
+   arrival must still receive exactly one verdict. *)
+let test_server_no_permanent_starvation () =
+  let weight =
+    Server.request_pages ~pages_per_proc:fast.Server.pages_per_proc
+      { Arrivals.id = 0; at_ns = 0.0; tenant = 0; cls = "large" }
+  in
+  let s = Server.run { fast with Server.backlog_pages_max = weight - 1 } in
+  checki "conservation: every arrival got a verdict" s.Server.requests
+    (s.Server.served + s.Server.shed + s.Server.rejected);
+  checkb "large tenants are served, not starved" true
+    (List.exists (fun (cls, _) -> cls = "large") s.Server.latency_samples)
 
 (* Chaos soak: crashes keep firing mid-traffic, every one recovers,
    and the post-recovery audit never finds an inconsistency — while
@@ -201,12 +237,16 @@ let () =
         [
           Alcotest.test_case "shed on depth" `Quick test_admission_shed_on_depth;
           Alcotest.test_case "reject on backlog" `Quick test_admission_reject_on_backlog;
+          Alcotest.test_case "oversized admits when idle" `Quick
+            test_admission_oversized_admits_when_idle;
           Alcotest.test_case "take batch FIFO" `Quick test_admission_take_batch_fifo;
         ] );
       ( "server",
         [
           Alcotest.test_case "D=1 vs D=4 invariance" `Quick test_sharded_domain_invariance;
           Alcotest.test_case "shed rate monotone" `Quick test_shed_rate_monotone;
+          Alcotest.test_case "no permanent starvation" `Quick
+            test_server_no_permanent_starvation;
           Alcotest.test_case "soak recovers under traffic" `Quick test_soak_recovers_under_traffic;
           Alcotest.test_case "soak preserves service" `Quick test_soak_preserves_service;
           Alcotest.test_case "metrics recorded" `Quick test_metrics_recorded;

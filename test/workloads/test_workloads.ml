@@ -225,7 +225,7 @@ let test_fleet_samples_pipeline_independent () =
   (* the first-touch distribution lives on the simulated clock: the
      host-side pipeline choice must not move it *)
   let b = Fleet.run small_fleet in
-  let p = Fleet.run { small_fleet with Fleet.pipeline = Sentry.Per_page } in
+  let p = Fleet.run { small_fleet with Fleet.backend = Sentry.Per_page } in
   checkb "identical simulated samples" true
     (b.Fleet.first_touch_samples = p.Fleet.first_touch_samples)
 
@@ -241,7 +241,7 @@ let test_fleet_sharded_metrics_merge_exactly () =
   let shards = Array.init 3 (fun _ -> Metrics.create ()) in
   List.iteri
     (fun i sample ->
-      Fleet.record_latencies shards.(i mod 3) ~pipeline:small_fleet.Fleet.pipeline [ sample ])
+      Fleet.record_latencies shards.(i mod 3) ~backend:small_fleet.Fleet.backend [ sample ])
     s.Fleet.first_touch_samples;
   let merged = Metrics.merge (Metrics.merge shards.(0) shards.(1)) shards.(2) in
   checkb "sharded merge == global registry" true (Metrics.flat merged = Metrics.flat global);
